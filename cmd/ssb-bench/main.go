@@ -1,0 +1,282 @@
+// Command ssb-bench regenerates the paper's evaluation tables. Each figure
+// prints one row per system and one column per SSBM query plus the average,
+// in the same layout as the paper:
+//
+//	-figure 5          baseline RS, RS(MV), CS, CS(Row-MV)       (Figure 5)
+//	-figure 6          row-store designs T, T(B), MV, VP, AI     (Figure 6)
+//	-figure 7          C-Store ablation tICL .. Ticl             (Figure 7)
+//	-figure 8          denormalization Base, PJ variants         (Figure 8)
+//	-figure sizes      storage footprint comparison              (Section 6.2)
+//	-figure projections  redundant sort orders extension         (Section 5.1)
+//	-figure conclusion   super-tuple row-store simulation        (Section 7)
+//	-figure partition  partitioning on/off ablation              (Section 6.1)
+//	-figure all        everything
+//
+// Reported numbers are total simulated seconds: measured CPU time plus the
+// I/O the run performed priced at the paper's 180 MB/s striped-disk model.
+// Use -cpu or -io to print those components separately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datafile"
+	"repro/internal/exec"
+	"repro/internal/rowexec"
+	"repro/internal/ssb"
+)
+
+var (
+	sfFlag   = flag.Float64("sf", 0.1, "SSBM scale factor (paper uses 10)")
+	dataPath = flag.String("data", "", "load the dataset from this file (written by ssb-gen -out) instead of generating")
+	reps     = flag.Int("reps", 1, "repetitions per cell (best time wins)")
+	showCPU  = flag.Bool("cpu", false, "also print measured CPU seconds")
+	showIO   = flag.Bool("io", false, "also print simulated I/O seconds")
+	verify   = flag.Bool("verify", false, "verify every cell against the reference (slow)")
+	csvOut   = flag.Bool("csv", false, "emit figures as CSV instead of aligned tables")
+	figureID = flag.String("figure", "all", "which experiment to run: 5, 6, 7, 8, sizes, partition, all")
+)
+
+func main() {
+	flag.Parse()
+	var db *core.DB
+	if *dataPath != "" {
+		d, err := datafile.Load(*dataPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		db = core.OpenData(d)
+	} else {
+		db = core.Open(*sfFlag)
+	}
+	fmt.Printf("# SSBM at SF=%g (%d lineorder rows); disk model %.0f MB/s\n",
+		*sfFlag, db.Data.NumLineorders(), db.Disk.SeqMBPerSec)
+
+	ran := false
+	for _, f := range strings.Split(*figureID, ",") {
+		switch f {
+		case "5":
+			runFigure(db, "Figure 5: baseline comparison", figure5Rows(db))
+		case "6":
+			runFigure(db, "Figure 6: row-store physical designs", figure6Rows(db))
+		case "7":
+			runFigure(db, "Figure 7: C-Store optimization ablation", figure7Rows(db))
+		case "8":
+			runFigure(db, "Figure 8: denormalization", figure8Rows(db))
+		case "sizes":
+			runSizes(db)
+		case "projections":
+			runFigure(db, "Extension: redundant fact projections (paper Section 5.1)", projectionRows(db))
+		case "conclusion":
+			runFigure(db, "Extension: super-tuple row-store simulation (paper Section 7)", conclusionRows(db))
+		case "partition":
+			runPartition(db)
+		case "all":
+			runFigure(db, "Figure 5: baseline comparison", figure5Rows(db))
+			runFigure(db, "Figure 6: row-store physical designs", figure6Rows(db))
+			runFigure(db, "Figure 7: C-Store optimization ablation", figure7Rows(db))
+			runFigure(db, "Figure 8: denormalization", figure8Rows(db))
+			runFigure(db, "Extension: redundant fact projections (paper Section 5.1)", projectionRows(db))
+			runFigure(db, "Extension: super-tuple row-store simulation (paper Section 7)", conclusionRows(db))
+			runSizes(db)
+			runPartition(db)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
+			os.Exit(2)
+		}
+		ran = true
+	}
+	if !ran {
+		os.Exit(2)
+	}
+}
+
+// row is one system under test in a figure.
+type row struct {
+	label string
+	cfg   core.Config
+}
+
+func figure5Rows(db *core.DB) []row {
+	sys := core.Figure5Systems()
+	return []row{
+		{"RS", sys[0]}, {"RS (MV)", sys[1]}, {"CS", sys[2]}, {"CS (Row-MV)", sys[3]},
+	}
+}
+
+func figure6Rows(db *core.DB) []row {
+	var out []row
+	for _, cfg := range core.Figure6Systems() {
+		out = append(out, row{cfg.Design.String(), cfg})
+	}
+	return out
+}
+
+func figure7Rows(db *core.DB) []row {
+	var out []row
+	for _, cfg := range core.Figure7Systems() {
+		out = append(out, row{cfg.Col.Code(), cfg})
+	}
+	return out
+}
+
+func figure8Rows(db *core.DB) []row {
+	sys := core.Figure8Systems()
+	return []row{
+		{"Base", sys[0]},
+		{"PJ, No C", sys[1]},
+		{"PJ, Int C", sys[2]},
+		{"PJ, Max C", sys[3]},
+	}
+}
+
+func projectionRows(db *core.DB) []row {
+	return []row{
+		{"CS", core.ColumnStore(exec.FullOpt)},
+		{"CS+proj", core.ColumnStoreProjected(exec.FullOpt)},
+	}
+}
+
+func conclusionRows(db *core.DB) []row {
+	return []row{
+		{"VP (naive)", core.RowStore(rowexec.VerticalPartitioning)},
+		{"VP (super)", core.SuperTupleVP()},
+		{"CS (no compress)", core.ColumnStore(exec.Config{BlockIter: true, InvisibleJoin: true, LateMat: true})},
+		{"CS (full)", core.ColumnStore(exec.FullOpt)},
+	}
+}
+
+func runFigure(db *core.DB, title string, rows []row) {
+	queries := ssb.Queries()
+	fmt.Printf("\n## %s\n", title)
+	if *csvOut {
+		header := "system"
+		for _, q := range queries {
+			header += ",Q" + q.ID
+		}
+		fmt.Println(header + ",AVG")
+	} else {
+		header := fmt.Sprintf("%-12s", "")
+		for _, q := range queries {
+			header += fmt.Sprintf("%8s", q.ID)
+		}
+		header += fmt.Sprintf("%8s", "AVG")
+		fmt.Println(header)
+	}
+
+	print := func(kind string, cells map[string][]float64) {
+		for _, r := range rows {
+			sum := 0.0
+			if *csvOut {
+				line := r.label + kind
+				for _, v := range cells[r.label] {
+					line += fmt.Sprintf(",%.6f", v)
+					sum += v
+				}
+				fmt.Printf("%s,%.6f\n", line, sum/float64(len(queries)))
+				continue
+			}
+			line := fmt.Sprintf("%-12s", r.label+kind)
+			for _, v := range cells[r.label] {
+				line += fmt.Sprintf("%8.3f", v)
+				sum += v
+			}
+			line += fmt.Sprintf("%8.3f", sum/float64(len(queries)))
+			fmt.Println(line)
+		}
+	}
+
+	total := map[string][]float64{}
+	cpu := map[string][]float64{}
+	ioSec := map[string][]float64{}
+	for _, r := range rows {
+		for _, q := range queries {
+			best := core.RunStats{}
+			for rep := 0; rep < *reps; rep++ {
+				_, stats, err := db.Run(q.ID, r.cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if rep == 0 || stats.Total < best.Total {
+					best = stats
+				}
+			}
+			if *verify {
+				if err := db.Verify(q.ID, r.cfg); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			total[r.label] = append(total[r.label], best.Total.Seconds())
+			cpu[r.label] = append(cpu[r.label], best.Wall.Seconds())
+			ioSec[r.label] = append(ioSec[r.label], best.IOTime.Seconds())
+		}
+	}
+	print("", total)
+	if *showCPU {
+		fmt.Println("-- measured CPU seconds --")
+		print("(cpu)", cpu)
+	}
+	if *showIO {
+		fmt.Println("-- simulated I/O seconds --")
+		print("(io)", ioSec)
+	}
+}
+
+// runSizes reproduces the Section 6.2 storage comparison: vertical
+// partitioning's per-value overhead vs the traditional heap vs the column
+// store.
+func runSizes(db *core.DB) {
+	fmt.Println("\n## Storage sizes (paper Section 6.2 'Tuple overheads')")
+	col := db.ColumnDB(true)
+	colPlain := db.ColumnDB(false)
+	sx := db.RowDB()
+	n := float64(db.Data.NumLineorders())
+
+	fmt.Printf("%-42s %10s %14s\n", "layout", "MB", "bytes/value")
+	p := func(name string, bytes int64, values float64) {
+		fmt.Printf("%-42s %10.1f %14.2f\n", name, float64(bytes)/1e6, float64(bytes)/values)
+	}
+	p("row store: full 17-column fact heap", sx.Fact.HeapBytes(), n*17)
+	var vpBytes int64
+	for _, vt := range sx.VP {
+		vpBytes += vt.HeapBytes()
+	}
+	p(fmt.Sprintf("row store: %d vertical partitions", len(sx.VP)), vpBytes, n*float64(len(sx.VP)))
+	p("column store: fact, uncompressed", colPlain.Fact.CompressedBytes(), n*17)
+	p("column store: fact, compressed", col.Fact.CompressedBytes(), n*17)
+	fmt.Printf("\nPaper: VP needs ~16 bytes/value (8B header + 4B rid + 4B value)\n")
+	fmt.Printf("vs 4 bytes/value uncompressed in C-Store; whole compressed fact ~2.3GB at SF=10.\n")
+}
+
+// runPartition reproduces the Section 6.1 partitioning ablation: the
+// traditional design with and without orderdate-year pruning.
+func runPartition(db *core.DB) {
+	fmt.Println("\n## Partitioning ablation (paper Section 6.1: ~2x on average)")
+	queries := ssb.Queries()
+	fmt.Printf("%-10s %12s %12s %8s\n", "query", "part (s)", "nopart (s)", "ratio")
+	sumP, sumN := 0.0, 0.0
+	for _, q := range queries {
+		_, withP, err := db.Run(q.ID, core.RowStore(rowexec.Traditional))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		_, noP, err := db.Run(q.ID, core.Config{Kind: core.KindRow, Design: rowexec.Traditional})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		p, np := withP.Total.Seconds(), noP.Total.Seconds()
+		sumP += p
+		sumN += np
+		fmt.Printf("%-10s %12.3f %12.3f %8.2f\n", q.ID, p, np, np/p)
+	}
+	fmt.Printf("%-10s %12.3f %12.3f %8.2f\n", "AVG", sumP/13, sumN/13, sumN/sumP)
+}

@@ -1,0 +1,88 @@
+// Command ssb-gen generates an SSBM dataset and reports its shape: table
+// cardinalities, storage footprints under each physical design, per-column
+// encodings, and measured vs published query selectivities.
+//
+// Usage:
+//
+//	ssb-gen [-sf 0.1] [-verify] [-encodings]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datafile"
+	"repro/internal/exec"
+	"repro/internal/rowexec"
+	"repro/internal/ssb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.1, "SSBM scale factor (paper uses 10)")
+	out := flag.String("out", "", "write the generated dataset to this file (binary columnar format)")
+	verify := flag.Bool("verify", false, "check measured selectivities against the paper's published values")
+	encodings := flag.Bool("encodings", false, "print per-column encodings of the compressed column store")
+	flag.Parse()
+
+	fmt.Printf("Generating SSBM at SF=%g ...\n", *sf)
+	d := ssb.Generate(*sf)
+	if *out != "" {
+		if err := datafile.Save(*out, d); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if fi, err := os.Stat(*out); err == nil {
+			fmt.Printf("wrote %s (%.1f MB)\n", *out, float64(fi.Size())/1e6)
+		}
+	}
+	fmt.Printf("  lineorder: %10d rows\n", d.NumLineorders())
+	fmt.Printf("  customer:  %10d rows\n", len(d.Customer.Key))
+	fmt.Printf("  supplier:  %10d rows\n", len(d.Supplier.Key))
+	fmt.Printf("  part:      %10d rows\n", len(d.Part.Key))
+	fmt.Printf("  dwdate:    %10d rows\n", d.NumDates())
+
+	col := exec.BuildDB(d, true)
+	colPlain := exec.BuildDB(d, false)
+	fmt.Printf("\nColumn-store fact table: %.1f MB compressed, %.1f MB raw (%.2fx)\n",
+		mb(col.Fact.CompressedBytes()), mb(colPlain.Fact.CompressedBytes()),
+		float64(colPlain.Fact.CompressedBytes())/float64(col.Fact.CompressedBytes()))
+
+	sx := rowexec.Build(d, rowexec.BuildOptions{MVs: true, VP: true})
+	fmt.Printf("Row-store fact heap:     %.1f MB (%d pages)\n", mb(sx.Fact.HeapBytes()), sx.Fact.NumPages())
+	var vpBytes int64
+	for _, vt := range sx.VP {
+		vpBytes += vt.HeapBytes()
+	}
+	fmt.Printf("Vertical partitions:     %.1f MB across %d column-tables\n", mb(vpBytes), len(sx.VP))
+	for f := 1; f <= 4; f++ {
+		fmt.Printf("MV flight %d:             %.1f MB (%v)\n", f, mb(sx.MVs[f].HeapBytes()), ssb.FlightMVColumns(f))
+	}
+
+	if *encodings {
+		fmt.Println("\nPer-column encodings (compressed column store):")
+		for _, line := range col.Fact.EncodingSummary() {
+			fmt.Println("  " + line)
+		}
+	}
+
+	if *verify {
+		fmt.Println("\nSelectivity check (measured vs paper Section 3):")
+		bad := 0
+		for _, q := range ssb.Queries() {
+			got := ssb.Selectivity(d, q)
+			fmt.Printf("  Q%-4s measured %.3e   paper %.3e\n", q.ID, got, q.PaperSelectivity)
+			expectRows := q.PaperSelectivity * float64(d.NumLineorders())
+			if expectRows >= 20 && (got > q.PaperSelectivity*2.5 || got < q.PaperSelectivity/2.5) {
+				bad++
+			}
+		}
+		if bad > 0 {
+			fmt.Printf("%d queries out of tolerance\n", bad)
+			os.Exit(1)
+		}
+		fmt.Println("all selectivities within tolerance")
+	}
+}
+
+func mb(b int64) float64 { return float64(b) / 1e6 }

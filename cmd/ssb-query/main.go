@@ -1,0 +1,147 @@
+// Command ssb-query runs one SSBM query against a chosen system and prints
+// the result rows alongside measured CPU time, simulated I/O and the
+// combined paper-comparable time.
+//
+// Usage:
+//
+//	ssb-query [-sf 0.1] -q 2.1 -system CS
+//
+// Systems: CS (full column store), CS:<code> (Figure 7 configuration such
+// as Ticl), CS-ROWMV, RS (traditional), RS-TB, RS-MV, RS-VP, RS-AI,
+// PJ-NOC, PJ-INTC, PJ-MAXC.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datafile"
+	"repro/internal/exec"
+	"repro/internal/rowexec"
+	"repro/internal/sql"
+	"repro/internal/ssb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.1, "SSBM scale factor")
+	dataPath := flag.String("data", "", "load the dataset from this file (written by ssb-gen -out) instead of generating")
+	queryID := flag.String("q", "2.1", "SSBM query id (1.1 .. 4.3)")
+	sqlText := flag.String("sql", "", "ad-hoc SQL in the SSBM dialect (overrides -q)")
+	system := flag.String("system", "CS", "system under test (see doc comment)")
+	verify := flag.Bool("verify", false, "also check against the brute-force reference")
+	explain := flag.Bool("explain", false, "print the physical plan instead of executing")
+	flag.Parse()
+
+	cfg, err := parseSystem(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	db, err := openDB(*dataPath, *sf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var res *ssb.Result
+	var stats core.RunStats
+	var plan *ssb.Query
+	if *sqlText != "" {
+		plan, err = sql.Parse("adhoc", *sqlText)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		plan = ssb.QueryByID(*queryID)
+		if plan == nil {
+			fmt.Fprintf(os.Stderr, "unknown SSBM query %q\n", *queryID)
+			os.Exit(2)
+		}
+	}
+	if *explain {
+		text, err := db.ExplainPlan(plan, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(text)
+		return
+	}
+	res, stats, err = db.RunPlan(plan, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("system=%s sf=%g\n", cfg.Label(), *sf)
+	fmt.Print(res.String())
+	fmt.Printf("cpu=%v  io=%.1fMB (%d seeks)  io-time=%v  total=%v\n",
+		stats.Wall, float64(stats.IO.BytesRead)/1e6, stats.IO.Seeks, stats.IOTime, stats.Total)
+
+	if *verify {
+		want := ssb.Reference(db.Data, plan)
+		if !res.Equal(want) {
+			fmt.Fprintf(os.Stderr, "result diverges from reference:\n%s\n", want.Diff(res))
+			os.Exit(1)
+		}
+		fmt.Println("verified against reference")
+	}
+}
+
+// openDB loads a saved dataset or generates one.
+func openDB(path string, sf float64) (*core.DB, error) {
+	if path == "" {
+		return core.Open(sf), nil
+	}
+	d, err := datafile.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.OpenData(d), nil
+}
+
+// parseSystem maps a CLI name to a core.Config.
+func parseSystem(s string) (core.Config, error) {
+	u := strings.ToUpper(s)
+	switch u {
+	case "CS":
+		return core.ColumnStore(exec.FullOpt), nil
+	case "CS-ROWMV":
+		return core.RowMV(), nil
+	case "RS":
+		return core.RowStore(rowexec.Traditional), nil
+	case "RS-TB":
+		return core.RowStore(rowexec.TraditionalBitmap), nil
+	case "RS-MV":
+		return core.RowStore(rowexec.MaterializedViews), nil
+	case "RS-VP":
+		return core.RowStore(rowexec.VerticalPartitioning), nil
+	case "RS-AI":
+		return core.RowStore(rowexec.AllIndexes), nil
+	case "RS-NOPART":
+		return core.Config{Kind: core.KindRow, Design: rowexec.Traditional}, nil
+	case "PJ-NOC":
+		return core.Denormalized(exec.DenormNoC), nil
+	case "PJ-INTC":
+		return core.Denormalized(exec.DenormIntC), nil
+	case "PJ-MAXC":
+		return core.Denormalized(exec.DenormMaxC), nil
+	}
+	if strings.HasPrefix(u, "CS:") {
+		code := s[len("CS:"):]
+		if len(code) != 4 {
+			return core.Config{}, fmt.Errorf("bad CS code %q (want e.g. tICL)", code)
+		}
+		cfg := exec.Config{
+			BlockIter:     code[0] == 't',
+			InvisibleJoin: code[1] == 'I',
+			Compression:   code[2] == 'C',
+			LateMat:       code[3] == 'L',
+		}
+		return core.ColumnStore(cfg), nil
+	}
+	return core.Config{}, fmt.Errorf("unknown system %q", s)
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Column-Stores vs.
+// Row-Stores: How Different Are They Really?" (Abadi, Madden, Hachem,
+// SIGMOD 2008).
+//
+// The repository contains a C-Store-style column engine (internal/colstore,
+// internal/compress, internal/exec), a "System X"-style row engine
+// (internal/rowstore, internal/btree, internal/rowexec), the Star Schema
+// Benchmark substrate (internal/ssb), an analytic disk model
+// (internal/iosim), and a facade (internal/core) that runs all thirteen
+// SSBM queries under every physical design and executor configuration the
+// paper evaluates. The benchmarks in bench_test.go and the cmd/ssb-bench
+// harness regenerate the paper's Figures 5-8 plus the Section 6.1/6.2
+// side experiments.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,205 @@
+// Package bitmap provides a dense, fixed-length bitmap used throughout the
+// column executor as one of the position-list representations described in
+// Section 5.2 of the paper ("a bit string where a 1 in the ith bit indicates
+// that the ith value passed the predicate"), and by the row engine as the
+// backing store for bitmap indexes.
+//
+// The implementation is a plain []uint64 with word-wise boolean algebra so
+// that intersecting predicate results (the paper's "fast bitmap operations")
+// costs one AND per 64 positions.
+package bitmap
+
+import "math/bits"
+
+const wordBits = 64
+
+// Bitmap is a fixed-length sequence of bits. The zero value is an empty
+// bitmap of length 0; use New to create one with capacity for n positions.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// New returns a bitmap able to hold n bits, all initially zero.
+func New(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// NewFull returns a bitmap of length n with every bit set.
+func NewFull(n int) *Bitmap {
+	b := New(n)
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.clearTail()
+	return b
+}
+
+// clearTail zeroes bits beyond n in the last word so Count and And/Or stay
+// exact after whole-word operations.
+func (b *Bitmap) clearTail() {
+	if rem := b.n % wordBits; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Len returns the number of bit positions in the bitmap.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) { b.words[i/wordBits] |= 1 << uint(i%wordBits) }
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) { b.words[i/wordBits] &^= 1 << uint(i%wordBits) }
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// SetRange sets every bit in [start, end).
+func (b *Bitmap) SetRange(start, end int) {
+	if start >= end {
+		return
+	}
+	sw, ew := start/wordBits, (end-1)/wordBits
+	sMask := ^uint64(0) << uint(start%wordBits)
+	eMask := ^uint64(0) >> uint(wordBits-1-(end-1)%wordBits)
+	if sw == ew {
+		b.words[sw] |= sMask & eMask
+		return
+	}
+	b.words[sw] |= sMask
+	for w := sw + 1; w < ew; w++ {
+		b.words[w] = ^uint64(0)
+	}
+	b.words[ew] |= eMask
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitmap) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// And replaces b with b AND other. Both bitmaps must have the same length.
+func (b *Bitmap) And(other *Bitmap) {
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// AndNot replaces b with b AND NOT other.
+func (b *Bitmap) AndNot(other *Bitmap) {
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// Or replaces b with b OR other. Both bitmaps must have the same length.
+func (b *Bitmap) Or(other *Bitmap) {
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+	b.clearTail()
+}
+
+// Not inverts every bit in place.
+func (b *Bitmap) Not() {
+	for i := range b.words {
+		b.words[i] = ^b.words[i]
+	}
+	b.clearTail()
+}
+
+// Clone returns a deep copy of b.
+func (b *Bitmap) Clone() *Bitmap {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitmap{words: w, n: b.n}
+}
+
+// Reset clears all bits, keeping the length.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// ForEach invokes fn with each set position in ascending order.
+func (b *Bitmap) ForEach(fn func(pos int)) {
+	for wi, w := range b.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(base + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// AppendPositions appends each set position to dst and returns it. It is the
+// bridge from bitmap representation to explicit position lists.
+func (b *Bitmap) AppendPositions(dst []int32) []int32 {
+	for wi, w := range b.words {
+		base := wi * wordBits
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			dst = append(dst, int32(base+tz))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// NextSet returns the first set position >= from, or -1 when none exists.
+func (b *Bitmap) NextSet(from int) int {
+	if from >= b.n {
+		return -1
+	}
+	wi := from / wordBits
+	w := b.words[wi] >> uint(from%wordBits)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(b.words[wi])
+		}
+	}
+	return -1
+}
+
+// SizeBytes reports the in-memory size of the bit data, used by the I/O
+// accounting layer when bitmaps are materialized by index-only plans.
+func (b *Bitmap) SizeBytes() int64 { return int64(len(b.words) * 8) }
+
+// OrWordsAt ORs other into b starting at the given word offset (bit offset
+// wordOff*64). It lets a block-local bitmap be merged into a column-global
+// one without per-bit shifting; column blocks are 64-bit aligned by
+// construction. The destination tail is NOT re-masked: callers must ensure
+// other has no bits beyond the destination length (true for block-local
+// bitmaps, whose length never exceeds the remaining destination bits).
+// This keeps the operation word-local so parallel scans over disjoint
+// blocks need no synchronization.
+func (b *Bitmap) OrWordsAt(wordOff int, other *Bitmap) {
+	for i, w := range other.words {
+		if wordOff+i >= len(b.words) {
+			return
+		}
+		b.words[wordOff+i] |= w
+	}
+}

@@ -1,0 +1,309 @@
+// Package colstore implements the C-Store-style storage layer: tables whose
+// columns are stored separately as sequences of encoded blocks, matched up
+// implicitly by position (Section 6.3.1 — "they use implicit column
+// positions to reconstruct columns... tuple headers are stored in their own
+// separate columns").
+//
+// String columns are dictionary encoded with an order-preserving dictionary
+// (compress.Dict); all physical storage and execution is over int32 codes.
+package colstore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitmap"
+	"repro/internal/compress"
+	"repro/internal/iosim"
+	"repro/internal/vector"
+)
+
+// BlockSize is the number of values per encoded block (a C-Store-style
+// segment). 64K values keeps per-block min/max pruning useful.
+const BlockSize = 1 << 16
+
+// SortKind describes a column's sort property within its projection.
+type SortKind uint8
+
+const (
+	// Unsorted columns have no ordering guarantee.
+	Unsorted SortKind = iota
+	// PrimarySort means the whole column is sorted ascending (the
+	// projection's leading sort key, e.g. orderdate).
+	PrimarySort
+	// SecondarySort means the column is sorted within runs of the
+	// preceding sort keys (e.g. quantity within orderdate).
+	SecondarySort
+)
+
+// Column is one attribute stored as encoded blocks. For string attributes,
+// Dict is non-nil and block values are dictionary codes.
+type Column struct {
+	Name   string
+	Sorted SortKind
+	Dict   *compress.Dict
+
+	blocks []compress.IntBlock
+	n      int
+}
+
+// NewColumn builds a column over vals. When compressed is true each block
+// picks its own encoding via compress.Choose; otherwise all blocks are
+// plain, which is how the Figure 7 "compression removed" configuration is
+// expressed.
+func NewColumn(name string, vals []int32, dict *compress.Dict, sorted SortKind, compressed bool) *Column {
+	c := &Column{Name: name, Sorted: sorted, Dict: dict, n: len(vals)}
+	for off := 0; off < len(vals); off += BlockSize {
+		end := off + BlockSize
+		if end > len(vals) {
+			end = len(vals)
+		}
+		chunk := vals[off:end]
+		if compressed {
+			c.blocks = append(c.blocks, compress.Choose(chunk))
+		} else {
+			c.blocks = append(c.blocks, compress.NewPlainBlock(chunk))
+		}
+	}
+	return c
+}
+
+// NumRows returns the number of values in the column.
+func (c *Column) NumRows() int { return c.n }
+
+// NumBlocks returns the block count.
+func (c *Column) NumBlocks() int { return len(c.blocks) }
+
+// Block returns the i-th block (for executors that stream blocks).
+func (c *Column) Block(i int) compress.IntBlock { return c.blocks[i] }
+
+// CompressedBytes is the on-disk footprint charged when scanning the column.
+func (c *Column) CompressedBytes() int64 {
+	var n int64
+	for _, b := range c.blocks {
+		n += b.CompressedBytes()
+	}
+	return n
+}
+
+// RawBytes is the uncompressed footprint (4 bytes per value).
+func (c *Column) RawBytes() int64 { return int64(c.n) * 4 }
+
+// Encodings summarises block encodings, for stats output.
+func (c *Column) Encodings() map[compress.Encoding]int {
+	m := map[compress.Encoding]int{}
+	for _, b := range c.blocks {
+		m[b.Encoding()]++
+	}
+	return m
+}
+
+// Filter scans the column with predicate p and returns the matching
+// positions. Blocks whose min/max statistics exclude the predicate are
+// skipped without charging I/O (their values are never read). For a
+// primary-sorted column with an interval predicate the result collapses to a
+// contiguous PosRange found by block statistics plus an in-block range
+// probe, reading only the boundary blocks.
+func (c *Column) Filter(p compress.Pred, st *iosim.Stats) *vector.Positions {
+	if c.Sorted == PrimarySort {
+		if pos, ok := c.sortedFilter(p, st); ok {
+			return pos
+		}
+	}
+	bm := bitmap.New(c.n)
+	base := 0
+	for _, blk := range c.blocks {
+		mn, mx := blk.MinMax()
+		if p.MayMatch(mn, mx) {
+			st.Read(blk.CompressedBytes())
+			blk.Filter(p, base, bm)
+		}
+		base += blk.Len()
+	}
+	return vector.NewBitmapPositions(bm)
+}
+
+// sortedFilter exploits a globally sorted column: the matching positions are
+// one contiguous range.
+func (c *Column) sortedFilter(p compress.Pred, st *iosim.Stats) (*vector.Positions, bool) {
+	lo, hi, ok := p.Bounds()
+	if !ok {
+		return nil, false
+	}
+	start, end := int32(-1), int32(-1)
+	base := int32(0)
+	for _, blk := range c.blocks {
+		mn, mx := blk.MinMax()
+		blkLen := int32(blk.Len())
+		if mx >= lo && mn <= hi {
+			// Boundary or interior block.
+			if mn >= lo && mx <= hi {
+				// Fully inside: covered without reading values.
+				if start < 0 {
+					start = base
+				}
+				end = base + blkLen
+			} else {
+				// Boundary block: read it to locate the edge.
+				st.Read(blk.CompressedBytes())
+				s, e := c.blockRange(blk, p)
+				if e > s {
+					if start < 0 {
+						start = base + s
+					}
+					end = base + e
+				}
+			}
+		}
+		base += blkLen
+	}
+	if start < 0 {
+		return vector.NewRangePositions(0, 0), true
+	}
+	return vector.NewRangePositions(start, end), true
+}
+
+// blockRange finds the in-block contiguous match range for a sorted block.
+func (c *Column) blockRange(blk compress.IntBlock, p compress.Pred) (int32, int32) {
+	if rle, ok := blk.(*compress.RLEBlock); ok {
+		s, e, ok := rle.SortedFilterRange(p)
+		if ok {
+			if e < s {
+				return 0, 0
+			}
+			return s, e
+		}
+	}
+	// Other encodings: decode the boundary block once (this happens for
+	// at most two blocks per sorted filter) and binary-search the sorted
+	// values.
+	lo, hi, _ := p.Bounds()
+	vals := blk.AppendTo(nil)
+	start := sort.Search(len(vals), func(i int) bool { return vals[i] >= lo })
+	end := sort.Search(len(vals), func(i int) bool { return vals[i] > hi })
+	if start >= end {
+		return 0, 0
+	}
+	return int32(start), int32(end)
+}
+
+// FilterAt applies p only at candidate positions (pipelined predicate
+// application from Section 5.4: "the results of a predicate application can
+// be pipelined into another predicate application to reduce the number of
+// times the second predicate must be applied"). Only blocks containing
+// candidates are read.
+func (c *Column) FilterAt(p compress.Pred, candidates *vector.Positions, st *iosim.Stats) *vector.Positions {
+	out := bitmap.New(c.n)
+	var scratchIdx []int32
+	var scratchVals []int32
+	c.forEachCandidateBlock(candidates, st, func(base int32, blk compress.IntBlock, idx []int32) {
+		mn, mx := blk.MinMax()
+		if !p.MayMatch(mn, mx) {
+			return
+		}
+		scratchVals = blk.Gather(idx, scratchVals[:0])
+		for k, v := range scratchVals {
+			if p.Match(v) {
+				out.Set(int(base + idx[k]))
+			}
+		}
+	}, &scratchIdx)
+	return vector.NewBitmapPositions(out)
+}
+
+// Gather appends the values at the given positions to dst, reading only the
+// blocks that contain selected positions.
+func (c *Column) Gather(positions *vector.Positions, dst []int32, st *iosim.Stats) []int32 {
+	var scratchIdx []int32
+	c.forEachCandidateBlock(positions, st, func(base int32, blk compress.IntBlock, idx []int32) {
+		dst = blk.Gather(idx, dst)
+	}, &scratchIdx)
+	return dst
+}
+
+// ioPageBytes is the granularity of positional reads: fetching values at
+// scattered positions transfers only the pages containing them, not the
+// whole segment. 32 KB matches the paper's System X page size.
+const ioPageBytes = 32 * 1024
+
+// chargePositional records the I/O for reading the given sorted block-local
+// indexes from blk: the number of distinct pages they fall on.
+func chargePositional(blk compress.IntBlock, idx []int32, st *iosim.Stats) {
+	if st == nil || len(idx) == 0 {
+		return
+	}
+	bytesPerVal := float64(blk.CompressedBytes()) / float64(blk.Len())
+	lastPage := int64(-1)
+	var pages int64
+	for _, i := range idx {
+		page := int64(float64(i) * bytesPerVal / ioPageBytes)
+		if page != lastPage {
+			pages++
+			lastPage = page
+		}
+	}
+	total := blk.CompressedBytes()
+	charged := pages * ioPageBytes
+	if charged > total {
+		charged = total
+	}
+	st.Read(charged)
+}
+
+// forEachCandidateBlock groups sorted candidate positions by block, charges
+// I/O for the pages the candidates touch, and invokes fn with block-local
+// indexes.
+func (c *Column) forEachCandidateBlock(candidates *vector.Positions, st *iosim.Stats, fn func(base int32, blk compress.IntBlock, idx []int32), scratch *[]int32) {
+	bi := 0
+	base := int32(0)
+	blkEnd := int32(0)
+	if len(c.blocks) > 0 {
+		blkEnd = int32(c.blocks[0].Len())
+	}
+	idx := (*scratch)[:0]
+	flush := func() {
+		if len(idx) > 0 {
+			chargePositional(c.blocks[bi], idx, st)
+			fn(base, c.blocks[bi], idx)
+			idx = idx[:0]
+		}
+	}
+	candidates.ForEach(func(pos int32) {
+		for pos >= blkEnd {
+			flush()
+			base = blkEnd
+			bi++
+			blkEnd += int32(c.blocks[bi].Len())
+		}
+		idx = append(idx, pos-base)
+	})
+	flush()
+	*scratch = idx[:0]
+}
+
+// DecodeAll decodes the whole column, appending to dst, charging a full
+// sequential scan.
+func (c *Column) DecodeAll(dst []int32, st *iosim.Stats) []int32 {
+	for _, blk := range c.blocks {
+		st.Read(blk.CompressedBytes())
+		dst = blk.AppendTo(dst)
+	}
+	return dst
+}
+
+// Get returns the value at position i without I/O accounting (used by tests
+// and by point lookups whose cost is charged by the caller).
+func (c *Column) Get(i int32) int32 {
+	bi := int(i) / BlockSize
+	return c.blocks[bi].Get(int(i) % BlockSize)
+}
+
+// ValueString renders the value at position i using the dictionary when
+// present.
+func (c *Column) ValueString(i int32) string {
+	v := c.Get(i)
+	if c.Dict != nil {
+		return c.Dict.Value(v)
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,119 @@
+package compress
+
+import (
+	"math/bits"
+
+	"repro/internal/bitmap"
+)
+
+// BitPackBlock stores values as fixed-width bit fields offset from the block
+// minimum. A block of discounts 0..10 packs into 4 bits/value instead of 32.
+type BitPackBlock struct {
+	words    []uint64
+	width    uint // bits per value, 1..32
+	n        int
+	min, max int32
+}
+
+// NewBitPackBlock packs vals using the narrowest width that covers
+// max(vals)-min(vals).
+func NewBitPackBlock(vals []int32) *BitPackBlock {
+	mn, mx := minMax(vals)
+	span := uint64(int64(mx) - int64(mn))
+	width := uint(bits.Len64(span))
+	if width == 0 {
+		width = 1
+	}
+	b := &BitPackBlock{
+		words: make([]uint64, (uint(len(vals))*width+63)/64),
+		width: width,
+		n:     len(vals),
+		min:   mn,
+		max:   mx,
+	}
+	for i, v := range vals {
+		b.put(i, uint64(int64(v)-int64(mn)))
+	}
+	return b
+}
+
+func (b *BitPackBlock) put(i int, u uint64) {
+	bitPos := uint(i) * b.width
+	w, off := bitPos/64, bitPos%64
+	b.words[w] |= u << off
+	if off+b.width > 64 {
+		b.words[w+1] |= u >> (64 - off)
+	}
+}
+
+func (b *BitPackBlock) get(i int) uint64 {
+	bitPos := uint(i) * b.width
+	w, off := bitPos/64, bitPos%64
+	u := b.words[w] >> off
+	if off+b.width > 64 {
+		u |= b.words[w+1] << (64 - off)
+	}
+	return u & ((1 << b.width) - 1)
+}
+
+// Len implements IntBlock.
+func (b *BitPackBlock) Len() int { return b.n }
+
+// Encoding implements IntBlock.
+func (b *BitPackBlock) Encoding() Encoding { return BitPack }
+
+// MinMax implements IntBlock.
+func (b *BitPackBlock) MinMax() (int32, int32) { return b.min, b.max }
+
+// Width returns the bits used per value (diagnostics).
+func (b *BitPackBlock) Width() uint { return b.width }
+
+// AppendTo implements IntBlock.
+func (b *BitPackBlock) AppendTo(dst []int32) []int32 {
+	for i := 0; i < b.n; i++ {
+		dst = append(dst, int32(int64(b.min)+int64(b.get(i))))
+	}
+	return dst
+}
+
+// Get implements IntBlock.
+func (b *BitPackBlock) Get(i int) int32 { return int32(int64(b.min) + int64(b.get(i))) }
+
+// Filter implements IntBlock. The predicate is rebased into code space so
+// the inner loop compares packed codes without reconstructing values.
+func (b *BitPackBlock) Filter(p Pred, base int, bm *bitmap.Bitmap) {
+	if lo, hi, ok := p.Bounds(); ok {
+		// Rebase interval to code space, clamping at block bounds.
+		cl := int64(lo) - int64(b.min)
+		ch := int64(hi) - int64(b.min)
+		if ch < 0 || cl > int64(b.max)-int64(b.min) {
+			return
+		}
+		if cl < 0 {
+			cl = 0
+		}
+		ulo, uhi := uint64(cl), uint64(ch)
+		for i := 0; i < b.n; i++ {
+			if c := b.get(i); c >= ulo && c <= uhi {
+				bm.Set(base + i)
+			}
+		}
+		return
+	}
+	for i := 0; i < b.n; i++ {
+		if p.Match(b.Get(i)) {
+			bm.Set(base + i)
+		}
+	}
+}
+
+// Gather implements IntBlock.
+func (b *BitPackBlock) Gather(idx []int32, dst []int32) []int32 {
+	for _, i := range idx {
+		dst = append(dst, b.Get(int(i)))
+	}
+	return dst
+}
+
+// CompressedBytes implements IntBlock.
+func (b *BitPackBlock) CompressedBytes() int64 { return int64(len(b.words))*8 + 16 }

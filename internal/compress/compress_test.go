@@ -1,0 +1,500 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmap"
+)
+
+// genVals produces test columns with different shapes: random, sorted,
+// low-cardinality, near-monotonic.
+func genVals(rng *rand.Rand, n int) []int32 {
+	vals := make([]int32, n)
+	switch rng.Intn(4) {
+	case 0: // random wide
+		for i := range vals {
+			vals[i] = rng.Int31n(1 << 20)
+		}
+	case 1: // sorted runs (RLE-friendly)
+		v := int32(0)
+		for i := range vals {
+			if rng.Intn(10) == 0 {
+				v += rng.Int31n(5) + 1
+			}
+			vals[i] = v
+		}
+	case 2: // low cardinality (bitpack-friendly)
+		for i := range vals {
+			vals[i] = rng.Int31n(11)
+		}
+	default: // near-monotonic (delta-friendly)
+		v := int32(rng.Int31n(1000))
+		for i := range vals {
+			v += rng.Int31n(4)
+			vals[i] = v
+		}
+	}
+	return vals
+}
+
+func genPred(rng *rand.Rand, vals []int32) Pred {
+	pick := func() int32 {
+		if len(vals) == 0 {
+			return 0
+		}
+		return vals[rng.Intn(len(vals))]
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return Eq(pick())
+	case 1:
+		return Lt(pick())
+	case 2:
+		return Le(pick())
+	case 3:
+		return Gt(pick())
+	case 4:
+		return Ge(pick())
+	case 5:
+		a, b := pick(), pick()
+		if a > b {
+			a, b = b, a
+		}
+		return Between(a, b)
+	case 6:
+		return In(pick(), pick(), pick())
+	default:
+		return Pred{Op: OpNe, A: pick()}
+	}
+}
+
+func allEncoders() map[string]func([]int32) IntBlock {
+	return map[string]func([]int32) IntBlock{
+		"plain":   func(v []int32) IntBlock { return NewPlainBlock(v) },
+		"rle":     func(v []int32) IntBlock { return NewRLEBlock(v) },
+		"bitpack": func(v []int32) IntBlock { return NewBitPackBlock(v) },
+		"delta":   func(v []int32) IntBlock { return NewDeltaBlock(v) },
+		"choose":  Choose,
+	}
+}
+
+// TestRoundTrip: every encoding decodes back to the original values.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, enc := range allEncoders() {
+		for trial := 0; trial < 20; trial++ {
+			vals := genVals(rng, rng.Intn(500)+1)
+			blk := enc(vals)
+			if blk.Len() != len(vals) {
+				t.Fatalf("%s: Len=%d want %d", name, blk.Len(), len(vals))
+			}
+			got := blk.AppendTo(nil)
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Fatalf("%s trial %d: decode[%d]=%d want %d", name, trial, i, got[i], vals[i])
+				}
+			}
+			mn, mx := blk.MinMax()
+			wantMn, wantMx := minMax(vals)
+			if mn != wantMn || mx != wantMx {
+				t.Fatalf("%s: MinMax=(%d,%d) want (%d,%d)", name, mn, mx, wantMn, wantMx)
+			}
+		}
+	}
+}
+
+// TestGetRandomAccess: Get(i) == vals[i] for all encodings.
+func TestGetRandomAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for name, enc := range allEncoders() {
+		vals := genVals(rng, 200)
+		blk := enc(vals)
+		for i := range vals {
+			if got := blk.Get(i); got != vals[i] {
+				t.Fatalf("%s: Get(%d)=%d want %d", name, i, got, vals[i])
+			}
+		}
+	}
+}
+
+// TestFilterEquivalence: direct operation on compressed data must produce
+// exactly the positions the naive decoded filter produces.
+func TestFilterEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for name, enc := range allEncoders() {
+		for trial := 0; trial < 30; trial++ {
+			vals := genVals(rng, rng.Intn(400)+1)
+			p := genPred(rng, vals)
+			blk := enc(vals)
+			const base = 13
+			bm := bitmap.New(base + len(vals) + 5)
+			blk.Filter(p, base, bm)
+			for i, v := range vals {
+				if bm.Get(base+i) != p.Match(v) {
+					t.Fatalf("%s trial %d pred %v %d..%d: pos %d got %v val %d",
+						name, trial, p.Op, p.A, p.B, i, bm.Get(base+i), v)
+				}
+			}
+			// No bits outside [base, base+len).
+			for i := 0; i < base; i++ {
+				if bm.Get(i) {
+					t.Fatalf("%s: stray bit below base at %d", name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestGatherEquivalence: Gather at sorted positions equals indexed decode.
+func TestGatherEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for name, enc := range allEncoders() {
+		for trial := 0; trial < 20; trial++ {
+			vals := genVals(rng, rng.Intn(300)+1)
+			blk := enc(vals)
+			var idx []int32
+			for i := range vals {
+				if rng.Intn(3) == 0 {
+					idx = append(idx, int32(i))
+				}
+			}
+			got := blk.Gather(idx, nil)
+			if len(got) != len(idx) {
+				t.Fatalf("%s: Gather len=%d want %d", name, len(got), len(idx))
+			}
+			for k, i := range idx {
+				if got[k] != vals[i] {
+					t.Fatalf("%s: Gather[%d]=%d want vals[%d]=%d", name, k, got[k], i, vals[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRLESortedFilterRange(t *testing.T) {
+	vals := []int32{1, 1, 1, 3, 3, 5, 5, 5, 5, 9}
+	blk := NewRLEBlock(vals)
+	cases := []struct {
+		p          Pred
+		start, end int32
+	}{
+		{Eq(3), 3, 5},
+		{Eq(2), 0, 0}, // absent value -> empty
+		{Between(3, 5), 3, 9},
+		{Between(0, 100), 0, 10},
+		{Lt(5), 0, 5},
+		{Ge(5), 5, 10},
+		{Eq(9), 9, 10},
+	}
+	for _, c := range cases {
+		s, e, ok := blk.SortedFilterRange(c.p)
+		if !ok {
+			t.Fatalf("pred %v: not ok", c.p)
+		}
+		if e < s {
+			s, e = 0, 0
+		}
+		if s != c.start || e != c.end {
+			t.Fatalf("pred %v %d..%d: got [%d,%d) want [%d,%d)", c.p.Op, c.p.A, c.p.B, s, e, c.start, c.end)
+		}
+	}
+	if _, _, ok := blk.SortedFilterRange(Pred{Op: OpNe, A: 3}); ok {
+		t.Fatal("OpNe should not be range-expressible")
+	}
+}
+
+func TestRLERunAccounting(t *testing.T) {
+	vals := []int32{7, 7, 7, 8, 8, 9}
+	blk := NewRLEBlock(vals)
+	if blk.NumRuns() != 3 {
+		t.Fatalf("NumRuns=%d want 3", blk.NumRuns())
+	}
+	if CountRuns(vals) != 3 {
+		t.Fatalf("CountRuns=%d want 3", CountRuns(vals))
+	}
+	if CountRuns(nil) != 0 {
+		t.Fatal("CountRuns(nil) should be 0")
+	}
+	runs := blk.Runs()
+	total := int32(0)
+	for _, r := range runs {
+		total += r.Len
+	}
+	if total != int32(len(vals)) {
+		t.Fatalf("run lengths sum to %d want %d", total, len(vals))
+	}
+}
+
+func TestBitPackWidth(t *testing.T) {
+	blk := NewBitPackBlock([]int32{100, 101, 102, 103})
+	if blk.Width() != 2 {
+		t.Fatalf("width=%d want 2", blk.Width())
+	}
+	// Constant column packs into 1 bit.
+	one := NewBitPackBlock([]int32{5, 5, 5})
+	if one.Width() != 1 {
+		t.Fatalf("constant width=%d want 1", one.Width())
+	}
+	// Negative values round-trip.
+	neg := NewBitPackBlock([]int32{-10, -5, 0, 5})
+	got := neg.AppendTo(nil)
+	if got[0] != -10 || got[3] != 5 {
+		t.Fatalf("negatives: %v", got)
+	}
+}
+
+func TestChoosePicksSensibly(t *testing.T) {
+	// Long runs -> RLE.
+	runsVals := make([]int32, 10000)
+	for i := range runsVals {
+		runsVals[i] = int32(i / 1000)
+	}
+	if enc := Choose(runsVals).Encoding(); enc != RLE {
+		t.Fatalf("long runs chose %v, want rle", enc)
+	}
+	// Low-cardinality random -> BitPack (runs too short for RLE).
+	rng := rand.New(rand.NewSource(3))
+	lc := make([]int32, 10000)
+	for i := range lc {
+		lc[i] = rng.Int31n(11)
+	}
+	if enc := Choose(lc).Encoding(); enc != BitPack {
+		t.Fatalf("low cardinality chose %v, want bitpack", enc)
+	}
+	// Wide random -> Plain or BitPack(delta), but must round-trip; the
+	// size must not exceed plain.
+	wide := make([]int32, 4096)
+	for i := range wide {
+		wide[i] = rng.Int31()
+	}
+	blk := Choose(wide)
+	if blk.CompressedBytes() > int64(len(wide))*4+64 {
+		t.Fatalf("chosen encoding (%v) larger than plain: %d", blk.Encoding(), blk.CompressedBytes())
+	}
+}
+
+func TestCompressedSizesOrdered(t *testing.T) {
+	// A sorted column must compress far better with RLE than plain.
+	vals := make([]int32, 60000)
+	for i := range vals {
+		vals[i] = int32(i / 5000) // 12 runs
+	}
+	rle := NewRLEBlock(vals)
+	plain := NewPlainBlock(vals)
+	if rle.CompressedBytes() >= plain.CompressedBytes()/100 {
+		t.Fatalf("rle %dB vs plain %dB: expected >100x", rle.CompressedBytes(), plain.CompressedBytes())
+	}
+}
+
+func TestPredBounds(t *testing.T) {
+	cases := []struct {
+		p      Pred
+		lo, hi int32
+		ok     bool
+	}{
+		{Eq(5), 5, 5, true},
+		{Between(2, 9), 2, 9, true},
+		{Lt(5), -1 << 31, 4, true},
+		{Le(5), -1 << 31, 5, true},
+		{Gt(5), 6, 1<<31 - 1, true},
+		{Ge(5), 5, 1<<31 - 1, true},
+		{In(3, 4, 5), 3, 5, true}, // contiguous set -> interval
+		{In(3, 7), 3, 7, false},   // gap -> not an interval
+		{Pred{Op: OpNe, A: 1}, 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, ok := c.p.Bounds()
+		if ok != c.ok {
+			t.Fatalf("pred %v: ok=%v want %v", c.p, ok, c.ok)
+		}
+		if ok && (lo != c.lo || hi != c.hi) {
+			t.Fatalf("pred %v: bounds (%d,%d) want (%d,%d)", c.p, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestPredMayMatch(t *testing.T) {
+	if !Eq(5).MayMatch(0, 10) || Eq(11).MayMatch(0, 10) {
+		t.Fatal("Eq MayMatch wrong")
+	}
+	if !In(3, 7).MayMatch(6, 8) || In(3, 7).MayMatch(4, 6) {
+		t.Fatal("In MayMatch wrong")
+	}
+	ne := Pred{Op: OpNe, A: 5}
+	if ne.MayMatch(5, 5) || !ne.MayMatch(5, 6) {
+		t.Fatal("Ne MayMatch wrong")
+	}
+}
+
+func TestDictOrderPreserving(t *testing.T) {
+	d := BuildDict([]string{"EUROPE", "ASIA", "AMERICA", "ASIA", "AFRICA", "MIDDLE EAST"})
+	if d.Size() != 5 {
+		t.Fatalf("size=%d want 5", d.Size())
+	}
+	// Codes must be in lexicographic order.
+	prev := ""
+	for c := int32(0); c < int32(d.Size()); c++ {
+		if d.Value(c) < prev {
+			t.Fatalf("dictionary not order-preserving at code %d", c)
+		}
+		prev = d.Value(c)
+	}
+	code, ok := d.Code("ASIA")
+	if !ok || d.Value(code) != "ASIA" {
+		t.Fatal("Code/Value round trip failed")
+	}
+	if _, ok := d.Code("ATLANTIS"); ok {
+		t.Fatal("absent value should not have a code")
+	}
+}
+
+func TestDictEncodePred(t *testing.T) {
+	d := BuildDict([]string{"a", "c", "e", "g"})
+	vals := d.Values()
+	codeOf := func(s string) int32 {
+		c, _ := d.Code(s)
+		return c
+	}
+	// Equality on present value.
+	p := d.EncodePred(OpEq, "c", "", nil)
+	if !p.Match(codeOf("c")) || p.Match(codeOf("a")) {
+		t.Fatal("OpEq encode wrong")
+	}
+	// Equality on absent value matches nothing.
+	p = d.EncodePred(OpEq, "b", "", nil)
+	for c := range vals {
+		if p.Match(int32(c)) {
+			t.Fatal("absent OpEq matched something")
+		}
+	}
+	// Between spanning absent endpoints: "b".."f" selects c,e.
+	p = d.EncodePred(OpBetween, "b", "f", nil)
+	want := map[string]bool{"c": true, "e": true}
+	for c, s := range vals {
+		if p.Match(int32(c)) != want[s] {
+			t.Fatalf("between: value %q match=%v", s, p.Match(int32(c)))
+		}
+	}
+	// In with some absent members.
+	p = d.EncodePred(OpIn, "", "", []string{"a", "x", "g"})
+	wantIn := map[string]bool{"a": true, "g": true}
+	for c, s := range vals {
+		if p.Match(int32(c)) != wantIn[s] {
+			t.Fatalf("in: value %q match=%v", s, p.Match(int32(c)))
+		}
+	}
+	// Lt / Ge with absent pivot.
+	p = d.EncodePred(OpLt, "d", "", nil)
+	if !p.Match(codeOf("c")) || p.Match(codeOf("e")) {
+		t.Fatal("OpLt encode wrong")
+	}
+	p = d.EncodePred(OpGe, "d", "", nil)
+	if p.Match(codeOf("c")) || !p.Match(codeOf("e")) {
+		t.Fatal("OpGe encode wrong")
+	}
+}
+
+// TestQuickDictPredEquivalence: for random string universes and predicates,
+// evaluating the string predicate directly must equal evaluating the encoded
+// code predicate.
+func TestQuickDictPredEquivalence(t *testing.T) {
+	letters := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var universe []string
+		for _, l := range letters {
+			if rng.Intn(2) == 0 {
+				universe = append(universe, l)
+			}
+		}
+		if len(universe) == 0 {
+			universe = []string{"a"}
+		}
+		d := BuildDict(universe)
+		a := letters[rng.Intn(len(letters))]
+		b := letters[rng.Intn(len(letters))]
+		if a > b {
+			a, b = b, a
+		}
+		ops := []Op{OpEq, OpLt, OpLe, OpGt, OpGe, OpBetween}
+		op := ops[rng.Intn(len(ops))]
+		p := d.EncodePred(op, a, b, nil)
+		strMatch := func(s string) bool {
+			switch op {
+			case OpEq:
+				return s == a
+			case OpLt:
+				return s < a
+			case OpLe:
+				return s <= a
+			case OpGt:
+				return s > a
+			case OpGe:
+				return s >= a
+			default:
+				return s >= a && s <= b
+			}
+		}
+		for c, s := range d.Values() {
+			if p.Match(int32(c)) != strMatch(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRoundTripAll is the property-based sweep across encodings.
+func TestQuickRoundTripAll(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := genVals(rng, rng.Intn(600)+1)
+		for _, enc := range allEncoders() {
+			blk := enc(vals)
+			got := blk.AppendTo(nil)
+			if len(got) != len(vals) {
+				return false
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFilterPlainVsRLE(b *testing.B) {
+	vals := make([]int32, 1<<16)
+	for i := range vals {
+		vals[i] = int32(i / 4096) // 16 runs
+	}
+	plain := NewPlainBlock(vals)
+	rle := NewRLEBlock(vals)
+	p := Between(3, 7)
+	b.Run("plain", func(b *testing.B) {
+		bm := bitmap.New(len(vals))
+		b.SetBytes(int64(len(vals)) * 4)
+		for i := 0; i < b.N; i++ {
+			bm.Reset()
+			plain.Filter(p, 0, bm)
+		}
+	})
+	b.Run("rle", func(b *testing.B) {
+		bm := bitmap.New(len(vals))
+		b.SetBytes(int64(len(vals)) * 4)
+		for i := 0; i < b.N; i++ {
+			bm.Reset()
+			rle.Filter(p, 0, bm)
+		}
+	})
+}

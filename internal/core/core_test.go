@@ -1,0 +1,182 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/exec"
+	"repro/internal/rowexec"
+	"repro/internal/ssb"
+)
+
+var testDB = Open(0.01)
+
+// TestEverySystemEveryQuery is the top-level integration check: all systems
+// from all four figures agree with the reference on all thirteen queries.
+func TestEverySystemEveryQuery(t *testing.T) {
+	var systems []Config
+	systems = append(systems, Figure5Systems()...)
+	systems = append(systems, Figure6Systems()...)
+	systems = append(systems, Figure7Systems()...)
+	systems = append(systems, Figure8Systems()...)
+	for _, cfg := range systems {
+		for _, id := range []string{"1.1", "1.2", "1.3", "2.1", "2.2", "2.3", "3.1", "3.2", "3.3", "3.4", "4.1", "4.2", "4.3"} {
+			if err := testDB.Verify(id, cfg); err != nil {
+				t.Errorf("%v", err)
+			}
+		}
+	}
+}
+
+// TestSystemsAgreePairwise: spot-check that two independently implemented
+// engines produce byte-identical canonical results.
+func TestSystemsAgreePairwise(t *testing.T) {
+	for _, id := range []string{"2.1", "3.1", "4.3"} {
+		a, _, err := testDB.Run(id, ColumnStore(exec.FullOpt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := testDB.Run(id, RowStore(rowexec.Traditional))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Errorf("Q%s: CS vs RS diverge:\n%s", id, a.Diff(b))
+		}
+	}
+}
+
+func TestRunStatsPopulated(t *testing.T) {
+	_, stats, err := testDB.Run("1.1", ColumnStore(exec.FullOpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IO.BytesRead == 0 {
+		t.Error("no I/O recorded")
+	}
+	if stats.IOTime <= 0 || stats.Total < stats.Wall {
+		t.Errorf("stats inconsistent: %+v", stats)
+	}
+}
+
+func TestUnknownQuery(t *testing.T) {
+	if _, _, err := testDB.Run("9.9", ColumnStore(exec.FullOpt)); err == nil {
+		t.Fatal("unknown query should error")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cases := map[string]Config{
+		"CS:tICL":      ColumnStore(exec.FullOpt),
+		"CS(Row-MV)":   RowMV(),
+		"RS:T":         RowStore(rowexec.Traditional),
+		"RS:MV":        RowStore(rowexec.MaterializedViews),
+		"PJ, No C":     Denormalized(exec.DenormNoC),
+		"RS:T(nopart)": {Kind: KindRow, Design: rowexec.Traditional},
+	}
+	for want, cfg := range cases {
+		if got := cfg.Label(); got != want {
+			t.Errorf("Label() = %q want %q", got, want)
+		}
+	}
+}
+
+func TestFigureSystemCounts(t *testing.T) {
+	if len(Figure5Systems()) != 4 || len(Figure6Systems()) != 5 ||
+		len(Figure7Systems()) != 7 || len(Figure8Systems()) != 4 {
+		t.Fatal("figure system counts wrong")
+	}
+	// Figure 7 labels in paper order.
+	var codes []string
+	for _, c := range Figure7Systems() {
+		codes = append(codes, c.Col.Code())
+	}
+	if strings.Join(codes, " ") != "tICL TICL tiCL TiCL ticL TicL Ticl" {
+		t.Fatalf("figure 7 order: %v", codes)
+	}
+}
+
+func TestLazyBuildsShareData(t *testing.T) {
+	if testDB.ColumnDB(true) != testDB.ColumnDB(true) {
+		t.Fatal("column DB rebuilt")
+	}
+	if testDB.RowDB() != testDB.RowDB() {
+		t.Fatal("row DB rebuilt")
+	}
+	if testDB.DenormDB(exec.DenormIntC) != testDB.DenormDB(exec.DenormIntC) {
+		t.Fatal("denorm rebuilt")
+	}
+}
+
+func TestExplainAllSystems(t *testing.T) {
+	var systems []Config
+	systems = append(systems, Figure5Systems()...)
+	systems = append(systems, Figure6Systems()...)
+	systems = append(systems, Figure8Systems()...)
+	for _, cfg := range systems {
+		out, err := testDB.Explain("2.1", cfg)
+		if err != nil {
+			t.Errorf("%s: %v", cfg.Label(), err)
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: empty explain", cfg.Label())
+		}
+	}
+	if _, err := testDB.Explain("9.9", ColumnStore(exec.FullOpt)); err == nil {
+		t.Error("unknown query should error")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	// A flightless ad-hoc plan cannot run on per-flight MV designs.
+	adhoc := &ssb.Query{ID: "adhoc", Agg: ssb.AggRevenue}
+	if _, _, err := testDB.RunPlan(adhoc, RowMV()); err == nil {
+		t.Error("RowMV should reject flightless plans")
+	}
+	if _, _, err := testDB.RunPlan(adhoc, RowStore(rowexec.MaterializedViews)); err == nil {
+		t.Error("RS MV should reject flightless plans")
+	}
+	// A plan referencing attributes outside the denormalized schema.
+	odd := &ssb.Query{
+		ID: "odd", Agg: ssb.AggRevenue,
+		DimFilters: []ssb.DimFilter{{Dim: ssb.DimCustomer, Col: "mktsegment", Op: compress.OpEq, StrA: "BUILDING"}},
+	}
+	if _, _, err := testDB.RunPlan(odd, Denormalized(exec.DenormIntC)); err == nil {
+		t.Error("denorm should reject uncovered attributes")
+	}
+	// The same plan runs fine on the column store.
+	if _, _, err := testDB.RunPlan(odd, ColumnStore(exec.FullOpt)); err != nil {
+		t.Errorf("column store rejected a valid plan: %v", err)
+	}
+}
+
+func TestProjectedConfigMatchesReference(t *testing.T) {
+	for _, id := range []string{"1.1", "2.1", "2.3", "3.4", "4.2"} {
+		if err := testDB.Verify(id, ColumnStoreProjected(exec.FullOpt)); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestParallelConfigMatchesReference(t *testing.T) {
+	cfg := exec.FullOpt
+	cfg.Workers = 4
+	for _, id := range []string{"1.2", "2.2", "3.1", "4.1"} {
+		if err := testDB.Verify(id, ColumnStore(cfg)); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestSuperTupleVPMatchesReference(t *testing.T) {
+	for _, id := range []string{"1.1", "2.2", "3.3", "4.1"} {
+		if err := testDB.Verify(id, SuperTupleVP()); err != nil {
+			t.Error(err)
+		}
+	}
+	if SuperTupleVP().Label() != "RS:VP(super)" {
+		t.Error("super-tuple label wrong")
+	}
+}

@@ -1,0 +1,281 @@
+// Package datafile persists generated SSBM datasets in a compact binary
+// columnar format, so large scale factors are generated once (cmd/ssb-gen
+// -out) and loaded by the query and benchmark tools (-data) instead of
+// regenerated.
+//
+// Layout (all integers little-endian):
+//
+//	magic   8  "SSBREPR1"
+//	sf      8  float64 bits
+//	nsect   4  section count
+//	sections, each:
+//	  nameLen 2, name, kind 1 (0=int32 column, 1=string column),
+//	  rows 4, payloadLen 8, crc32(payload) 4, payload
+//
+// Int32 payloads are raw 4-byte values. String payloads are a cumulative
+// offset table (4 bytes per row, offset of the end of each string) followed
+// by the concatenated bytes. Every section carries a CRC32 so corrupt or
+// truncated files fail loudly rather than produce wrong benchmark numbers.
+package datafile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/ssb"
+)
+
+const magic = "SSBREPR1"
+
+const (
+	kindInt32 = 0
+	kindStr   = 1
+)
+
+// section order is fixed so files are deterministic.
+type section struct {
+	name string
+	ints *[]int32
+	strs *[]string
+}
+
+// sections enumerates every column of a Data in a stable order.
+func sections(d *ssb.Data) []section {
+	c, s, p, dd, lo := &d.Customer, &d.Supplier, &d.Part, &d.Date, &d.Line
+	return []section{
+		{"customer.key", &c.Key, nil}, {"customer.name", nil, &c.Name},
+		{"customer.address", nil, &c.Address}, {"customer.city", nil, &c.City},
+		{"customer.nation", nil, &c.Nation}, {"customer.region", nil, &c.Region},
+		{"customer.phone", nil, &c.Phone}, {"customer.mktsegment", nil, &c.MktSegment},
+
+		{"supplier.key", &s.Key, nil}, {"supplier.name", nil, &s.Name},
+		{"supplier.address", nil, &s.Address}, {"supplier.city", nil, &s.City},
+		{"supplier.nation", nil, &s.Nation}, {"supplier.region", nil, &s.Region},
+		{"supplier.phone", nil, &s.Phone},
+
+		{"part.key", &p.Key, nil}, {"part.name", nil, &p.Name},
+		{"part.mfgr", nil, &p.MFGR}, {"part.category", nil, &p.Category},
+		{"part.brand1", nil, &p.Brand1}, {"part.color", nil, &p.Color},
+		{"part.type", nil, &p.Type}, {"part.size", &p.Size, nil},
+		{"part.container", nil, &p.Container},
+
+		{"date.key", &dd.Key, nil}, {"date.date", nil, &dd.Date},
+		{"date.dayofweek", nil, &dd.DayOfWeek}, {"date.month", nil, &dd.Month},
+		{"date.year", &dd.Year, nil}, {"date.yearmonthnum", &dd.YearMonthNum, nil},
+		{"date.yearmonth", nil, &dd.YearMonth}, {"date.daynuminweek", &dd.DayNumInWeek, nil},
+		{"date.daynuminmonth", &dd.DayNumInMonth, nil}, {"date.daynuminyear", &dd.DayNumInYear, nil},
+		{"date.monthnuminyear", &dd.MonthNumInYr, nil}, {"date.weeknuminyear", &dd.WeekNumInYear, nil},
+		{"date.sellingseason", nil, &dd.SellingSeason},
+
+		{"lineorder.orderkey", &lo.OrderKey, nil}, {"lineorder.linenumber", &lo.LineNumber, nil},
+		{"lineorder.custkey", &lo.CustKey, nil}, {"lineorder.partkey", &lo.PartKey, nil},
+		{"lineorder.suppkey", &lo.SuppKey, nil}, {"lineorder.orderdate", &lo.OrderDate, nil},
+		{"lineorder.ordpriority", nil, &lo.OrdPriority}, {"lineorder.shippriority", &lo.ShipPriority, nil},
+		{"lineorder.quantity", &lo.Quantity, nil}, {"lineorder.extendedprice", &lo.ExtendedPrice, nil},
+		{"lineorder.ordtotalprice", &lo.OrdTotalPrice, nil}, {"lineorder.discount", &lo.Discount, nil},
+		{"lineorder.revenue", &lo.Revenue, nil}, {"lineorder.supplycost", &lo.SupplyCost, nil},
+		{"lineorder.tax", &lo.Tax, nil}, {"lineorder.commitdate", &lo.CommitDate, nil},
+		{"lineorder.shipmode", nil, &lo.ShipMode},
+	}
+}
+
+// Write serializes d to w.
+func Write(w io.Writer, d *ssb.Data) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	secs := sections(d)
+	if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(d.SF)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(secs))); err != nil {
+		return err
+	}
+	for _, sec := range secs {
+		if err := writeSection(bw, sec); err != nil {
+			return fmt.Errorf("datafile: section %s: %w", sec.name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSection(w io.Writer, sec section) error {
+	var payload []byte
+	var kind byte
+	var rows uint32
+	if sec.ints != nil {
+		kind = kindInt32
+		vals := *sec.ints
+		rows = uint32(len(vals))
+		payload = make([]byte, 4*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(payload[4*i:], uint32(v))
+		}
+	} else {
+		kind = kindStr
+		vals := *sec.strs
+		rows = uint32(len(vals))
+		total := 0
+		for _, s := range vals {
+			total += len(s)
+		}
+		payload = make([]byte, 4*len(vals)+total)
+		off := uint32(0)
+		for i, s := range vals {
+			off += uint32(len(s))
+			binary.LittleEndian.PutUint32(payload[4*i:], off)
+		}
+		pos := 4 * len(vals)
+		for _, s := range vals {
+			copy(payload[pos:], s)
+			pos += len(s)
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(sec.name))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, sec.name); err != nil {
+		return err
+	}
+	hdr := make([]byte, 1+4+8+4)
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], rows)
+	binary.LittleEndian.PutUint64(hdr[5:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[13:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Read deserializes a dataset written by Write, verifying section
+// checksums.
+func Read(r io.Reader) (*ssb.Data, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("datafile: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("datafile: bad magic %q (not an SSB data file, or wrong version)", got)
+	}
+	var sfBits uint64
+	if err := binary.Read(br, binary.LittleEndian, &sfBits); err != nil {
+		return nil, err
+	}
+	var nsect uint32
+	if err := binary.Read(br, binary.LittleEndian, &nsect); err != nil {
+		return nil, err
+	}
+	d := &ssb.Data{SF: math.Float64frombits(sfBits)}
+	secs := sections(d)
+	if int(nsect) != len(secs) {
+		return nil, fmt.Errorf("datafile: file has %d sections, expected %d (format mismatch)", nsect, len(secs))
+	}
+	for _, sec := range secs {
+		if err := readSection(br, sec); err != nil {
+			return nil, fmt.Errorf("datafile: section %s: %w", sec.name, err)
+		}
+	}
+	return d, nil
+}
+
+func readSection(r io.Reader, sec section) error {
+	var nameLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return err
+	}
+	if string(name) != sec.name {
+		return fmt.Errorf("found section %q, expected %q", name, sec.name)
+	}
+	hdr := make([]byte, 1+4+8+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return err
+	}
+	kind := hdr[0]
+	rows := binary.LittleEndian.Uint32(hdr[1:])
+	payloadLen := binary.LittleEndian.Uint64(hdr[5:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[13:])
+	if payloadLen > 1<<36 {
+		return fmt.Errorf("implausible payload size %d", payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("truncated payload: %w", err)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != wantCRC {
+		return fmt.Errorf("checksum mismatch (file corrupt): got %08x want %08x", crc, wantCRC)
+	}
+	switch {
+	case kind == kindInt32 && sec.ints != nil:
+		if uint64(rows)*4 != payloadLen {
+			return fmt.Errorf("int32 payload size %d does not match %d rows", payloadLen, rows)
+		}
+		vals := make([]int32, rows)
+		for i := range vals {
+			vals[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+		}
+		*sec.ints = vals
+	case kind == kindStr && sec.strs != nil:
+		if uint64(rows)*4 > payloadLen {
+			return fmt.Errorf("string offset table larger than payload")
+		}
+		vals := make([]string, rows)
+		base := uint64(rows) * 4
+		// One string backing the whole section keeps allocations flat.
+		blob := string(payload[base:])
+		prev := uint32(0)
+		for i := range vals {
+			end := binary.LittleEndian.Uint32(payload[4*i:])
+			if end < prev || uint64(end) > uint64(len(blob)) {
+				return fmt.Errorf("string offsets out of order or out of range")
+			}
+			vals[i] = blob[prev:end]
+			prev = end
+		}
+		*sec.strs = vals
+	default:
+		return fmt.Errorf("section kind %d does not match expected column type", kind)
+	}
+	return nil
+}
+
+// Save writes the dataset to path atomically (temp file + rename).
+func Save(path string, d *ssb.Data) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, d); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a dataset from path.
+func Load(path string) (*ssb.Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

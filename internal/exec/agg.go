@@ -1,0 +1,283 @@
+package exec
+
+import (
+	"strconv"
+
+	"repro/internal/colstore"
+	"repro/internal/compress"
+	"repro/internal/iosim"
+	"repro/internal/ssb"
+	"repro/internal/vector"
+)
+
+// groupExtractor turns fact foreign-key values into group-by attribute
+// codes for one GROUP BY column (join phase 3 from Section 5.4.1).
+type groupExtractor struct {
+	g     ssb.GroupCol
+	fkCol *colstore.Column
+
+	// attr maps dimension position -> attribute code (the paper's
+	// "direct array look-up": dimension keys are positions after key
+	// reassignment, so extraction indexes straight into the decoded
+	// attribute column).
+	attr []int32
+	// viaHash replaces attr when the invisible join is disabled: the
+	// late-materialized hash join extracts group values through a hash
+	// table keyed by the FK value.
+	viaHash map[int32]int32
+	// isDate marks the date dimension, whose key is not a position and
+	// therefore always needs a real lookup ("a full join must be
+	// performed").
+	isDate bool
+
+	dict    *compress.Dict
+	isInt   bool
+	minCode int32
+	card    int32
+}
+
+// newGroupExtractor prepares extraction state for one group column,
+// charging the I/O needed to read the dimension attribute column.
+func (db *DB) newGroupExtractor(g ssb.GroupCol, cfg Config, st *iosim.Stats) *groupExtractor {
+	dimTab := db.Dims[g.Dim]
+	attrCol := dimTab.MustColumn(g.Col)
+	ex := &groupExtractor{
+		g:      g,
+		fkCol:  db.Fact.MustColumn(g.Dim.FactFK()),
+		isDate: g.Dim == ssb.DimDate,
+		dict:   attrCol.Dict,
+	}
+	attr := attrCol.DecodeAll(nil, st)
+	if ex.dict != nil {
+		ex.card = int32(ex.dict.Size())
+	} else {
+		ex.isInt = true
+		mn, mx := attr[0], attr[0]
+		for _, v := range attr {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		ex.minCode = mn
+		ex.card = mx - mn + 1
+		for i, v := range attr {
+			attr[i] = v - mn
+		}
+	}
+	if cfg.InvisibleJoin {
+		// Direct array extraction (dates still resolve key->position
+		// through the date hash, see extract).
+		ex.attr = attr
+		return ex
+	}
+	// Hash-join extraction: FK value -> attribute code.
+	ex.viaHash = make(map[int32]int32, len(attr))
+	if ex.isDate {
+		keyCol := dimTab.MustColumn("datekey")
+		keys := keyCol.DecodeAll(nil, st)
+		for i, k := range keys {
+			ex.viaHash[k] = attr[i]
+		}
+	} else {
+		for i, c := range attr {
+			ex.viaHash[int32(i)] = c
+		}
+	}
+	return ex
+}
+
+// extract maps gathered FK values to attribute codes, appending to dst.
+func (ex *groupExtractor) extract(db *DB, fkVals []int32, cfg Config, dst []int32) []int32 {
+	switch {
+	case ex.viaHash != nil:
+		for _, v := range fkVals {
+			dst = append(dst, ex.viaHash[v])
+		}
+	case ex.isDate:
+		for _, v := range fkVals {
+			dst = append(dst, ex.attr[db.dateByKey[v]])
+		}
+	case cfg.BlockIter:
+		for _, v := range fkVals {
+			dst = append(dst, ex.attr[v])
+		}
+	default:
+		it := vector.NewSliceIter(fkVals)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			dst = append(dst, ex.attr[v])
+		}
+	}
+	return dst
+}
+
+// render converts an attribute code back to its display value.
+func (ex *groupExtractor) render(code int32) string {
+	if ex.dict != nil {
+		return ex.dict.Value(code)
+	}
+	return strconv.Itoa(int(code + ex.minCode))
+}
+
+// aggregate runs join phase 3 plus aggregation over the final position
+// list.
+func (db *DB) aggregate(q *ssb.Query, cfg Config, pos *vector.Positions, st *iosim.Stats) *ssb.Result {
+	// Gather aggregate input measures at qualifying positions only.
+	aggCols := q.Agg.Columns()
+	measures := make([][]int32, len(aggCols))
+	for i, name := range aggCols {
+		measures[i] = db.Fact.MustColumn(name).Gather(pos, nil, st)
+	}
+	n := len(measures[0])
+	values := make([]int64, n)
+	switch q.Agg {
+	case ssb.AggDiscountRevenue:
+		computeProduct(values, measures[0], measures[1], cfg.BlockIter)
+	case ssb.AggRevenue:
+		computeCopy(values, measures[0], cfg.BlockIter)
+	default:
+		computeDiff(values, measures[0], measures[1], cfg.BlockIter)
+	}
+
+	if len(q.GroupBy) == 0 {
+		var total int64
+		for _, v := range values {
+			total += v
+		}
+		return ssb.NewResult(q.ID, []ssb.ResultRow{{Keys: nil, Agg: total}})
+	}
+
+	// Group extraction.
+	exs := make([]*groupExtractor, len(q.GroupBy))
+	codes := make([][]int32, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		exs[i] = db.newGroupExtractor(g, cfg, st)
+		fkVals := exs[i].fkCol.Gather(pos, nil, st)
+		codes[i] = exs[i].extract(db, fkVals, cfg, nil)
+	}
+
+	// Composite dense aggregation: group codes are small, so the
+	// composite key space is a flat array.
+	strides := make([]int64, len(exs))
+	total := int64(1)
+	for i := len(exs) - 1; i >= 0; i-- {
+		strides[i] = total
+		total *= int64(exs[i].card)
+	}
+	const denseLimit = 1 << 22
+	if total <= denseLimit {
+		sums := make([]int64, total)
+		seen := make([]bool, total)
+		for r := 0; r < n; r++ {
+			idx := int64(0)
+			for i := range exs {
+				idx += int64(codes[i][r]) * strides[i]
+			}
+			sums[idx] += values[r]
+			seen[idx] = true
+		}
+		var rows []ssb.ResultRow
+		for idx := int64(0); idx < total; idx++ {
+			if !seen[idx] {
+				continue
+			}
+			keys := make([]string, len(exs))
+			rem := idx
+			for i := range exs {
+				keys[i] = exs[i].render(int32(rem / strides[i]))
+				rem %= strides[i]
+			}
+			rows = append(rows, ssb.ResultRow{Keys: keys, Agg: sums[idx]})
+		}
+		return ssb.NewResult(q.ID, rows)
+	}
+
+	// Fallback for huge group spaces: hash aggregation.
+	type cell struct{ sum int64 }
+	m := map[int64]*cell{}
+	for r := 0; r < n; r++ {
+		idx := int64(0)
+		for i := range exs {
+			idx += int64(codes[i][r]) * strides[i]
+		}
+		c, ok := m[idx]
+		if !ok {
+			c = &cell{}
+			m[idx] = c
+		}
+		c.sum += values[r]
+	}
+	var rows []ssb.ResultRow
+	for idx, c := range m {
+		keys := make([]string, len(exs))
+		rem := idx
+		for i := range exs {
+			keys[i] = exs[i].render(int32(rem / strides[i]))
+			rem %= strides[i]
+		}
+		rows = append(rows, ssb.ResultRow{Keys: keys, Agg: c.sum})
+	}
+	return ssb.NewResult(q.ID, rows)
+}
+
+// computeProduct fills dst[i] = int64(a[i]) * int64(b[i]).
+func computeProduct(dst []int64, a, b []int32, block bool) {
+	if block {
+		for i := range dst {
+			dst[i] = int64(a[i]) * int64(b[i])
+		}
+		return
+	}
+	ia, ib := vector.NewSliceIter(a), vector.NewSliceIter(b)
+	for i := range dst {
+		va, _ := ia.Next()
+		vb, _ := ib.Next()
+		dst[i] = int64(va) * int64(vb)
+	}
+}
+
+// computeCopy fills dst[i] = int64(a[i]).
+func computeCopy(dst []int64, a []int32, block bool) {
+	if block {
+		for i := range dst {
+			dst[i] = int64(a[i])
+		}
+		return
+	}
+	ia := vector.NewSliceIter(a)
+	for i := range dst {
+		v, _ := ia.Next()
+		dst[i] = int64(v)
+	}
+}
+
+// computeDiff fills dst[i] = int64(a[i]) - int64(b[i]).
+func computeDiff(dst []int64, a, b []int32, block bool) {
+	if block {
+		for i := range dst {
+			dst[i] = int64(a[i]) - int64(b[i])
+		}
+		return
+	}
+	ia, ib := vector.NewSliceIter(a), vector.NewSliceIter(b)
+	for i := range dst {
+		va, _ := ia.Next()
+		vb, _ := ib.Next()
+		dst[i] = int64(va) - int64(vb)
+	}
+}
+
+// emptyResult matches the reference semantics: SUM over an empty input is a
+// single zero row for ungrouped queries and no rows for grouped ones.
+func emptyResult(q *ssb.Query) *ssb.Result {
+	if len(q.GroupBy) == 0 {
+		return ssb.NewResult(q.ID, []ssb.ResultRow{{Keys: nil, Agg: 0}})
+	}
+	return ssb.NewResult(q.ID, nil)
+}

@@ -1,0 +1,76 @@
+// Package exec implements the column-oriented query executor modeled on
+// C-Store (paper Section 5): late materialization with position lists,
+// block iteration, direct operation on compressed data, and the invisible
+// join with between-predicate rewriting.
+//
+// Every optimization is a runtime flag (Config) so the Figure 7 ablation —
+// removing column-oriented optimizations until the executor behaves like a
+// row store — is a configuration sweep over the same storage.
+package exec
+
+// Config selects which column-oriented optimizations are active. The zero
+// value is the most row-store-like configuration ("Ticl" in Figure 7).
+type Config struct {
+	// BlockIter enables block iteration ("t" in the paper's code):
+	// operators process column values as arrays. When false, values are
+	// pulled one at a time through an iterator interface ("getNext"),
+	// paying a function call per value ("T").
+	BlockIter bool
+	// InvisibleJoin enables the invisible join with between-predicate
+	// rewriting ("I"). When false, joins fall back to late-materialized
+	// hash joins: dimension keys go into a hash table, every fact
+	// foreign key is probed, and group-by attributes are fetched through
+	// the hash table rather than by direct array extraction ("i").
+	InvisibleJoin bool
+	// Compression enables compressed column storage and direct operation
+	// on compressed data ("C"). When false the executor must run against
+	// a DB built with BuildDB(..., compressed=false) ("c").
+	Compression bool
+	// LateMat enables late materialization ("L"): predicates produce
+	// position lists and values are fetched only at qualifying
+	// positions. When false, tuples are constructed at the start of the
+	// plan and processing is row-oriented ("l"), which also precludes
+	// the invisible join (paper Section 6.3.2).
+	LateMat bool
+	// Workers enables intra-query parallel full-column scans when > 1.
+	// The paper's engines are single-threaded, so Figure 7 parity
+	// requires 0 or 1; see parallel.go for the extension experiment.
+	Workers int
+}
+
+// FullOpt is the baseline C-Store configuration "tICL".
+var FullOpt = Config{BlockIter: true, InvisibleJoin: true, Compression: true, LateMat: true}
+
+// Figure7Configs returns the seven configurations of Figure 7 in the
+// paper's order: tICL, TICL, tiCL, TiCL, ticL, TicL, Ticl.
+func Figure7Configs() []Config {
+	return []Config{
+		{BlockIter: true, InvisibleJoin: true, Compression: true, LateMat: true},     // tICL
+		{BlockIter: false, InvisibleJoin: true, Compression: true, LateMat: true},    // TICL
+		{BlockIter: true, InvisibleJoin: false, Compression: true, LateMat: true},    // tiCL
+		{BlockIter: false, InvisibleJoin: false, Compression: true, LateMat: true},   // TiCL
+		{BlockIter: true, InvisibleJoin: false, Compression: false, LateMat: true},   // ticL
+		{BlockIter: false, InvisibleJoin: false, Compression: false, LateMat: true},  // TicL
+		{BlockIter: false, InvisibleJoin: false, Compression: false, LateMat: false}, // Ticl
+	}
+}
+
+// Code renders the configuration in the paper's four-letter notation:
+// t/T block vs tuple iteration, I/i invisible join, C/c compression,
+// L/l late materialization.
+func (c Config) Code() string {
+	b := []byte{'T', 'i', 'c', 'l'}
+	if c.BlockIter {
+		b[0] = 't'
+	}
+	if c.InvisibleJoin {
+		b[1] = 'I'
+	}
+	if c.Compression {
+		b[2] = 'C'
+	}
+	if c.LateMat {
+		b[3] = 'L'
+	}
+	return string(b)
+}

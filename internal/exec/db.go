@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/colstore"
+	"repro/internal/compress"
+	"repro/internal/ssb"
+)
+
+// DB is a column-store SSBM database: the LINEORDER fact table and the four
+// dimension tables, all stored column-wise.
+//
+// Physical design decisions match Section 5.4.2 of the paper:
+//   - Dimension tables are sorted by their attribute hierarchy (customer
+//     and supplier by region > nation > city; part by mfgr > category >
+//     brand1; date chronologically), so predicates on hierarchy attributes
+//     select contiguous position ranges.
+//   - Customer, supplier and part keys are reassigned to be the row's
+//     position ("dictionary encoding for the purpose of key reassignment"),
+//     and fact foreign keys are rewritten accordingly. Date keeps its
+//     yyyymmdd key, so date joins need a real lookup (the paper's "a full
+//     join must be performed" case) — but chronological sorting still makes
+//     year/yearmonth predicates contiguous in key space.
+//   - The fact table is sorted by orderdate, secondarily by quantity and
+//     discount.
+type DB struct {
+	Compressed bool
+	Fact       *colstore.Table
+	Dims       map[ssb.Dim]*colstore.Table
+
+	// dateByKey maps yyyymmdd datekey -> position in the date dimension.
+	dateByKey map[int32]int32
+	numRows   int
+
+	// projections are optional redundant sort orders of the fact table
+	// (see projection.go).
+	projections []*Projection
+}
+
+// NumRows returns the fact cardinality.
+func (db *DB) NumRows() int { return db.numRows }
+
+// DatePos returns the date-dimension position for a datekey.
+func (db *DB) DatePos(key int32) int32 { return db.dateByKey[key] }
+
+// BuildDB loads generated SSBM data into column tables. compressed selects
+// between per-block adaptive encodings and all-plain storage (the C / c
+// halves of the Figure 7 sweep).
+func BuildDB(d *ssb.Data, compressed bool) *DB {
+	db := &DB{
+		Compressed: compressed,
+		Dims:       map[ssb.Dim]*colstore.Table{},
+		numRows:    d.NumLineorders(),
+	}
+
+	custPerm := hierarchyPerm(len(d.Customer.Key), d.Customer.Region, d.Customer.Nation, d.Customer.City)
+	suppPerm := hierarchyPerm(len(d.Supplier.Key), d.Supplier.Region, d.Supplier.Nation, d.Supplier.City)
+	partPerm := hierarchyPerm(len(d.Part.Key), d.Part.MFGR, d.Part.Category, d.Part.Brand1)
+
+	db.Dims[ssb.DimCustomer] = buildDimTable("customer", compressed, custPerm, map[string][]string{
+		"name": d.Customer.Name, "address": d.Customer.Address,
+		"city": d.Customer.City, "nation": d.Customer.Nation,
+		"region": d.Customer.Region, "phone": d.Customer.Phone,
+		"mktsegment": d.Customer.MktSegment,
+	}, nil, []string{"region", "nation", "city", "name", "address", "phone", "mktsegment"})
+
+	db.Dims[ssb.DimSupplier] = buildDimTable("supplier", compressed, suppPerm, map[string][]string{
+		"name": d.Supplier.Name, "address": d.Supplier.Address,
+		"city": d.Supplier.City, "nation": d.Supplier.Nation,
+		"region": d.Supplier.Region, "phone": d.Supplier.Phone,
+	}, nil, []string{"region", "nation", "city", "name", "address", "phone"})
+
+	db.Dims[ssb.DimPart] = buildDimTable("part", compressed, partPerm, map[string][]string{
+		"name": d.Part.Name, "mfgr": d.Part.MFGR, "category": d.Part.Category,
+		"brand1": d.Part.Brand1, "color": d.Part.Color, "type": d.Part.Type,
+		"container": d.Part.Container,
+	}, map[string][]int32{"size": d.Part.Size},
+		[]string{"mfgr", "category", "brand1", "name", "color", "type", "container", "size"})
+
+	// Date keeps generation (chronological) order; its key is yyyymmdd.
+	datePerm := make([]int32, len(d.Date.Key))
+	for i := range datePerm {
+		datePerm[i] = int32(i)
+	}
+	db.Dims[ssb.DimDate] = buildDimTable("dwdate", compressed, datePerm, map[string][]string{
+		"date": d.Date.Date, "dayofweek": d.Date.DayOfWeek, "month": d.Date.Month,
+		"yearmonth": d.Date.YearMonth, "sellingseason": d.Date.SellingSeason,
+	}, map[string][]int32{
+		"datekey": d.Date.Key, "year": d.Date.Year,
+		"yearmonthnum": d.Date.YearMonthNum, "daynuminweek": d.Date.DayNumInWeek,
+		"daynuminmonth": d.Date.DayNumInMonth, "daynuminyear": d.Date.DayNumInYear,
+		"monthnuminyear": d.Date.MonthNumInYr, "weeknuminyear": d.Date.WeekNumInYear,
+	}, []string{"datekey", "year", "yearmonthnum", "yearmonth", "month",
+		"monthnuminyear", "weeknuminyear", "daynuminweek", "daynuminmonth",
+		"daynuminyear", "dayofweek", "date", "sellingseason"})
+
+	db.dateByKey = make(map[int32]int32, len(d.Date.Key))
+	for i, k := range d.Date.Key {
+		db.dateByKey[k] = int32(i)
+	}
+
+	// Fact table: remap customer/supplier/part FKs to dimension
+	// positions.
+	custPos := invertKeyPerm(custPerm)
+	suppPos := invertKeyPerm(suppPerm)
+	partPos := invertKeyPerm(partPerm)
+	n := d.NumLineorders()
+	ck := make([]int32, n)
+	sk := make([]int32, n)
+	pk := make([]int32, n)
+	for i := 0; i < n; i++ {
+		ck[i] = custPos[d.Line.CustKey[i]-1]
+		sk[i] = suppPos[d.Line.SuppKey[i]-1]
+		pk[i] = partPos[d.Line.PartKey[i]-1]
+	}
+
+	fact := colstore.NewTable("lineorder")
+	addInt := func(name string, vals []int32, sorted colstore.SortKind) {
+		fact.AddColumn(colstore.NewColumn(name, vals, nil, sorted, compressed))
+	}
+	addStr := func(name string, vals []string) {
+		dict := compress.BuildDict(vals)
+		fact.AddColumn(colstore.NewColumn(name, dict.Encode(vals, nil), dict, colstore.Unsorted, compressed))
+	}
+	addInt("orderkey", d.Line.OrderKey, colstore.Unsorted)
+	addInt("linenumber", d.Line.LineNumber, colstore.Unsorted)
+	addInt("custkey", ck, colstore.Unsorted)
+	addInt("partkey", pk, colstore.Unsorted)
+	addInt("suppkey", sk, colstore.Unsorted)
+	addInt("orderdate", d.Line.OrderDate, colstore.PrimarySort)
+	addStr("ordpriority", d.Line.OrdPriority)
+	addInt("shippriority", d.Line.ShipPriority, colstore.Unsorted)
+	addInt("quantity", d.Line.Quantity, colstore.SecondarySort)
+	addInt("extendedprice", d.Line.ExtendedPrice, colstore.Unsorted)
+	addInt("ordtotalprice", d.Line.OrdTotalPrice, colstore.Unsorted)
+	addInt("discount", d.Line.Discount, colstore.SecondarySort)
+	addInt("revenue", d.Line.Revenue, colstore.Unsorted)
+	addInt("supplycost", d.Line.SupplyCost, colstore.Unsorted)
+	addInt("tax", d.Line.Tax, colstore.Unsorted)
+	addInt("commitdate", d.Line.CommitDate, colstore.Unsorted)
+	addStr("shipmode", d.Line.ShipMode)
+	db.Fact = fact
+	return db
+}
+
+// hierarchyPerm returns the permutation (new position -> original row) that
+// sorts dimension rows lexicographically by the given attribute hierarchy.
+func hierarchyPerm(n int, levels ...[]string) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ia, ib := perm[a], perm[b]
+		for _, lvl := range levels {
+			if lvl[ia] != lvl[ib] {
+				return lvl[ia] < lvl[ib]
+			}
+		}
+		return ia < ib
+	})
+	return perm
+}
+
+// invertKeyPerm converts a permutation (new position -> original row) into
+// a lookup from original row to new position.
+func invertKeyPerm(perm []int32) []int32 {
+	inv := make([]int32, len(perm))
+	for newPos, orig := range perm {
+		inv[orig] = int32(newPos)
+	}
+	return inv
+}
+
+// buildDimTable materializes a dimension table in perm order. strCols are
+// dictionary encoded; intCols stored as-is. order fixes column ordering for
+// reproducible stats output; the first column is the hierarchy root and is
+// marked as the table's primary sort.
+func buildDimTable(name string, compressed bool, perm []int32, strCols map[string][]string, intCols map[string][]int32, order []string) *colstore.Table {
+	t := colstore.NewTable(name)
+	for i, colName := range order {
+		sorted := colstore.Unsorted
+		if i == 0 {
+			sorted = colstore.PrimarySort
+		}
+		if vals, ok := strCols[colName]; ok {
+			re := make([]string, len(perm))
+			for p, orig := range perm {
+				re[p] = vals[orig]
+			}
+			dict := compress.BuildDict(re)
+			t.AddColumn(colstore.NewColumn(colName, dict.Encode(re, nil), dict, sorted, compressed))
+			continue
+		}
+		vals := intCols[colName]
+		re := make([]int32, len(perm))
+		for p, orig := range perm {
+			re[p] = vals[orig]
+		}
+		t.AddColumn(colstore.NewColumn(colName, re, nil, sorted, compressed))
+	}
+	return t
+}

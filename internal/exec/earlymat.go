@@ -1,0 +1,182 @@
+package exec
+
+import (
+	"repro/internal/iosim"
+	"repro/internal/ssb"
+)
+
+// runEarlyMat is the early-materialization path ("l" in Figure 7): every
+// needed fact column is read in full and stitched into tuples at the very
+// start of the plan; all predicates, joins and aggregation then run
+// row-at-a-time over constructed tuples, exactly like a row store executing
+// over a column-sourced materialized view. The paper removes late
+// materialization last because early materialization forces decompression
+// during tuple construction and precludes the invisible join.
+func (db *DB) runEarlyMat(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
+	needed := q.NeededFactColumns()
+	colIdx := make(map[string]int, len(needed))
+	cols := make([][]int32, len(needed))
+	for i, name := range needed {
+		colIdx[name] = i
+		cols[i] = db.Fact.MustColumn(name).DecodeAll(nil, st)
+	}
+	n := db.numRows
+
+	// Tuple construction: one allocation per row, before any predicate
+	// runs. This is deliberately the expensive step ("the more selective
+	// the predicate, the more wasteful it is to construct tuples at the
+	// start of a query plan").
+	rows := make([][]int32, n)
+	for r := 0; r < n; r++ {
+		tup := make([]int32, len(cols))
+		for c := range cols {
+			tup[c] = cols[c][r]
+		}
+		rows[r] = tup
+	}
+
+	// Row-store-style join structures: per-dimension pass sets and
+	// group-attribute maps keyed by FK value.
+	passSets := make([]map[int32]struct{}, 0, 4)
+	passCols := make([]int, 0, 4)
+	byDim := map[ssb.Dim][]ssb.DimFilter{}
+	var dimOrder []ssb.Dim
+	for _, f := range q.DimFilters {
+		if _, ok := byDim[f.Dim]; !ok {
+			dimOrder = append(dimOrder, f.Dim)
+		}
+		byDim[f.Dim] = append(byDim[f.Dim], f)
+	}
+	for _, dim := range dimOrder {
+		dimTab := db.Dims[dim]
+		pos := map[int32]struct{}{}
+		for fi, f := range byDim[dim] {
+			col := dimTab.MustColumn(f.Col)
+			pred := dimFilterPred(col, f)
+			vals := col.DecodeAll(nil, st)
+			if fi == 0 {
+				for i, v := range vals {
+					if pred.Match(v) {
+						pos[int32(i)] = struct{}{}
+					}
+				}
+				continue
+			}
+			for p := range pos {
+				if !pred.Match(vals[p]) {
+					delete(pos, p)
+				}
+			}
+		}
+		// Key the pass set by FK value: positions for customer /
+		// supplier / part, datekeys for date.
+		set := make(map[int32]struct{}, len(pos))
+		if dim == ssb.DimDate {
+			keys := dimTab.MustColumn("datekey").DecodeAll(nil, st)
+			for p := range pos {
+				set[keys[p]] = struct{}{}
+			}
+		} else {
+			for p := range pos {
+				set[p] = struct{}{}
+			}
+		}
+		passSets = append(passSets, set)
+		passCols = append(passCols, colIdx[dim.FactFK()])
+	}
+
+	// Fact measure filters.
+	type factPred struct {
+		col  int
+		pred func(int32) bool
+	}
+	var factPreds []factPred
+	for _, f := range q.FactFilters {
+		pred := f.Pred
+		factPreds = append(factPreds, factPred{col: colIdx[f.Col], pred: pred.Match})
+	}
+
+	// Group extraction maps (always hash-based here: early
+	// materialization precludes the invisible join's direct extraction).
+	hashCfg := cfg
+	hashCfg.InvisibleJoin = false
+	exs := make([]*groupExtractor, len(q.GroupBy))
+	exCols := make([]int, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		exs[i] = db.newGroupExtractor(g, hashCfg, st)
+		exCols[i] = colIdx[g.Dim.FactFK()]
+	}
+
+	aggIdx := make([]int, len(q.Agg.Columns()))
+	for i, c := range q.Agg.Columns() {
+		aggIdx[i] = colIdx[c]
+	}
+
+	// Dense group accumulation (same layout as the late-mat path so
+	// results are identical).
+	strides := make([]int64, len(exs))
+	totalCard := int64(1)
+	for i := len(exs) - 1; i >= 0; i-- {
+		strides[i] = totalCard
+		totalCard *= int64(exs[i].card)
+	}
+	var sums []int64
+	var seen []bool
+	if len(exs) > 0 {
+		sums = make([]int64, totalCard)
+		seen = make([]bool, totalCard)
+	}
+	var total int64
+
+rowLoop:
+	for r := 0; r < n; r++ {
+		tup := rows[r]
+		for _, fp := range factPreds {
+			if !fp.pred(tup[fp.col]) {
+				continue rowLoop
+			}
+		}
+		for i, set := range passSets {
+			if _, ok := set[tup[passCols[i]]]; !ok {
+				continue rowLoop
+			}
+		}
+		var v int64
+		switch q.Agg {
+		case ssb.AggDiscountRevenue:
+			v = int64(tup[aggIdx[0]]) * int64(tup[aggIdx[1]])
+		case ssb.AggRevenue:
+			v = int64(tup[aggIdx[0]])
+		default:
+			v = int64(tup[aggIdx[0]]) - int64(tup[aggIdx[1]])
+		}
+		if len(exs) == 0 {
+			total += v
+			continue
+		}
+		idx := int64(0)
+		for i := range exs {
+			idx += int64(exs[i].viaHash[tup[exCols[i]]]) * strides[i]
+		}
+		sums[idx] += v
+		seen[idx] = true
+	}
+
+	if len(exs) == 0 {
+		return ssb.NewResult(q.ID, []ssb.ResultRow{{Keys: nil, Agg: total}})
+	}
+	var out []ssb.ResultRow
+	for idx := int64(0); idx < totalCard; idx++ {
+		if !seen[idx] {
+			continue
+		}
+		keys := make([]string, len(exs))
+		rem := idx
+		for i := range exs {
+			keys[i] = exs[i].render(int32(rem / strides[i]))
+			rem %= strides[i]
+		}
+		out = append(out, ssb.ResultRow{Keys: keys, Agg: sums[idx]})
+	}
+	return ssb.NewResult(q.ID, out)
+}

@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/iosim"
+	"repro/internal/ssb"
+)
+
+// TestParallelMatchesSerial: every query returns identical results and
+// identical I/O accounting with parallel scans enabled.
+func TestParallelMatchesSerial(t *testing.T) {
+	par := FullOpt
+	par.Workers = 4
+	for _, q := range ssb.Queries() {
+		want := ssb.Reference(testData, q)
+		var stSer, stPar iosim.Stats
+		serial := testDBC.Run(q, FullOpt, &stSer)
+		parallel := testDBC.Run(q, par, &stPar)
+		if !parallel.Equal(want) || !serial.Equal(want) {
+			t.Errorf("Q%s: parallel/serial results diverge from reference", q.ID)
+		}
+		if stSer.BytesRead != stPar.BytesRead {
+			t.Errorf("Q%s: parallel I/O accounting differs: %d vs %d", q.ID, stPar.BytesRead, stSer.BytesRead)
+		}
+	}
+}
+
+// TestParallelHashFallback exercises the parallel probeSet path (city IN
+// produces a hash probe, which becomes the first full-scan probe when it is
+// the only dimension restriction).
+func TestParallelHashFallback(t *testing.T) {
+	q := &ssb.Query{
+		ID:  "par-hash",
+		Agg: ssb.AggRevenue,
+		DimFilters: []ssb.DimFilter{
+			{Dim: ssb.DimSupplier, Col: "city", Op: 7 /* OpIn */, StrSet: []string{
+				ssb.CityOf("CHINA", 1), ssb.CityOf("CHINA", 5),
+			}},
+		},
+	}
+	want := ssb.Reference(testData, q)
+	par := FullOpt
+	par.Workers = 8
+	got := testDBC.Run(q, par, nil)
+	if !got.Equal(want) {
+		t.Fatalf("parallel hash probe diverges:\n%s", want.Diff(got))
+	}
+}
+
+func TestParallelUncompressed(t *testing.T) {
+	cfg := Config{BlockIter: true, InvisibleJoin: true, LateMat: true, Workers: 3}
+	for _, id := range []string{"2.1", "3.2", "4.1"} {
+		q := ssb.QueryByID(id)
+		want := ssb.Reference(testData, q)
+		if got := testDBPlain.Run(q, cfg, nil); !got.Equal(want) {
+			t.Errorf("Q%s parallel uncompressed diverges", id)
+		}
+	}
+}
+
+// BenchmarkParallelScan quantifies the extension on the scan-bound Ticl-ish
+// workload (Q2.1 on uncompressed storage: full partkey scan dominates).
+func BenchmarkParallelScan(b *testing.B) {
+	q := ssb.QueryByID("2.1")
+	for _, workers := range []int{1, 2, 4} {
+		cfg := Config{BlockIter: true, InvisibleJoin: true, LateMat: true, Workers: workers}
+		b.Run(map[int]string{1: "serial", 2: "2workers", 4: "4workers"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				testDBPlain.Run(q, cfg, nil)
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/iosim"
+	"repro/internal/ssb"
+)
+
+func buildSuppProjection(t *testing.T) *Projection {
+	t.Helper()
+	p, err := testDBC.BuildProjection("lineorder_by_supp", []string{"suppkey", "partkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProjectionCorrectness(t *testing.T) {
+	p := buildSuppProjection(t)
+	dbp := testDBC.withFact(p.Table)
+	for _, q := range ssb.Queries() {
+		want := ssb.Reference(testData, q)
+		got := dbp.Run(q, FullOpt, nil)
+		if !got.Equal(want) {
+			t.Errorf("Q%s on projection: results differ\n%s", q.ID, want.Diff(got))
+		}
+	}
+}
+
+func TestProjectionSortInvariant(t *testing.T) {
+	p := buildSuppProjection(t)
+	sk := p.Table.MustColumn("suppkey")
+	pk := p.Table.MustColumn("partkey")
+	prevS, prevP := int32(-1), int32(-1)
+	for i := 0; i < p.Table.NumRows(); i++ {
+		s, pp := sk.Get(int32(i)), pk.Get(int32(i))
+		if s < prevS {
+			t.Fatal("projection not sorted by suppkey")
+		}
+		if s == prevS && pp < prevP {
+			t.Fatal("projection not secondarily sorted by partkey")
+		}
+		prevS, prevP = s, pp
+	}
+}
+
+func TestProjectionChosenForSupplierQueries(t *testing.T) {
+	db := BuildDB(testData, true)
+	p, err := db.BuildProjection("lineorder_by_supp", []string{"suppkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddProjection(p)
+	if len(db.Projections()) != 1 {
+		t.Fatal("projection not registered")
+	}
+
+	// Q2.3 restricts supplier.region (contiguous suppkey range) and has
+	// no date restriction: the supplier projection should win.
+	q := ssb.QueryByID("2.3")
+	var st iosim.Stats
+	res, table := db.RunBest(q, FullOpt, &st)
+	if table != "lineorder_by_supp" {
+		t.Fatalf("Q2.3 chose %q, want the supplier projection", table)
+	}
+	want := ssb.Reference(testData, q)
+	if !res.Equal(want) {
+		t.Fatalf("Q2.3 via projection diverges:\n%s", want.Diff(res))
+	}
+
+	// Q1.1 restricts the date year: the base orderdate-sorted table wins.
+	q = ssb.QueryByID("1.1")
+	res, table = db.RunBest(q, FullOpt, nil)
+	if table != "lineorder" {
+		t.Fatalf("Q1.1 chose %q, want the base table", table)
+	}
+	if !res.Equal(ssb.Reference(testData, q)) {
+		t.Fatal("Q1.1 via RunBest diverges")
+	}
+}
+
+func TestProjectionReducesIO(t *testing.T) {
+	db := BuildDB(testData, true)
+	p, err := db.BuildProjection("lineorder_by_supp", []string{"suppkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddProjection(p)
+	q := ssb.QueryByID("2.3")
+	var stBase, stProj iosim.Stats
+	db.Run(q, FullOpt, &stBase)
+	db.RunBest(q, FullOpt, &stProj)
+	if stProj.BytesRead >= stBase.BytesRead {
+		t.Fatalf("projection did not reduce I/O: %d vs %d", stProj.BytesRead, stBase.BytesRead)
+	}
+}
+
+func TestProjectionErrors(t *testing.T) {
+	if _, err := testDBC.BuildProjection("x", nil); err == nil {
+		t.Fatal("empty sort columns should error")
+	}
+	if _, err := testDBC.BuildProjection("x", []string{"nosuchcol"}); err == nil {
+		t.Fatal("unknown sort column should error")
+	}
+}
+
+func TestExplainOutputs(t *testing.T) {
+	q := ssb.QueryByID("3.1")
+	out := testDBC.Explain(q, FullOpt)
+	for _, want := range []string{"BETWEEN", "sorted column", "direct array extraction", "datekey lookup", "sum(revenue)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain(3.1, tICL) missing %q:\n%s", want, out)
+		}
+	}
+	// Hash fallback shows up for city IN queries.
+	out = testDBC.Explain(ssb.QueryByID("3.3"), FullOpt)
+	if !strings.Contains(out, "hash probe") {
+		t.Errorf("Explain(3.3) should mention hash probe:\n%s", out)
+	}
+	// i-config switches group extraction to hash tables.
+	cfg := FullOpt
+	cfg.InvisibleJoin = false
+	out = testDBC.Explain(q, cfg)
+	if !strings.Contains(out, "via hash table") {
+		t.Errorf("Explain(3.1, tiCL) should mention hash extraction:\n%s", out)
+	}
+	// Early materialization plan.
+	cfg = FullOpt
+	cfg.LateMat = false
+	out = testDBC.Explain(q, cfg)
+	if !strings.Contains(out, "EARLY MATERIALIZATION") {
+		t.Errorf("Explain(Ticl-ish) should mention early materialization:\n%s", out)
+	}
+}

@@ -1,0 +1,225 @@
+package exec
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/colstore"
+	"repro/internal/iosim"
+	"repro/internal/ssb"
+)
+
+// RowMV is a row-oriented materialized view stored inside the column store:
+// one blob "column" whose values are whole tuples rendered as strings,
+// exactly the "CS (Row-MV)" configuration from Section 6.1 ("tables that
+// have a single column of type string. The values in this column are entire
+// tuples").
+type RowMV struct {
+	Flight int
+	Cols   []string
+	colIdx map[string]int
+	Blob   *colstore.BlobTable
+}
+
+// BuildRowMV materializes the optimal per-flight view as pipe-delimited
+// string tuples.
+func (db *DB) BuildRowMV(flight int) *RowMV {
+	cols := ssb.FlightMVColumns(flight)
+	mv := &RowMV{Flight: flight, Cols: cols, colIdx: map[string]int{}}
+	for i, c := range cols {
+		mv.colIdx[c] = i
+	}
+	n := db.numRows
+	decoded := make([][]int32, len(cols))
+	var st iosim.Stats // construction is not query I/O
+	for i, c := range cols {
+		decoded[i] = db.Fact.MustColumn(c).DecodeAll(nil, &st)
+	}
+	rows := make([][]byte, n)
+	var sb strings.Builder
+	for r := 0; r < n; r++ {
+		sb.Reset()
+		for c := range cols {
+			if c > 0 {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(strconv.Itoa(int(decoded[c][r])))
+		}
+		rows[r] = []byte(sb.String())
+	}
+	mv.Blob = colstore.NewBlobTable("rowmv_flight"+strconv.Itoa(flight), rows)
+	return mv
+}
+
+// RunRowMV executes q over the row-oriented MV: scan the blob column,
+// reconstruct each tuple by parsing its string form, then process rows just
+// like a row store ("after it performs this tuple reconstruction, it
+// proceeds to execute the rest of the query plan using standard row-store
+// operators").
+func (db *DB) RunRowMV(q *ssb.Query, mv *RowMV, st *iosim.Stats) *ssb.Result {
+	if q.Flight != mv.Flight {
+		panic("exec: query flight does not match RowMV flight")
+	}
+	// Row-store-style dimension structures keyed by FK value.
+	var passSets []map[int32]struct{}
+	var passCols []int
+	byDim := map[ssb.Dim][]ssb.DimFilter{}
+	var dimOrder []ssb.Dim
+	for _, f := range q.DimFilters {
+		if _, ok := byDim[f.Dim]; !ok {
+			dimOrder = append(dimOrder, f.Dim)
+		}
+		byDim[f.Dim] = append(byDim[f.Dim], f)
+	}
+	for _, dim := range dimOrder {
+		dimTab := db.Dims[dim]
+		pos := map[int32]struct{}{}
+		for fi, f := range byDim[dim] {
+			col := dimTab.MustColumn(f.Col)
+			pred := dimFilterPred(col, f)
+			vals := col.DecodeAll(nil, st)
+			if fi == 0 {
+				for i, v := range vals {
+					if pred.Match(v) {
+						pos[int32(i)] = struct{}{}
+					}
+				}
+				continue
+			}
+			for p := range pos {
+				if !pred.Match(vals[p]) {
+					delete(pos, p)
+				}
+			}
+		}
+		set := make(map[int32]struct{}, len(pos))
+		if dim == ssb.DimDate {
+			keys := dimTab.MustColumn("datekey").DecodeAll(nil, st)
+			for p := range pos {
+				set[keys[p]] = struct{}{}
+			}
+		} else {
+			for p := range pos {
+				set[p] = struct{}{}
+			}
+		}
+		passSets = append(passSets, set)
+		passCols = append(passCols, mv.colIdx[dim.FactFK()])
+	}
+
+	type factPred struct {
+		col  int
+		pred func(int32) bool
+	}
+	var factPreds []factPred
+	for _, f := range q.FactFilters {
+		factPreds = append(factPreds, factPred{col: mv.colIdx[f.Col], pred: f.Pred.Match})
+	}
+
+	hashCfg := Config{Compression: db.Compressed}
+	exs := make([]*groupExtractor, len(q.GroupBy))
+	exCols := make([]int, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		exs[i] = db.newGroupExtractor(g, hashCfg, st)
+		exCols[i] = mv.colIdx[g.Dim.FactFK()]
+	}
+	aggIdx := make([]int, len(q.Agg.Columns()))
+	for i, c := range q.Agg.Columns() {
+		aggIdx[i] = mv.colIdx[c]
+	}
+
+	strides := make([]int64, len(exs))
+	totalCard := int64(1)
+	for i := len(exs) - 1; i >= 0; i-- {
+		strides[i] = totalCard
+		totalCard *= int64(exs[i].card)
+	}
+	var sums []int64
+	var seen []bool
+	if len(exs) > 0 {
+		sums = make([]int64, totalCard)
+		seen = make([]bool, totalCard)
+	}
+	var total int64
+
+	st.Read(mv.Blob.Bytes())
+	tup := make([]int32, len(mv.Cols))
+rowLoop:
+	for _, raw := range mv.Blob.Rows {
+		// Tuple reconstruction: parse the string form field by field.
+		parseTuple(raw, tup)
+		for _, fp := range factPreds {
+			if !fp.pred(tup[fp.col]) {
+				continue rowLoop
+			}
+		}
+		for i, set := range passSets {
+			if _, ok := set[tup[passCols[i]]]; !ok {
+				continue rowLoop
+			}
+		}
+		var v int64
+		switch q.Agg {
+		case ssb.AggDiscountRevenue:
+			v = int64(tup[aggIdx[0]]) * int64(tup[aggIdx[1]])
+		case ssb.AggRevenue:
+			v = int64(tup[aggIdx[0]])
+		default:
+			v = int64(tup[aggIdx[0]]) - int64(tup[aggIdx[1]])
+		}
+		if len(exs) == 0 {
+			total += v
+			continue
+		}
+		idx := int64(0)
+		for i := range exs {
+			idx += int64(exs[i].viaHash[tup[exCols[i]]]) * strides[i]
+		}
+		sums[idx] += v
+		seen[idx] = true
+	}
+
+	if len(exs) == 0 {
+		return ssb.NewResult(q.ID, []ssb.ResultRow{{Keys: nil, Agg: total}})
+	}
+	var out []ssb.ResultRow
+	for idx := int64(0); idx < totalCard; idx++ {
+		if !seen[idx] {
+			continue
+		}
+		keys := make([]string, len(exs))
+		rem := idx
+		for i := range exs {
+			keys[i] = exs[i].render(int32(rem / strides[i]))
+			rem %= strides[i]
+		}
+		out = append(out, ssb.ResultRow{Keys: keys, Agg: sums[idx]})
+	}
+	return ssb.NewResult(q.ID, out)
+}
+
+// parseTuple decodes a pipe-delimited tuple into dst.
+func parseTuple(raw []byte, dst []int32) {
+	field := 0
+	val := int32(0)
+	neg := false
+	for _, b := range raw {
+		switch {
+		case b == '|':
+			if neg {
+				val = -val
+			}
+			dst[field] = val
+			field++
+			val, neg = 0, false
+		case b == '-':
+			neg = true
+		default:
+			val = val*10 + int32(b-'0')
+		}
+	}
+	if neg {
+		val = -val
+	}
+	dst[field] = val
+}

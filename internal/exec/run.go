@@ -1,0 +1,339 @@
+package exec
+
+import (
+	"repro/internal/bitmap"
+	"repro/internal/colstore"
+	"repro/internal/compress"
+	"repro/internal/iosim"
+	"repro/internal/ssb"
+	"repro/internal/vector"
+)
+
+// Run executes an SSBM query under the given configuration. The DB's
+// storage must agree with cfg.Compression (BuildDB's compressed flag).
+func (db *DB) Run(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
+	if !cfg.LateMat {
+		return db.runEarlyMat(q, cfg, st)
+	}
+	return db.runLateMat(q, cfg, st)
+}
+
+// runLateMat is the late-materialized pipeline: predicates produce position
+// lists over the fact table; values are fetched only at qualifying
+// positions (paper Section 5.2), and joins are executed as predicates on
+// fact foreign-key columns (Section 5.4).
+func (db *DB) runLateMat(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
+	probes := db.planProbes(q, cfg, st)
+
+	// Phase 2: apply each fact-side predicate, pipelining candidates.
+	var pos *vector.Positions
+	for _, p := range probes {
+		pos = p.apply(db, pos, cfg, st)
+		if pos.Len() == 0 {
+			break
+		}
+	}
+	if pos == nil {
+		pos = vector.NewRangePositions(0, int32(db.numRows))
+	}
+	if pos.Len() == 0 {
+		return emptyResult(q)
+	}
+
+	// Phase 3: extract group-by attributes and aggregate inputs at the
+	// final position list only.
+	return db.aggregate(q, cfg, pos, st)
+}
+
+// factProbe is one predicate to apply against a fact column: either a
+// direct value predicate (between-rewritten joins, measure filters) or a
+// hash-set membership probe.
+type factProbe struct {
+	col    *colstore.Column
+	pred   compress.Pred
+	isPred bool
+	set    map[int32]struct{}
+	// sortedFirst marks probes that exploit the fact sort order and
+	// should run before everything else.
+	sortedFirst bool
+}
+
+// planProbes runs join phase 1 (dimension predicate evaluation) and
+// compiles the query's restrictions into an ordered probe list.
+func (db *DB) planProbes(q *ssb.Query, cfg Config, st *iosim.Stats) []*factProbe {
+	var sorted, preds, hashes []*factProbe
+
+	// Group dimension filters per dimension: all predicates on one
+	// dimension evaluate together and summarize as a single fact probe
+	// (the invisible-join advantage Figure 8 discusses for queries with
+	// two predicates on the same dimension).
+	byDim := map[ssb.Dim][]ssb.DimFilter{}
+	var dimOrder []ssb.Dim
+	for _, f := range q.DimFilters {
+		if _, ok := byDim[f.Dim]; !ok {
+			dimOrder = append(dimOrder, f.Dim)
+		}
+		byDim[f.Dim] = append(byDim[f.Dim], f)
+	}
+
+	for _, dim := range dimOrder {
+		probe := db.dimProbe(dim, byDim[dim], cfg, st)
+		switch {
+		case probe.isPred && probe.sortedFirst:
+			sorted = append(sorted, probe)
+		case probe.isPred:
+			preds = append(preds, probe)
+		default:
+			hashes = append(hashes, probe)
+		}
+	}
+
+	// Fact measure filters (flight 1).
+	var facts []*factProbe
+	for _, f := range q.FactFilters {
+		facts = append(facts, &factProbe{
+			col:    db.Fact.MustColumn(f.Col),
+			pred:   f.Pred,
+			isPred: true,
+		})
+	}
+
+	out := make([]*factProbe, 0, len(sorted)+len(facts)+len(preds)+len(hashes))
+	out = append(out, sorted...)
+	out = append(out, facts...)
+	out = append(out, preds...)
+	out = append(out, hashes...)
+	return out
+}
+
+// dimProbe runs phase 1 of the join for one dimension: evaluate its
+// predicates against the dimension table, then summarize the matching keys
+// as a fact-column probe. With the invisible join enabled and a contiguous
+// match, the probe is a between predicate (Section 5.4.2); otherwise it is
+// a hash-set membership test.
+func (db *DB) dimProbe(dim ssb.Dim, filters []ssb.DimFilter, cfg Config, st *iosim.Stats) *factProbe {
+	dimTab := db.Dims[dim]
+	var dimPos *vector.Positions
+	for _, f := range filters {
+		col := dimTab.MustColumn(f.Col)
+		pred := dimFilterPred(col, f)
+		if dimPos == nil {
+			dimPos = col.Filter(pred, st)
+		} else {
+			dimPos = col.FilterAt(pred, dimPos, st)
+		}
+	}
+	fkCol := db.Fact.MustColumn(dim.FactFK())
+
+	if cfg.InvisibleJoin {
+		if lo, hi, ok := contiguousRange(dimPos); ok {
+			if dim == ssb.DimDate {
+				// Translate contiguous date positions to a
+				// datekey value range: the date key is not a
+				// dense position, but it is chronologically
+				// sorted, so contiguous positions map to a
+				// contiguous key interval.
+				if lo >= hi {
+					return &factProbe{col: fkCol, pred: compress.Between(1, 0), isPred: true, sortedFirst: true}
+				}
+				keyCol := dimTab.MustColumn("datekey")
+				keyLo := keyCol.Get(lo)
+				keyHi := keyCol.Get(hi - 1)
+				return &factProbe{col: fkCol, pred: compress.Between(keyLo, keyHi), isPred: true, sortedFirst: true}
+			}
+			// Customer/supplier/part keys were reassigned to
+			// positions, so the between predicate is directly on
+			// fact FK values.
+			return &factProbe{col: fkCol, pred: compress.Between(lo, hi-1), isPred: true}
+		}
+	}
+
+	// Hash fallback (and the entire i-configuration): build the key set.
+	set := make(map[int32]struct{}, dimPos.Len())
+	if dim == ssb.DimDate {
+		keyCol := dimTab.MustColumn("datekey")
+		for _, k := range keyCol.Gather(dimPos, nil, st) {
+			set[k] = struct{}{}
+		}
+	} else {
+		dimPos.ForEach(func(p int32) { set[p] = struct{}{} })
+	}
+	return &factProbe{col: fkCol, set: set}
+}
+
+// dimFilterPred translates a logical dimension filter into a code-space
+// predicate for the dimension column.
+func dimFilterPred(col *colstore.Column, f ssb.DimFilter) compress.Pred {
+	if f.IsInt {
+		return f.IntPred()
+	}
+	return col.Dict.EncodePred(f.Op, f.StrA, f.StrB, f.StrSet)
+}
+
+// apply runs the probe against the fact table, restricted to candidate
+// positions when cand is non-nil.
+func (p *factProbe) apply(db *DB, cand *vector.Positions, cfg Config, st *iosim.Stats) *vector.Positions {
+	if p.isPred {
+		if cfg.BlockIter {
+			if cand == nil {
+				if cfg.Workers > 1 && !sortedFastPathApplies(p.col, p.pred) {
+					return parallelFilter(p.col, p.pred, cfg.Workers, st)
+				}
+				return p.col.Filter(p.pred, st)
+			}
+			return p.col.FilterAt(p.pred, cand, st)
+		}
+		return db.tupleFilter(p.col, p.pred, cand, st)
+	}
+	if cand == nil && cfg.Workers > 1 && cfg.BlockIter {
+		return parallelProbeSet(p.col, p.set, cfg.Workers, st)
+	}
+	return db.probeSet(p.col, p.set, cand, cfg, st)
+}
+
+// sortedFastPathApplies reports whether Column.Filter would answer pred via
+// the sorted-column range probe, which is cheaper than any parallel scan.
+func sortedFastPathApplies(col *colstore.Column, pred compress.Pred) bool {
+	if col.Sorted != colstore.PrimarySort {
+		return false
+	}
+	_, _, ok := pred.Bounds()
+	return ok
+}
+
+// tupleFilter is the "getNext" selection path used when block iteration is
+// disabled: one iterator interface call per value (paper Section 6.3.2,
+// "we wrote alternative versions that use getNext"). The sorted-column fast
+// path is retained — it is a property of the storage sort order, not of the
+// iteration interface.
+func (db *DB) tupleFilter(col *colstore.Column, pred compress.Pred, cand *vector.Positions, st *iosim.Stats) *vector.Positions {
+	if col.Sorted == colstore.PrimarySort && cand == nil {
+		if _, _, ok := pred.Bounds(); ok {
+			return col.Filter(pred, st)
+		}
+	}
+	n := col.NumRows()
+	out := bitmap.New(n)
+	if cand == nil {
+		base := 0
+		var scratch []int32
+		for bi := 0; bi < col.NumBlocks(); bi++ {
+			blk := col.Block(bi)
+			st.Read(blk.CompressedBytes())
+			scratch = blk.AppendTo(scratch[:0])
+			it := vector.NewSliceIter(scratch)
+			i := base
+			for {
+				v, ok := it.Next()
+				if !ok {
+					break
+				}
+				if pred.Match(v) {
+					out.Set(i)
+				}
+				i++
+			}
+			base += blk.Len()
+		}
+		return vector.NewBitmapPositions(out)
+	}
+	posList := cand.ToSlice(nil)
+	vals := col.Gather(cand, nil, st)
+	it := vector.NewSliceIter(vals)
+	for _, pos := range posList {
+		v, _ := it.Next()
+		if pred.Match(v) {
+			out.Set(int(pos))
+		}
+	}
+	return vector.NewBitmapPositions(out)
+}
+
+// probeSet applies a hash-membership probe on a fact FK column — the
+// simulated hash join of Section 5.4.1 phase 2.
+func (db *DB) probeSet(col *colstore.Column, set map[int32]struct{}, cand *vector.Positions, cfg Config, st *iosim.Stats) *vector.Positions {
+	n := col.NumRows()
+	out := bitmap.New(n)
+	if cand == nil {
+		base := 0
+		var scratch []int32
+		for bi := 0; bi < col.NumBlocks(); bi++ {
+			blk := col.Block(bi)
+			st.Read(blk.CompressedBytes())
+			scratch = blk.AppendTo(scratch[:0])
+			if cfg.BlockIter {
+				for i, v := range scratch {
+					if _, ok := set[v]; ok {
+						out.Set(base + i)
+					}
+				}
+			} else {
+				it := vector.NewSliceIter(scratch)
+				i := base
+				for {
+					v, ok := it.Next()
+					if !ok {
+						break
+					}
+					if _, hit := set[v]; hit {
+						out.Set(i)
+					}
+					i++
+				}
+			}
+			base += blk.Len()
+		}
+		return vector.NewBitmapPositions(out)
+	}
+	posList := cand.ToSlice(nil)
+	vals := col.Gather(cand, nil, st)
+	if cfg.BlockIter {
+		for k, v := range vals {
+			if _, ok := set[v]; ok {
+				out.Set(int(posList[k]))
+			}
+		}
+	} else {
+		it := vector.NewSliceIter(vals)
+		for _, pos := range posList {
+			v, _ := it.Next()
+			if _, ok := set[v]; ok {
+				out.Set(int(pos))
+			}
+		}
+	}
+	return vector.NewBitmapPositions(out)
+}
+
+// contiguousRange reports whether the positions form one contiguous run
+// [lo, hi).
+func contiguousRange(p *vector.Positions) (lo, hi int32, ok bool) {
+	switch p.Kind {
+	case vector.PosRange:
+		return p.Start, p.End, true
+	case vector.PosExplicit:
+		if len(p.List) == 0 {
+			return 0, 0, true
+		}
+		first, last := p.List[0], p.List[len(p.List)-1]
+		if int(last-first)+1 == len(p.List) {
+			return first, last + 1, true
+		}
+		return 0, 0, false
+	default:
+		n := p.Bits.Count()
+		if n == 0 {
+			return 0, 0, true
+		}
+		first := p.Bits.NextSet(0)
+		last := first + n - 1
+		// Contiguous iff the last bit of the presumed run is set and no
+		// bit is set after it: n set bits then occupy exactly
+		// [first, last].
+		if last < p.Bits.Len() && p.Bits.Get(last) &&
+			(last+1 >= p.Bits.Len() || p.Bits.NextSet(last+1) == -1) {
+			return int32(first), int32(last + 1), true
+		}
+		return 0, 0, false
+	}
+}

@@ -1,0 +1,52 @@
+package iosim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var s *Stats
+	s.Read(100)
+	s.AddSeeks(1)
+	s.Add(Stats{BytesRead: 5})
+	s.Reset() // must not panic
+}
+
+func TestAccumulation(t *testing.T) {
+	var s Stats
+	s.Read(1000)
+	s.Read(500)
+	s.AddSeeks(3)
+	s.Add(Stats{BytesRead: 100, Seeks: 2})
+	if s.BytesRead != 1600 || s.Seeks != 5 {
+		t.Fatalf("got %+v", s)
+	}
+	s.Reset()
+	if s.BytesRead != 0 || s.Seeks != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+func TestModelTime(t *testing.T) {
+	m := Model{SeqMBPerSec: 100, SeekMillis: 10}
+	// 100 MB at 100 MB/s = 1s; 10 seeks at 10ms = 100ms.
+	d := m.Time(Stats{BytesRead: 100e6, Seeks: 10})
+	want := 1100 * time.Millisecond
+	if d < want-time.Millisecond || d > want+time.Millisecond {
+		t.Fatalf("Time = %v, want ~%v", d, want)
+	}
+	if (Model{}).Time(Stats{BytesRead: 1 << 40}) != 0 {
+		t.Fatal("zero model should cost nothing")
+	}
+}
+
+func TestPaperDiskOrdering(t *testing.T) {
+	// Reading the whole 17-column fact table must cost ~3x more than a
+	// 6-column materialized view at the paper's bandwidth.
+	full := PaperDisk.Time(Stats{BytesRead: 6e9})
+	mv := PaperDisk.Time(Stats{BytesRead: 2e9})
+	if full <= mv || float64(full)/float64(mv) < 2.5 {
+		t.Fatalf("full=%v mv=%v: expected ~3x", full, mv)
+	}
+}

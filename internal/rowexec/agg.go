@@ -1,0 +1,59 @@
+package rowexec
+
+import "repro/internal/ssb"
+
+// aggregator accumulates grouped sums from rendered group keys. It backs
+// both the Volcano hashAgg operator and the callback-style drivers (bitmap,
+// vertical-partitioning and index-only plans).
+type aggregator struct {
+	queryID string
+	grouped bool
+	total   int64
+	groups  map[string]*aggCell
+	kb      []byte
+}
+
+type aggCell struct {
+	keys []string
+	sum  int64
+}
+
+// newAggregator returns an aggregator for a query with (grouped=true) or
+// without group-by columns.
+func newAggregator(queryID string, grouped bool) *aggregator {
+	return &aggregator{queryID: queryID, grouped: grouped, groups: map[string]*aggCell{}}
+}
+
+// add accumulates v under the given group keys (ignored when ungrouped).
+// keys is borrowed: the aggregator copies it on first sight of a group.
+func (a *aggregator) add(keys []string, v int64) {
+	if !a.grouped {
+		a.total += v
+		return
+	}
+	a.kb = a.kb[:0]
+	for i, k := range keys {
+		if i > 0 {
+			a.kb = append(a.kb, 0)
+		}
+		a.kb = append(a.kb, k...)
+	}
+	c, ok := a.groups[string(a.kb)]
+	if !ok {
+		c = &aggCell{keys: append([]string(nil), keys...)}
+		a.groups[string(a.kb)] = c
+	}
+	c.sum += v
+}
+
+// result renders the canonical query result.
+func (a *aggregator) result() *ssb.Result {
+	if !a.grouped {
+		return ssb.NewResult(a.queryID, []ssb.ResultRow{{Keys: nil, Agg: a.total}})
+	}
+	rows := make([]ssb.ResultRow, 0, len(a.groups))
+	for _, c := range a.groups {
+		rows = append(rows, ssb.ResultRow{Keys: c.keys, Agg: c.sum})
+	}
+	return ssb.NewResult(a.queryID, rows)
+}

@@ -1,0 +1,83 @@
+package rowexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ssb"
+)
+
+// Explain renders the physical plan the row engine would run for q under
+// the given design: partition pruning outcome, join order with build-side
+// cardinalities, and the design-specific access path. Dimension predicates
+// are evaluated for real (they are the planner's selectivity input); fact
+// data is not touched.
+func (sx *SystemX) Explain(q *ssb.Query, d Design) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Query %s on row store [%v]\n", q.ID, d)
+	switch d {
+	case Traditional, MaterializedViews:
+		ranges := sx.pruneYears(q, true, nil)
+		var rows int32
+		for _, r := range ranges {
+			rows += r[1] - r[0]
+		}
+		src := "lineorder heap (17 columns)"
+		if d == MaterializedViews {
+			src = fmt.Sprintf("flight-%d MV %v", q.Flight, ssb.FlightMVColumns(q.Flight))
+		}
+		fmt.Fprintf(&b, "  seq scan %s: %d partition range(s), %d of %d rows after pruning\n",
+			src, len(ranges), rows, sx.Fact.NumRows())
+		if len(q.FactFilters) > 0 {
+			var cols []string
+			for _, f := range q.FactFilters {
+				cols = append(cols, f.Col)
+			}
+			fmt.Fprintf(&b, "  filter on %s\n", strings.Join(cols, ", "))
+		}
+		builds := make([]*dimBuild, 0, 4)
+		for _, dim := range q.DimsUsed() {
+			builds = append(builds, sx.buildDimHash(q, dim, nil))
+		}
+		sort.SliceStable(builds, func(i, j int) bool { return builds[i].ratio < builds[j].ratio })
+		for _, bu := range builds {
+			fmt.Fprintf(&b, "  hash join %s on %s: build side %d keys (selectivity %.3f)\n",
+				bu.dim, bu.dim.FactFK(), len(bu.table), bu.ratio)
+		}
+		fmt.Fprintf(&b, "  hash aggregate (%d group columns)\n", len(q.GroupBy))
+	case TraditionalBitmap:
+		for _, f := range q.FactFilters {
+			fmt.Fprintf(&b, "  bitmap index lookup on %s\n", f.Col)
+		}
+		byDim := map[ssb.Dim][]ssb.DimFilter{}
+		for _, f := range q.DimFilters {
+			byDim[f.Dim] = append(byDim[f.Dim], f)
+		}
+		for dim, fs := range byDim {
+			keys := sx.dimKeySet(dim, fs, nil)
+			mode := "per-key index probes"
+			if len(keys) >= rangeScanKeyThreshold {
+				mode = "filtered index range scan"
+			}
+			fmt.Fprintf(&b, "  rid bitmap from %s index: %d keys via %s\n", dim.FactFK(), len(keys), mode)
+		}
+		fmt.Fprintf(&b, "  AND bitmaps; fetch matching heap pages; join group attributes; aggregate\n")
+	case VerticalPartitioning:
+		cols := q.NeededFactColumns()
+		fmt.Fprintf(&b, "  scan %d vertical (pos,value) tables: %s\n", len(cols), strings.Join(cols, ", "))
+		fmt.Fprintf(&b, "  hash join on position, column by column (16 bytes/value on disk)\n")
+	default:
+		cols := q.NeededFactColumns()
+		fmt.Fprintf(&b, "  full index scans of %d fact columns: %s\n", len(cols), strings.Join(cols, ", "))
+		buildBytes := int64(sx.Fact.NumRows()) * hashEntryBytes(len(cols))
+		spill := ""
+		if buildBytes > sx.WorkMemBytes {
+			spill = fmt.Sprintf(" (SPILLS: %d MB build vs %d MB work memory)",
+				buildBytes>>20, sx.WorkMemBytes>>20)
+		}
+		fmt.Fprintf(&b, "  hash join on record-id before any dimension filtering%s\n", spill)
+		fmt.Fprintf(&b, "  dimension restrictions via index range scans; aggregate\n")
+	}
+	return b.String()
+}

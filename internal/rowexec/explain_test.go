@@ -1,0 +1,59 @@
+package rowexec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ssb"
+)
+
+func TestExplainAllDesigns(t *testing.T) {
+	q := ssb.QueryByID("2.1")
+	for _, d := range Designs() {
+		out := testSX.Explain(q, d)
+		if !strings.Contains(out, "Query 2.1") {
+			t.Errorf("%v: missing header:\n%s", d, out)
+		}
+	}
+	// Traditional mentions pruning and hash joins in selectivity order.
+	out := testSX.Explain(ssb.QueryByID("1.1"), Traditional)
+	if !strings.Contains(out, "after pruning") || !strings.Contains(out, "hash join") {
+		t.Errorf("traditional explain incomplete:\n%s", out)
+	}
+	// The one-year query must prune to fewer rows than the table.
+	if strings.Contains(out, "13 partition") {
+		t.Errorf("pruning did not reduce partitions:\n%s", out)
+	}
+	// MV names the flight view.
+	out = testSX.Explain(q, MaterializedViews)
+	if !strings.Contains(out, "flight-2 MV") {
+		t.Errorf("MV explain missing view:\n%s", out)
+	}
+	// VP mentions position joins; AI mentions rid joins.
+	if out = testSX.Explain(q, VerticalPartitioning); !strings.Contains(out, "hash join on position") {
+		t.Errorf("VP explain:\n%s", out)
+	}
+	if out = testSX.Explain(q, AllIndexes); !strings.Contains(out, "hash join on record-id") {
+		t.Errorf("AI explain:\n%s", out)
+	}
+	// T(B) distinguishes probe modes.
+	out = testSX.Explain(ssb.QueryByID("3.1"), TraditionalBitmap)
+	if !strings.Contains(out, "rid bitmap") {
+		t.Errorf("T(B) explain:\n%s", out)
+	}
+}
+
+func TestExplainAISpillNote(t *testing.T) {
+	old := testSX.WorkMemBytes
+	defer func() { testSX.WorkMemBytes = old }()
+	testSX.WorkMemBytes = 1 << 10
+	out := testSX.Explain(ssb.QueryByID("3.1"), AllIndexes)
+	if !strings.Contains(out, "SPILLS") {
+		t.Errorf("AI explain should note the spill under tiny work memory:\n%s", out)
+	}
+	testSX.WorkMemBytes = 1 << 40
+	out = testSX.Explain(ssb.QueryByID("3.1"), AllIndexes)
+	if strings.Contains(out, "SPILLS") {
+		t.Errorf("AI explain should not note a spill with huge work memory:\n%s", out)
+	}
+}

@@ -1,0 +1,211 @@
+package rowexec
+
+import (
+	"testing"
+
+	"repro/internal/iosim"
+	"repro/internal/rowstore"
+	"repro/internal/ssb"
+)
+
+const testSF = 0.02
+
+var (
+	testData = ssb.Generate(testSF)
+	testSX   = Build(testData, AllDesigns)
+)
+
+// TestAllDesignsMatchReference: the five Figure 6 physical designs must all
+// return the reference result for all thirteen queries.
+func TestAllDesignsMatchReference(t *testing.T) {
+	for _, q := range ssb.Queries() {
+		want := ssb.Reference(testData, q)
+		for _, d := range Designs() {
+			var st iosim.Stats
+			got := testSX.Run(q, d, &st)
+			if !got.Equal(want) {
+				t.Errorf("Q%s design %v: results differ\n%s", q.ID, d, want.Diff(got))
+			}
+			if st.BytesRead == 0 {
+				t.Errorf("Q%s design %v: no I/O charged", q.ID, d)
+			}
+		}
+	}
+}
+
+// TestNoPartitionPruningStillCorrect: disabling pruning must not change
+// results, only increase I/O on date-restricted queries.
+func TestNoPartitionPruningStillCorrect(t *testing.T) {
+	for _, id := range []string{"1.1", "3.4", "4.3"} {
+		q := ssb.QueryByID(id)
+		want := ssb.Reference(testData, q)
+		var stP, stNoP iosim.Stats
+		gotP := testSX.RunOpt(q, Traditional, true, &stP)
+		gotNoP := testSX.RunOpt(q, Traditional, false, &stNoP)
+		if !gotP.Equal(want) || !gotNoP.Equal(want) {
+			t.Fatalf("Q%s: pruning changed results", id)
+		}
+		if stP.BytesRead >= stNoP.BytesRead {
+			t.Errorf("Q%s: pruning did not reduce I/O (%d vs %d)", id, stP.BytesRead, stNoP.BytesRead)
+		}
+	}
+}
+
+// TestPartitionPruningFactorOnFlight1: queries restricted to one year scan
+// about 1/7th of the fact heap.
+func TestPartitionPruningFactorOnFlight1(t *testing.T) {
+	q := ssb.QueryByID("1.1")
+	var stP, stNoP iosim.Stats
+	testSX.RunOpt(q, Traditional, true, &stP)
+	testSX.RunOpt(q, Traditional, false, &stNoP)
+	ratio := float64(stNoP.BytesRead) / float64(stP.BytesRead)
+	if ratio < 3 || ratio > 12 {
+		t.Errorf("pruning ratio %.1f, expected ~7 for a one-year query", ratio)
+	}
+}
+
+// TestMVReadsLessThanTraditional: the minimal-projection MV scans fewer
+// bytes than the 17-column fact table.
+func TestMVReadsLessThanTraditional(t *testing.T) {
+	for _, id := range []string{"1.1", "2.1", "3.1", "4.1"} {
+		q := ssb.QueryByID(id)
+		var stT, stMV iosim.Stats
+		testSX.Run(q, Traditional, &stT)
+		testSX.Run(q, MaterializedViews, &stMV)
+		if stMV.BytesRead >= stT.BytesRead {
+			t.Errorf("Q%s: MV read %d >= traditional %d", id, stMV.BytesRead, stT.BytesRead)
+		}
+	}
+}
+
+// TestVPTupleOverheadIO: scanning k vertical columns costs roughly
+// k*(16B+slack)/row; for queries needing >= 4 fact columns VP should read
+// at least as much as the MV design (paper Section 6.2: "scanning just four
+// of the columns in the vertical partitioning approach will take as long as
+// scanning the entire fact table in the traditional approach").
+func TestVPTupleOverheadIO(t *testing.T) {
+	q := ssb.QueryByID("2.1") // needs suppkey, partkey, orderdate, revenue
+	var stVP, stMV iosim.Stats
+	testSX.Run(q, VerticalPartitioning, &stVP)
+	testSX.Run(q, MaterializedViews, &stMV)
+	if stVP.BytesRead <= stMV.BytesRead {
+		t.Errorf("VP read %d <= MV %d; tuple overheads missing", stVP.BytesRead, stMV.BytesRead)
+	}
+}
+
+// TestAIReadsIndexesNotHeap: the index-only plan must not charge heap page
+// reads for the fact table (it reads index leaf levels instead, which for
+// multi-column queries is still expensive).
+func TestAIIsExpensive(t *testing.T) {
+	q := ssb.QueryByID("3.1")
+	var stAI, stT iosim.Stats
+	testSX.Run(q, AllIndexes, &stAI)
+	testSX.Run(q, Traditional, &stT)
+	if stAI.BytesRead == 0 {
+		t.Fatal("AI charged nothing")
+	}
+	// At minimum AI reads the leaf level of every needed fact index.
+	var minBytes int64
+	for _, c := range ssb.QueryByID("3.1").NeededFactColumns() {
+		minBytes += testSX.FactIdx[c].SizeBytes()
+	}
+	if stAI.BytesRead < minBytes {
+		t.Fatalf("AI read %d < index leaves %d", stAI.BytesRead, minBytes)
+	}
+}
+
+func TestDesignStrings(t *testing.T) {
+	want := []string{"T", "T(B)", "MV", "VP", "AI"}
+	for i, d := range Designs() {
+		if d.String() != want[i] {
+			t.Fatalf("design %d = %q want %q", i, d, want[i])
+		}
+	}
+}
+
+func TestYearRangesCoverFact(t *testing.T) {
+	n := int32(testSX.Fact.NumRows())
+	var covered int32
+	for y, r := range testSX.YearRange {
+		if r[0] < 0 || r[1] > n || r[0] > r[1] {
+			t.Fatalf("year %d range %v invalid", y, r)
+		}
+		covered += r[1] - r[0]
+	}
+	if covered != n {
+		t.Fatalf("year ranges cover %d of %d rows", covered, n)
+	}
+	if len(testSX.YearRange) != 7 {
+		t.Fatalf("expected 7 year partitions, got %d", len(testSX.YearRange))
+	}
+}
+
+// TestVolcanoOperators exercises the iterator framework directly.
+func TestVolcanoOperators(t *testing.T) {
+	// Scan a dimension table through the Volcano path.
+	cust := testSX.Dims[ssb.DimCustomer]
+	regionIdx := cust.Schema.MustColIndex("region")
+	var st iosim.Stats
+	scan := newTableScan(cust, [][2]int32{{0, int32(cust.NumRows())}}, &st)
+	f := &filter{child: scan, pred: func(row rowstore.Row) bool {
+		return row[regionIdx].S == "ASIA"
+	}}
+	count := 0
+	for {
+		_, ok := f.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	want := 0
+	for _, r := range testData.Customer.Region {
+		if r == "ASIA" {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("Volcano filter passed %d rows, want %d", count, want)
+	}
+	if st.BytesRead != cust.HeapBytes() {
+		t.Fatalf("scan charged %d, heap is %d", st.BytesRead, cust.HeapBytes())
+	}
+}
+
+// TestWorkMemSpillCharged: shrinking work memory below the AI design's rid
+// hash table must charge spill write+read traffic without changing results.
+func TestWorkMemSpillCharged(t *testing.T) {
+	q := ssb.QueryByID("2.1")
+	want := ssb.Reference(testData, q)
+	old := testSX.WorkMemBytes
+	defer func() { testSX.WorkMemBytes = old }()
+
+	testSX.WorkMemBytes = 1 << 40 // everything fits
+	var stFit iosim.Stats
+	if got := testSX.Run(q, AllIndexes, &stFit); !got.Equal(want) {
+		t.Fatal("AI with huge work memory diverges")
+	}
+	if stFit.BytesWritten != 0 {
+		t.Fatalf("no spill expected, wrote %d", stFit.BytesWritten)
+	}
+
+	testSX.WorkMemBytes = 1 << 10 // everything spills
+	var stSpill iosim.Stats
+	if got := testSX.Run(q, AllIndexes, &stSpill); !got.Equal(want) {
+		t.Fatal("AI with tiny work memory diverges")
+	}
+	if stSpill.BytesWritten == 0 {
+		t.Fatal("spill writes not charged")
+	}
+	if stSpill.BytesRead <= stFit.BytesRead {
+		t.Fatal("spilled join should also re-read its partitions")
+	}
+	// VP spills too once its position hash exceeds memory.
+	var stVP iosim.Stats
+	if got := testSX.Run(q, VerticalPartitioning, &stVP); !got.Equal(want) {
+		t.Fatal("VP with tiny work memory diverges")
+	}
+	if stVP.BytesWritten == 0 {
+		t.Fatal("VP spill writes not charged")
+	}
+}

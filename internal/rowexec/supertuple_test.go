@@ -1,0 +1,73 @@
+package rowexec
+
+import (
+	"testing"
+
+	"repro/internal/iosim"
+	"repro/internal/ssb"
+)
+
+var testSuper = BuildSuperVPs(testData)
+
+func TestSuperVPMatchesReference(t *testing.T) {
+	for _, q := range ssb.Queries() {
+		want := ssb.Reference(testData, q)
+		var st iosim.Stats
+		got := testSX.RunSuperVP(q, testSuper, &st)
+		if !got.Equal(want) {
+			t.Errorf("Q%s super-tuple VP: results differ\n%s", q.ID, want.Diff(got))
+		}
+		if st.BytesRead == 0 {
+			t.Errorf("Q%s super-tuple VP: no I/O charged", q.ID)
+		}
+	}
+}
+
+// TestSuperVPKillsTupleOverhead: the paper's Section 6.2 complaint about
+// vertical partitioning is the ~16 bytes/value footprint; super tuples must
+// bring that to ~4 bytes/value, the column store's uncompressed figure.
+func TestSuperVPKillsTupleOverhead(t *testing.T) {
+	n := float64(testData.NumLineorders())
+	sv := testSuper["revenue"]
+	perValue := float64(sv.HeapBytes()) / n
+	if perValue > 4.5 {
+		t.Fatalf("super-tuple column costs %.2f bytes/value, want ~4", perValue)
+	}
+	// And it is ~4x smaller than the naive (pos,value) vertical table.
+	naive := testSX.VP["revenue"]
+	if sv.HeapBytes()*3 > naive.HeapBytes() {
+		t.Fatalf("super tuples (%d) should be far smaller than naive VP (%d)",
+			sv.HeapBytes(), naive.HeapBytes())
+	}
+}
+
+// TestSuperVPBeatsNaiveVPOnIO: the same query charges much less I/O through
+// super tuples than through (pos,value) tables.
+func TestSuperVPBeatsNaiveVPOnIO(t *testing.T) {
+	q := ssb.QueryByID("2.1")
+	var stNaive, stSuper iosim.Stats
+	testSX.Run(q, VerticalPartitioning, &stNaive)
+	testSX.RunSuperVP(q, testSuper, &stSuper)
+	if stSuper.BytesRead*2 > stNaive.BytesRead {
+		t.Fatalf("super tuples read %d, naive VP %d; expected >2x saving",
+			stSuper.BytesRead, stNaive.BytesRead)
+	}
+}
+
+func TestSuperVPDecode(t *testing.T) {
+	vals := []int32{-5, 0, 7, 1 << 30}
+	sv := BuildSuperVP("x", vals)
+	it := sv.iter(nil)
+	got, ok := it.next()
+	if !ok || len(got) != 4 {
+		t.Fatalf("batch decode wrong: %v %v", got, ok)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: %d want %d", i, got[i], vals[i])
+		}
+	}
+	if _, ok := it.next(); ok {
+		t.Fatal("iterator should be exhausted")
+	}
+}

@@ -1,0 +1,170 @@
+package rowstore
+
+import (
+	"sort"
+
+	"repro/internal/bitmap"
+	"repro/internal/btree"
+	"repro/internal/iosim"
+)
+
+// IntIndex is an unclustered B+Tree over an integer column. Aux carries an
+// optional second column value (the composite-key optimization from
+// Section 4: dimension indexes store the dimension primary key as a
+// secondary attribute so index-only plans never touch the heap).
+type IntIndex struct {
+	Col  string
+	Tree *btree.Tree[int32]
+}
+
+// BuildIntIndex indexes table column col; auxCol, when non-empty, names the
+// integer column stored as the Aux payload.
+func BuildIntIndex(t *Table, col, auxCol string) *IntIndex {
+	ci := t.Schema.MustColIndex(col)
+	ai := -1
+	if auxCol != "" {
+		ai = t.Schema.MustColIndex(auxCol)
+	}
+	entries := make([]btree.Entry[int32], 0, t.NumRows())
+	var st iosim.Stats
+	t.Scan(&st, func(rid int32, row Row) bool {
+		e := btree.Entry[int32]{Key: row[ci].I, RID: rid}
+		if ai >= 0 {
+			e.Aux = row[ai].I
+		}
+		entries = append(entries, e)
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Key != entries[j].Key {
+			return entries[i].Key < entries[j].Key
+		}
+		return entries[i].RID < entries[j].RID
+	})
+	return &IntIndex{Col: col, Tree: btree.Build(entries, 4)}
+}
+
+// ScanAll visits every (key, rid, aux) in key order, charging a sequential
+// read of the leaf level (the paper's "full index scan ... relatively fast
+// sequential scans of the entire index file").
+func (ix *IntIndex) ScanAll(st *iosim.Stats, fn func(key, rid, aux int32) bool) {
+	st.Read(ix.Tree.SizeBytes())
+	ix.Tree.Scan(func(e btree.Entry[int32]) bool { return fn(e.Key, e.RID, e.Aux) })
+}
+
+// Range visits entries with lo <= key <= hi, charging bytes for the visited
+// leaves plus one seek to descend (an "index range scan").
+func (ix *IntIndex) Range(lo, hi int32, st *iosim.Stats, fn func(key, rid, aux int32) bool) {
+	visited := int64(0)
+	hops := ix.Tree.Range(lo, hi, func(e btree.Entry[int32]) bool {
+		visited++
+		return fn(e.Key, e.RID, e.Aux)
+	})
+	st.AddSeeks(1)
+	st.Read(visited * ix.Tree.EntryBytes())
+	_ = hops
+}
+
+// StrIndex is an unclustered B+Tree over a string column.
+type StrIndex struct {
+	Col  string
+	Tree *btree.Tree[string]
+}
+
+// BuildStrIndex indexes string column col with integer auxCol as payload.
+func BuildStrIndex(t *Table, col, auxCol string) *StrIndex {
+	ci := t.Schema.MustColIndex(col)
+	ai := -1
+	if auxCol != "" {
+		ai = t.Schema.MustColIndex(auxCol)
+	}
+	entries := make([]btree.Entry[string], 0, t.NumRows())
+	totalKey := 0
+	var st iosim.Stats
+	t.Scan(&st, func(rid int32, row Row) bool {
+		e := btree.Entry[string]{Key: row[ci].S, RID: rid}
+		if ai >= 0 {
+			e.Aux = row[ai].I
+		}
+		totalKey += len(e.Key)
+		entries = append(entries, e)
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Key != entries[j].Key {
+			return entries[i].Key < entries[j].Key
+		}
+		return entries[i].RID < entries[j].RID
+	})
+	avgKey := 8
+	if len(entries) > 0 {
+		avgKey = totalKey / len(entries)
+	}
+	return &StrIndex{Col: col, Tree: btree.Build(entries, avgKey)}
+}
+
+// ScanAll visits every entry in key order, charging the leaf level.
+func (ix *StrIndex) ScanAll(st *iosim.Stats, fn func(key string, rid, aux int32) bool) {
+	st.Read(ix.Tree.SizeBytes())
+	ix.Tree.Scan(func(e btree.Entry[string]) bool { return fn(e.Key, e.RID, e.Aux) })
+}
+
+// Range visits entries with lo <= key <= hi (inclusive, lexicographic).
+func (ix *StrIndex) Range(lo, hi string, st *iosim.Stats, fn func(key string, rid, aux int32) bool) {
+	visited := int64(0)
+	ix.Tree.Range(lo, hi, func(e btree.Entry[string]) bool {
+		visited++
+		return fn(e.Key, e.RID, e.Aux)
+	})
+	st.AddSeeks(1)
+	st.Read(visited * ix.Tree.EntryBytes())
+}
+
+// BitmapIndex holds one bitmap per distinct value of a low-cardinality
+// column, enabling the "traditional (bitmap)" plans: predicate bitmaps are
+// ANDed and the heap scan skips pages with no matching tuples.
+type BitmapIndex struct {
+	Col     string
+	ByValue map[int32]*bitmap.Bitmap
+	n       int
+}
+
+// BuildBitmapIndex indexes integer column col of t.
+func BuildBitmapIndex(t *Table, col string) *BitmapIndex {
+	ci := t.Schema.MustColIndex(col)
+	ix := &BitmapIndex{Col: col, ByValue: map[int32]*bitmap.Bitmap{}, n: t.NumRows()}
+	var st iosim.Stats
+	t.Scan(&st, func(rid int32, row Row) bool {
+		v := row[ci].I
+		bm, ok := ix.ByValue[v]
+		if !ok {
+			bm = bitmap.New(ix.n)
+			ix.ByValue[v] = bm
+		}
+		bm.Set(int(rid))
+		return true
+	})
+	return ix
+}
+
+// Lookup returns the bitmap of rids whose column value satisfies keep,
+// charging a read of each consulted value bitmap.
+func (ix *BitmapIndex) Lookup(keep func(v int32) bool, st *iosim.Stats) *bitmap.Bitmap {
+	out := bitmap.New(ix.n)
+	for v, bm := range ix.ByValue {
+		if keep(v) {
+			st.Read(bm.SizeBytes())
+			out.Or(bm)
+		}
+	}
+	return out
+}
+
+// SizeBytes is the total footprint of all value bitmaps.
+func (ix *BitmapIndex) SizeBytes() int64 {
+	var b int64
+	for _, bm := range ix.ByValue {
+		b += bm.SizeBytes()
+	}
+	return b
+}

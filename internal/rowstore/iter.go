@@ -1,0 +1,98 @@
+package rowstore
+
+import (
+	"sort"
+
+	"repro/internal/bitmap"
+	"repro/internal/iosim"
+)
+
+// Iter is an explicit cursor over a heap table, used by the Volcano-style
+// row executor. The row returned by Next is reused between calls.
+type Iter struct {
+	t      *Table
+	st     *iosim.Stats
+	pi     int
+	si     int
+	rid    int32
+	endRid int32
+	row    Row
+	opened bool
+}
+
+// Iter returns a cursor over the whole table.
+func (t *Table) Iter(st *iosim.Stats) *Iter {
+	return t.RangeIter(0, int32(t.n), st)
+}
+
+// RangeIter returns a cursor over rids [startRid, endRid). Because tuples
+// are stored in rid order, this reads only the pages covering the range —
+// the mechanism behind partition pruning (a partition on a sorted key is a
+// contiguous rid range).
+func (t *Table) RangeIter(startRid, endRid int32, st *iosim.Stats) *Iter {
+	if endRid > int32(t.n) {
+		endRid = int32(t.n)
+	}
+	it := &Iter{t: t, st: st, endRid: endRid, row: make(Row, t.Schema.NumCols())}
+	if startRid >= endRid {
+		it.pi = len(t.pages)
+		return it
+	}
+	pi := sort.Search(len(t.pageStarts), func(i int) bool { return t.pageStarts[i] > startRid }) - 1
+	it.pi = pi
+	it.si = int(startRid - t.pageStarts[pi])
+	it.rid = startRid
+	return it
+}
+
+// Next returns the next tuple; ok is false at the end. One page read is
+// charged per visited page.
+func (it *Iter) Next() (rid int32, row Row, ok bool) {
+	for {
+		if it.pi >= len(it.t.pages) || it.rid >= it.endRid {
+			return 0, nil, false
+		}
+		p := it.t.pages[it.pi]
+		if it.si == 0 || !it.opened {
+			// Entering a page (possibly mid-page for range scans).
+			it.st.Read(PageSize)
+			it.opened = true
+		}
+		if it.si >= len(p.slots) {
+			it.pi++
+			it.si = 0
+			it.opened = false
+			continue
+		}
+		it.t.Schema.DecodeInto(p.buf[p.slots[it.si]:], it.row)
+		rid = it.rid
+		it.si++
+		it.rid++
+		return rid, it.row, true
+	}
+}
+
+// ScanRidBitmap decodes exactly the tuples whose rid bit is set, reading
+// each containing page once (plus a seek per page jump) — the access
+// pattern of a bitmap-index plan ("they allow the system to skip over some
+// pages of the fact table when scanning it").
+func (t *Table) ScanRidBitmap(bm *bitmap.Bitmap, st *iosim.Stats, fn func(rid int32, row Row) bool) {
+	row := make(Row, t.Schema.NumCols())
+	lastPage := -1
+	for rid := bm.NextSet(0); rid >= 0; rid = bm.NextSet(rid + 1) {
+		pi := sort.Search(len(t.pageStarts), func(i int) bool { return t.pageStarts[i] > int32(rid) }) - 1
+		if pi != lastPage {
+			st.Read(PageSize)
+			if lastPage >= 0 && pi != lastPage+1 {
+				st.AddSeeks(1)
+			}
+			lastPage = pi
+		}
+		p := t.pages[pi]
+		slot := int32(rid) - t.pageStarts[pi]
+		t.Schema.DecodeInto(p.buf[p.slots[slot]:], row)
+		if !fn(int32(rid), row) {
+			return
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package rowstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmap"
+	"repro/internal/iosim"
+)
+
+func buildIterTable(n int) *Table {
+	s := NewSchema([]string{"id", "pad"}, []ColType{TInt, TStr})
+	t := NewTable("t", s)
+	for i := 0; i < n; i++ {
+		t.Append(Row{{I: int32(i)}, {S: "xxxxxxxxxxxxxxxxxxxxxxxx"}})
+	}
+	return t
+}
+
+func TestIterFullScan(t *testing.T) {
+	tb := buildIterTable(5000)
+	var st iosim.Stats
+	it := tb.Iter(&st)
+	want := int32(0)
+	for {
+		rid, row, ok := it.Next()
+		if !ok {
+			break
+		}
+		if rid != want || row[0].I != want {
+			t.Fatalf("rid=%d row=%d want %d", rid, row[0].I, want)
+		}
+		want++
+	}
+	if want != 5000 {
+		t.Fatalf("visited %d", want)
+	}
+	if st.BytesRead != tb.HeapBytes() {
+		t.Fatalf("charged %d want %d", st.BytesRead, tb.HeapBytes())
+	}
+}
+
+func TestRangeIter(t *testing.T) {
+	tb := buildIterTable(5000)
+	cases := []struct{ lo, hi int32 }{
+		{0, 0}, {0, 1}, {100, 200}, {4999, 5000}, {4000, 9999}, {2500, 2500},
+	}
+	for _, c := range cases {
+		it := tb.RangeIter(c.lo, c.hi, nil)
+		want := c.lo
+		end := c.hi
+		if end > 5000 {
+			end = 5000
+		}
+		for {
+			rid, _, ok := it.Next()
+			if !ok {
+				break
+			}
+			if rid != want {
+				t.Fatalf("[%d,%d): rid=%d want %d", c.lo, c.hi, rid, want)
+			}
+			want++
+		}
+		if want != end && !(c.lo >= end && want == c.lo) {
+			t.Fatalf("[%d,%d): stopped at %d want %d", c.lo, c.hi, want, end)
+		}
+	}
+}
+
+func TestRangeIterChargesOnlyCoveredPages(t *testing.T) {
+	tb := buildIterTable(20000)
+	var stAll, stRange iosim.Stats
+	for it := tb.Iter(&stAll); ; {
+		if _, _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	for it := tb.RangeIter(0, 100, &stRange); ; {
+		if _, _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	if stRange.BytesRead >= stAll.BytesRead/10 {
+		t.Fatalf("range scan charged %d of %d", stRange.BytesRead, stAll.BytesRead)
+	}
+}
+
+func TestScanRidBitmap(t *testing.T) {
+	tb := buildIterTable(10000)
+	bm := bitmap.New(10000)
+	want := map[int32]bool{}
+	rng := rand.New(rand.NewSource(9))
+	// Cluster matches on a small rid prefix so most pages have none.
+	for i := 0; i < 50; i++ {
+		r := int32(rng.Intn(700))
+		bm.Set(int(r))
+		want[r] = true
+	}
+	bm.Set(9999)
+	want[9999] = true
+	var st iosim.Stats
+	got := map[int32]bool{}
+	tb.ScanRidBitmap(bm, &st, func(rid int32, row Row) bool {
+		if row[0].I != rid {
+			t.Fatalf("decoded wrong tuple for rid %d", rid)
+		}
+		got[rid] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d rids want %d", len(got), len(want))
+	}
+	// Sparse fetch must charge less than a full scan.
+	if st.BytesRead >= tb.HeapBytes() {
+		t.Fatalf("bitmap fetch charged %d, heap %d", st.BytesRead, tb.HeapBytes())
+	}
+	if st.Seeks == 0 {
+		t.Fatal("sparse page jumps should count seeks")
+	}
+	// Early stop.
+	n := 0
+	tb.ScanRidBitmap(bm, nil, func(int32, Row) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestScanRidBitmapDensePagesChargedOnce(t *testing.T) {
+	tb := buildIterTable(10000)
+	bm := bitmap.NewFull(10000)
+	var st iosim.Stats
+	tb.ScanRidBitmap(bm, &st, func(int32, Row) bool { return true })
+	if st.BytesRead != tb.HeapBytes() {
+		t.Fatalf("dense bitmap fetch charged %d, heap %d", st.BytesRead, tb.HeapBytes())
+	}
+	if st.Seeks != 0 {
+		t.Fatalf("sequential pages should not seek, got %d", st.Seeks)
+	}
+}
+
+// TestQuickRangeIterOracle: any range yields exactly the rids in range.
+func TestQuickRangeIterOracle(t *testing.T) {
+	tb := buildIterTable(3000)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lo := int32(rng.Intn(3000))
+		hi := lo + int32(rng.Intn(3000))
+		count := int32(0)
+		for it := tb.RangeIter(lo, hi, nil); ; {
+			rid, _, ok := it.Next()
+			if !ok {
+				break
+			}
+			if rid != lo+count {
+				return false
+			}
+			count++
+		}
+		end := hi
+		if end > 3000 {
+			end = 3000
+		}
+		return count == end-lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

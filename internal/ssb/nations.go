@@ -1,0 +1,57 @@
+// Package ssb implements the Star Schema Benchmark substrate: the schema of
+// paper Figure 1, a deterministic scale-factor-parameterised data generator
+// (standing in for the SSB dbgen tool), the thirteen benchmark queries
+// expressed as logical plans, and the denormalized variant used by Figure 8.
+package ssb
+
+import "fmt"
+
+// Regions are the five TPC-H/SSB regions.
+var Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// Nations are the 25 TPC-H/SSB nations; NationRegion maps each to its
+// region (5 per region). Order matters only for determinism.
+var Nations = []string{
+	"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+	"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",
+	"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM",
+	"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+	"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",
+}
+
+// NationRegion maps nation name to region name.
+var NationRegion = buildNationRegion()
+
+func buildNationRegion() map[string]string {
+	m := make(map[string]string, len(Nations))
+	for i, n := range Nations {
+		m[n] = Regions[i/5]
+	}
+	return m
+}
+
+// CityOf builds an SSB city name: the nation name truncated or padded to 9
+// characters followed by a digit 0–9, e.g. "UNITED KI1" for UNITED KINGDOM.
+// Each nation therefore has exactly 10 cities, 250 in total.
+func CityOf(nation string, digit int) string {
+	name := nation
+	if len(name) > 9 {
+		name = name[:9]
+	}
+	for len(name) < 9 {
+		name += " "
+	}
+	return fmt.Sprintf("%s%d", name, digit)
+}
+
+// MfgrOf returns the part manufacturer string for 1-based mfgr number m
+// (1..5), e.g. "MFGR#3".
+func MfgrOf(m int) string { return fmt.Sprintf("MFGR#%d", m) }
+
+// CategoryOf returns the part category for mfgr m (1..5) and category c
+// (1..5), e.g. "MFGR#35". There are 25 categories.
+func CategoryOf(m, c int) string { return fmt.Sprintf("MFGR#%d%d", m, c) }
+
+// Brand1Of returns the part brand for mfgr m, category c and brand number b
+// (1..40), e.g. "MFGR#3512". There are 1000 brands.
+func Brand1Of(m, c, b int) string { return fmt.Sprintf("MFGR#%d%d%d", m, c, b) }

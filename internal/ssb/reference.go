@@ -1,0 +1,369 @@
+package ssb
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Reference executes a query by brute force directly over the generated
+// arrays, with no storage engine, no compression and no clever joins. It is
+// the correctness oracle every engine configuration is tested against.
+func Reference(d *Data, q *Query) *Result {
+	// Per-dimension pass vectors (nil = no filter on that dimension).
+	pass := map[Dim][]bool{}
+	for _, dim := range []Dim{DimCustomer, DimSupplier, DimPart, DimDate} {
+		var filters []DimFilter
+		for _, f := range q.DimFilters {
+			if f.Dim == dim {
+				filters = append(filters, f)
+			}
+		}
+		if len(filters) == 0 {
+			continue
+		}
+		n := d.DimRows(dim)
+		p := make([]bool, n)
+		for i := 0; i < n; i++ {
+			ok := true
+			for _, f := range filters {
+				if f.IsInt {
+					if !f.IntPred().Match(d.DimInt(dim, f.Col, i)) {
+						ok = false
+						break
+					}
+				} else if !f.MatchStr(d.DimStr(dim, f.Col, i)) {
+					ok = false
+					break
+				}
+			}
+			p[i] = ok
+		}
+		pass[dim] = p
+	}
+
+	dateIdx := d.DateIndex()
+
+	lo := &d.Line
+	n := len(lo.OrderKey)
+	groups := map[string]*ResultRow{}
+	var total int64
+	hasGroups := len(q.GroupBy) > 0
+
+	for i := 0; i < n; i++ {
+		ok := true
+		for _, f := range q.FactFilters {
+			var v int32
+			switch f.Col {
+			case "discount":
+				v = lo.Discount[i]
+			case "quantity":
+				v = lo.Quantity[i]
+			default:
+				panic("ssb: unsupported fact filter column " + f.Col)
+			}
+			if !f.Pred.Match(v) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for dim, p := range pass {
+			if !p[d.FactDimIndex(dim, i, dateIdx)] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		var v int64
+		switch q.Agg {
+		case AggDiscountRevenue:
+			v = int64(lo.ExtendedPrice[i]) * int64(lo.Discount[i])
+		case AggRevenue:
+			v = int64(lo.Revenue[i])
+		default:
+			v = int64(lo.Revenue[i]) - int64(lo.SupplyCost[i])
+		}
+		if !hasGroups {
+			total += v
+			continue
+		}
+		keys := make([]string, len(q.GroupBy))
+		for k, g := range q.GroupBy {
+			di := d.FactDimIndex(g.Dim, i, dateIdx)
+			keys[k] = d.DimKeyString(g.Dim, g.Col, di)
+		}
+		ck := compositeKey(keys)
+		row, found := groups[ck]
+		if !found {
+			row = &ResultRow{Keys: keys}
+			groups[ck] = row
+		}
+		row.Agg += v
+	}
+
+	if !hasGroups {
+		return NewResult(q.ID, []ResultRow{{Keys: nil, Agg: total}})
+	}
+	rows := make([]ResultRow, 0, len(groups))
+	for _, r := range groups {
+		rows = append(rows, *r)
+	}
+	return NewResult(q.ID, rows)
+}
+
+// compositeKey joins group keys with an unlikely separator.
+func compositeKey(keys []string) string {
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += "\x00"
+		}
+		s += k
+	}
+	return s
+}
+
+// DateIndex returns a map from datekey (yyyymmdd) to row index in the DATE
+// dimension.
+func (d *Data) DateIndex() map[int32]int32 {
+	m := make(map[int32]int32, len(d.Date.Key))
+	for i, k := range d.Date.Key {
+		m[k] = int32(i)
+	}
+	return m
+}
+
+// FactDimIndex resolves the dimension row index referenced by fact row i.
+// Customer, supplier and part keys are dense 1..N, so index = key-1; dates
+// go through the datekey map.
+func (d *Data) FactDimIndex(dim Dim, i int, dateIdx map[int32]int32) int {
+	switch dim {
+	case DimCustomer:
+		return int(d.Line.CustKey[i]) - 1
+	case DimSupplier:
+		return int(d.Line.SuppKey[i]) - 1
+	case DimPart:
+		return int(d.Line.PartKey[i]) - 1
+	default:
+		return int(dateIdx[d.Line.OrderDate[i]])
+	}
+}
+
+// DimRows returns the cardinality of a dimension.
+func (d *Data) DimRows(dim Dim) int {
+	switch dim {
+	case DimCustomer:
+		return len(d.Customer.Key)
+	case DimSupplier:
+		return len(d.Supplier.Key)
+	case DimPart:
+		return len(d.Part.Key)
+	default:
+		return len(d.Date.Key)
+	}
+}
+
+// DimStr returns the string attribute col of dimension row i.
+func (d *Data) DimStr(dim Dim, col string, i int) string {
+	s := d.DimStrCol(dim, col)
+	if s == nil {
+		panic(fmt.Sprintf("ssb: %v has no string column %q", dim, col))
+	}
+	return s[i]
+}
+
+// DimInt returns the integer attribute col of dimension row i.
+func (d *Data) DimInt(dim Dim, col string, i int) int32 {
+	s := d.DimIntCol(dim, col)
+	if s == nil {
+		panic(fmt.Sprintf("ssb: %v has no int column %q", dim, col))
+	}
+	return s[i]
+}
+
+// DimKeyString renders attribute col of dimension row i as a group key.
+func (d *Data) DimKeyString(dim Dim, col string, i int) string {
+	if s := d.DimStrCol(dim, col); s != nil {
+		return s[i]
+	}
+	return strconv.Itoa(int(d.DimInt(dim, col, i)))
+}
+
+// DimStrCol returns the named string column of a dimension, or nil.
+func (d *Data) DimStrCol(dim Dim, col string) []string {
+	switch dim {
+	case DimCustomer:
+		switch col {
+		case "name":
+			return d.Customer.Name
+		case "address":
+			return d.Customer.Address
+		case "city":
+			return d.Customer.City
+		case "nation":
+			return d.Customer.Nation
+		case "region":
+			return d.Customer.Region
+		case "phone":
+			return d.Customer.Phone
+		case "mktsegment":
+			return d.Customer.MktSegment
+		}
+	case DimSupplier:
+		switch col {
+		case "name":
+			return d.Supplier.Name
+		case "address":
+			return d.Supplier.Address
+		case "city":
+			return d.Supplier.City
+		case "nation":
+			return d.Supplier.Nation
+		case "region":
+			return d.Supplier.Region
+		case "phone":
+			return d.Supplier.Phone
+		}
+	case DimPart:
+		switch col {
+		case "name":
+			return d.Part.Name
+		case "mfgr":
+			return d.Part.MFGR
+		case "category":
+			return d.Part.Category
+		case "brand1":
+			return d.Part.Brand1
+		case "color":
+			return d.Part.Color
+		case "type":
+			return d.Part.Type
+		case "container":
+			return d.Part.Container
+		}
+	case DimDate:
+		switch col {
+		case "date":
+			return d.Date.Date
+		case "dayofweek":
+			return d.Date.DayOfWeek
+		case "month":
+			return d.Date.Month
+		case "yearmonth":
+			return d.Date.YearMonth
+		case "sellingseason":
+			return d.Date.SellingSeason
+		}
+	}
+	return nil
+}
+
+// DimIntCol returns the named integer column of a dimension, or nil.
+func (d *Data) DimIntCol(dim Dim, col string) []int32 {
+	switch dim {
+	case DimCustomer:
+		if col == "custkey" {
+			return d.Customer.Key
+		}
+	case DimSupplier:
+		if col == "suppkey" {
+			return d.Supplier.Key
+		}
+	case DimPart:
+		switch col {
+		case "partkey":
+			return d.Part.Key
+		case "size":
+			return d.Part.Size
+		}
+	case DimDate:
+		switch col {
+		case "datekey":
+			return d.Date.Key
+		case "year":
+			return d.Date.Year
+		case "yearmonthnum":
+			return d.Date.YearMonthNum
+		case "daynuminweek":
+			return d.Date.DayNumInWeek
+		case "daynuminmonth":
+			return d.Date.DayNumInMonth
+		case "daynuminyear":
+			return d.Date.DayNumInYear
+		case "monthnuminyear":
+			return d.Date.MonthNumInYr
+		case "weeknuminyear":
+			return d.Date.WeekNumInYear
+		}
+	}
+	return nil
+}
+
+// Selectivity measures the actual LINEORDER selectivity of q over d using
+// the reference evaluation path (count of qualifying fact rows / total).
+func Selectivity(d *Data, q *Query) float64 {
+	pass := map[Dim][]bool{}
+	for _, dim := range []Dim{DimCustomer, DimSupplier, DimPart, DimDate} {
+		var filters []DimFilter
+		for _, f := range q.DimFilters {
+			if f.Dim == dim {
+				filters = append(filters, f)
+			}
+		}
+		if len(filters) == 0 {
+			continue
+		}
+		n := d.DimRows(dim)
+		p := make([]bool, n)
+		for i := 0; i < n; i++ {
+			ok := true
+			for _, f := range filters {
+				if f.IsInt {
+					if !f.IntPred().Match(d.DimInt(dim, f.Col, i)) {
+						ok = false
+						break
+					}
+				} else if !f.MatchStr(d.DimStr(dim, f.Col, i)) {
+					ok = false
+					break
+				}
+			}
+			p[i] = ok
+		}
+		pass[dim] = p
+	}
+	dateIdx := d.DateIndex()
+	match := 0
+	n := d.NumLineorders()
+	for i := 0; i < n; i++ {
+		ok := true
+		for _, f := range q.FactFilters {
+			var v int32
+			if f.Col == "discount" {
+				v = d.Line.Discount[i]
+			} else {
+				v = d.Line.Quantity[i]
+			}
+			if !f.Pred.Match(v) {
+				ok = false
+				break
+			}
+		}
+		for dim, p := range pass {
+			if !ok {
+				break
+			}
+			if !p[d.FactDimIndex(dim, i, dateIdx)] {
+				ok = false
+			}
+		}
+		if ok {
+			match++
+		}
+	}
+	return float64(match) / float64(n)
+}

@@ -1,0 +1,99 @@
+package ssb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ResultRow is one output row: the group-by key values (rendered as
+// strings, integers in decimal) and the aggregate.
+type ResultRow struct {
+	Keys []string
+	Agg  int64
+}
+
+// Result is a canonicalized query result: rows sorted by group keys so that
+// results from different engines compare with simple equality.
+type Result struct {
+	QueryID string
+	Rows    []ResultRow
+}
+
+// NewResult sorts rows into canonical order and returns a Result.
+func NewResult(queryID string, rows []ResultRow) *Result {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].Keys, rows[j].Keys
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return &Result{QueryID: queryID, Rows: rows}
+}
+
+// Equal reports whether two results have identical rows.
+func (r *Result) Equal(o *Result) bool {
+	if len(r.Rows) != len(o.Rows) {
+		return false
+	}
+	for i := range r.Rows {
+		a, b := r.Rows[i], o.Rows[i]
+		if a.Agg != b.Agg || len(a.Keys) != len(b.Keys) {
+			return false
+		}
+		for k := range a.Keys {
+			if a.Keys[k] != b.Keys[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of the first few differences
+// between two results, for test failure messages.
+func (r *Result) Diff(o *Result) string {
+	var b strings.Builder
+	if len(r.Rows) != len(o.Rows) {
+		fmt.Fprintf(&b, "row counts differ: %d vs %d\n", len(r.Rows), len(o.Rows))
+	}
+	n := len(r.Rows)
+	if len(o.Rows) < n {
+		n = len(o.Rows)
+	}
+	diffs := 0
+	for i := 0; i < n && diffs < 5; i++ {
+		a, c := r.Rows[i], o.Rows[i]
+		if a.Agg != c.Agg || strings.Join(a.Keys, "|") != strings.Join(c.Keys, "|") {
+			fmt.Fprintf(&b, "row %d: %v=%d vs %v=%d\n", i, a.Keys, a.Agg, c.Keys, c.Agg)
+			diffs++
+		}
+	}
+	return b.String()
+}
+
+// TotalAgg sums the aggregate over all rows (a cheap checksum).
+func (r *Result) TotalAgg() int64 {
+	var t int64
+	for _, row := range r.Rows {
+		t += row.Agg
+	}
+	return t
+}
+
+// String renders the result as an aligned table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Q%s (%d rows)\n", r.QueryID, len(r.Rows))
+	for i, row := range r.Rows {
+		if i >= 20 {
+			fmt.Fprintf(&b, "  ... %d more rows\n", len(r.Rows)-20)
+			break
+		}
+		fmt.Fprintf(&b, "  %-40s %15d\n", strings.Join(row.Keys, " | "), row.Agg)
+	}
+	return b.String()
+}

@@ -1,0 +1,273 @@
+// Package vector provides the typed value blocks and position-list
+// representations that the column-oriented executor operates on.
+//
+// A Vector is a batch of values from a single column; operators exchange
+// vectors rather than tuples, which is the "block iteration" optimization
+// from Section 5.3 of the paper. Position lists (Positions) are the
+// intermediate results of predicate evaluation under late materialization
+// (Section 5.2): ordinal offsets into a column, represented either as a
+// contiguous range, an explicit sorted array, or a bitmap.
+package vector
+
+import "repro/internal/bitmap"
+
+// Type identifies the value type of a Vector or column.
+type Type uint8
+
+const (
+	// Int32 is the workhorse type: every SSBM attribute is either a small
+	// integer or a dictionary-encoded string whose codes are int32.
+	Int32 Type = iota
+	// Int64 is used for aggregate accumulators (sums of revenue etc.).
+	Int64
+	// String is used at the edges: dictionary decode and row construction.
+	String
+)
+
+// String returns a human-readable type name.
+func (t Type) String() string {
+	switch t {
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case String:
+		return "string"
+	default:
+		return "unknown"
+	}
+}
+
+// Vector is a typed batch of column values. Exactly one of the value slices
+// is populated, according to Typ. Vectors are reused across operator calls;
+// callers must copy data they retain.
+type Vector struct {
+	Typ Type
+	I32 []int32
+	I64 []int64
+	Str []string
+}
+
+// NewInt32 returns an Int32 vector wrapping vals.
+func NewInt32(vals []int32) *Vector { return &Vector{Typ: Int32, I32: vals} }
+
+// NewInt64 returns an Int64 vector wrapping vals.
+func NewInt64(vals []int64) *Vector { return &Vector{Typ: Int64, I64: vals} }
+
+// NewString returns a String vector wrapping vals.
+func NewString(vals []string) *Vector { return &Vector{Typ: String, Str: vals} }
+
+// Len returns the number of values in the vector.
+func (v *Vector) Len() int {
+	switch v.Typ {
+	case Int32:
+		return len(v.I32)
+	case Int64:
+		return len(v.I64)
+	default:
+		return len(v.Str)
+	}
+}
+
+// Reset truncates the vector to length zero, retaining capacity.
+func (v *Vector) Reset() {
+	v.I32 = v.I32[:0]
+	v.I64 = v.I64[:0]
+	v.Str = v.Str[:0]
+}
+
+// Int32Iterator is the tuple-at-a-time ("getNext") access path over a block
+// of int32 values. It exists so the Figure 7 ablation can degrade block
+// iteration to one interface call per value, matching how the paper replaced
+// C-Store's "asArray" interface with "getNext".
+type Int32Iterator interface {
+	// Next returns the next value; ok is false when the block is exhausted.
+	Next() (val int32, ok bool)
+}
+
+// SliceIter adapts a []int32 to Int32Iterator. Each Next is a real interface
+// method call, so per-value overhead is paid just as in a Volcano engine.
+type SliceIter struct {
+	vals []int32
+	i    int
+}
+
+// NewSliceIter returns an iterator over vals.
+func NewSliceIter(vals []int32) *SliceIter { return &SliceIter{vals: vals} }
+
+// Next implements Int32Iterator.
+func (it *SliceIter) Next() (int32, bool) {
+	if it.i >= len(it.vals) {
+		return 0, false
+	}
+	v := it.vals[it.i]
+	it.i++
+	return v, true
+}
+
+// PosKind identifies the physical representation of a Positions list.
+type PosKind uint8
+
+const (
+	// PosRange is a contiguous [Start, End) interval — the cheapest
+	// representation, produced by predicates on sorted (RLE) columns.
+	PosRange PosKind = iota
+	// PosExplicit is a sorted array of positions, good for selective
+	// predicates.
+	PosExplicit
+	// PosBitmap is a fixed-length bitmap, good for predicates of moderate
+	// selectivity and for fast intersection.
+	PosBitmap
+)
+
+// Positions is a list of ordinal offsets into a column, in ascending order.
+// It is the currency of late-materialized plans.
+type Positions struct {
+	Kind  PosKind
+	Start int32 // PosRange
+	End   int32 // PosRange, exclusive
+	List  []int32
+	Bits  *bitmap.Bitmap
+}
+
+// NewRangePositions returns positions covering [start, end).
+func NewRangePositions(start, end int32) *Positions {
+	return &Positions{Kind: PosRange, Start: start, End: end}
+}
+
+// NewExplicitPositions returns positions backed by a sorted slice.
+func NewExplicitPositions(list []int32) *Positions {
+	return &Positions{Kind: PosExplicit, List: list}
+}
+
+// NewBitmapPositions returns positions backed by a bitmap.
+func NewBitmapPositions(b *bitmap.Bitmap) *Positions {
+	return &Positions{Kind: PosBitmap, Bits: b}
+}
+
+// Len returns the number of selected positions.
+func (p *Positions) Len() int {
+	switch p.Kind {
+	case PosRange:
+		if p.End <= p.Start {
+			return 0
+		}
+		return int(p.End - p.Start)
+	case PosExplicit:
+		return len(p.List)
+	default:
+		return p.Bits.Count()
+	}
+}
+
+// ForEach calls fn for every selected position in ascending order.
+func (p *Positions) ForEach(fn func(pos int32)) {
+	switch p.Kind {
+	case PosRange:
+		for i := p.Start; i < p.End; i++ {
+			fn(i)
+		}
+	case PosExplicit:
+		for _, i := range p.List {
+			fn(i)
+		}
+	default:
+		p.Bits.ForEach(func(i int) { fn(int32(i)) })
+	}
+}
+
+// ToBitmap renders the positions as a bitmap of length n. When the positions
+// are already a bitmap of the right length it is returned directly (not a
+// copy).
+func (p *Positions) ToBitmap(n int) *bitmap.Bitmap {
+	switch p.Kind {
+	case PosBitmap:
+		if p.Bits.Len() == n {
+			return p.Bits
+		}
+		b := bitmap.New(n)
+		p.Bits.ForEach(func(i int) { b.Set(i) })
+		return b
+	case PosRange:
+		b := bitmap.New(n)
+		b.SetRange(int(p.Start), int(p.End))
+		return b
+	default:
+		b := bitmap.New(n)
+		for _, i := range p.List {
+			b.Set(int(i))
+		}
+		return b
+	}
+}
+
+// ToSlice renders the positions as an explicit sorted []int32, appending to
+// dst.
+func (p *Positions) ToSlice(dst []int32) []int32 {
+	switch p.Kind {
+	case PosRange:
+		for i := p.Start; i < p.End; i++ {
+			dst = append(dst, i)
+		}
+	case PosExplicit:
+		dst = append(dst, p.List...)
+	default:
+		dst = p.Bits.AppendPositions(dst)
+	}
+	return dst
+}
+
+// And intersects two position lists over a column of n rows and returns the
+// result. Representation of the result follows the cheaper input: two ranges
+// intersect to a range; anything involving a bitmap stays a bitmap.
+func And(a, b *Positions, n int) *Positions {
+	if a.Kind == PosRange && b.Kind == PosRange {
+		start := a.Start
+		if b.Start > start {
+			start = b.Start
+		}
+		end := a.End
+		if b.End < end {
+			end = b.End
+		}
+		if end < start {
+			end = start
+		}
+		return NewRangePositions(start, end)
+	}
+	if a.Kind == PosExplicit && b.Kind == PosExplicit {
+		return NewExplicitPositions(intersectSorted(a.List, b.List))
+	}
+	// Mixed or bitmap-involving: intersect as bitmaps.
+	ab := a.ToBitmap(n)
+	bb := b.ToBitmap(n)
+	out := ab.Clone()
+	out.And(bb)
+	return NewBitmapPositions(out)
+}
+
+// intersectSorted merges two ascending position slices.
+func intersectSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
