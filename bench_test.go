@@ -131,6 +131,54 @@ func BenchmarkFlight1PerQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkFusedPipeline measures the fused, block-at-a-time pipeline
+// against the per-probe pipeline it replaces, on the join flights (2-4) —
+// the ten queries whose CPU is dominated by probe application and group
+// extraction. One iteration runs all ten queries; compare ns/op between
+// the PerProbe and Fused sub-benchmarks for the CPU speedup, and the
+// sim-io-s/op metric for the I/O side.
+func BenchmarkFusedPipeline(b *testing.B) {
+	db := benchDB()
+	var joinQueries []*ssb.Query
+	for _, q := range ssb.Queries() {
+		if q.Flight >= 2 {
+			joinQueries = append(joinQueries, q)
+		}
+	}
+	fusedPar := exec.FusedOpt
+	fusedPar.Workers = 4
+	for _, sys := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"PerProbe", core.ColumnStore(exec.FullOpt)},
+		{"Fused", core.ColumnStore(exec.FusedOpt)},
+		{"FusedParallel", core.ColumnStore(fusedPar)},
+	} {
+		sys := sys
+		b.Run(sys.name, func(b *testing.B) {
+			// Warm-up validates the configuration end to end.
+			for _, q := range joinQueries {
+				if _, _, err := db.Run(q.ID, sys.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var ioSecs float64
+			for i := 0; i < b.N; i++ {
+				for _, q := range joinQueries {
+					_, stats, err := db.Run(q.ID, sys.cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ioSecs += stats.IOTime.Seconds()
+				}
+			}
+			b.ReportMetric(ioSecs/float64(b.N), "sim-io-s/op")
+		})
+	}
+}
+
 // BenchmarkStorageSizes reports the Section 6.2 storage comparison as
 // benchmark metrics (bytes per value for each layout).
 func BenchmarkStorageSizes(b *testing.B) {

@@ -10,6 +10,7 @@
 //	-figure projections  redundant sort orders extension         (Section 5.1)
 //	-figure conclusion   super-tuple row-store simulation        (Section 7)
 //	-figure partition  partitioning on/off ablation              (Section 6.1)
+//	-figure fused      fused pipeline vs per-probe extension     (PERFORMANCE.md)
 //	-figure all        everything
 //
 // Reported numbers are total simulated seconds: measured CPU time plus the
@@ -76,6 +77,8 @@ func main() {
 			runFigure(db, "Extension: super-tuple row-store simulation (paper Section 7)", conclusionRows(db))
 		case "partition":
 			runPartition(db)
+		case "fused":
+			runFigure(db, "Extension: fused morsel-parallel pipeline (see PERFORMANCE.md)", fusedRows(db))
 		case "all":
 			runFigure(db, "Figure 5: baseline comparison", figure5Rows(db))
 			runFigure(db, "Figure 6: row-store physical designs", figure6Rows(db))
@@ -83,6 +86,7 @@ func main() {
 			runFigure(db, "Figure 8: denormalization", figure8Rows(db))
 			runFigure(db, "Extension: redundant fact projections (paper Section 5.1)", projectionRows(db))
 			runFigure(db, "Extension: super-tuple row-store simulation (paper Section 7)", conclusionRows(db))
+			runFigure(db, "Extension: fused morsel-parallel pipeline (see PERFORMANCE.md)", fusedRows(db))
 			runSizes(db)
 			runPartition(db)
 		default:
@@ -148,6 +152,16 @@ func conclusionRows(db *core.DB) []row {
 		{"VP (super)", core.SuperTupleVP()},
 		{"CS (no compress)", core.ColumnStore(exec.Config{BlockIter: true, InvisibleJoin: true, LateMat: true})},
 		{"CS (full)", core.ColumnStore(exec.FullOpt)},
+	}
+}
+
+func fusedRows(db *core.DB) []row {
+	fusedPar := exec.FusedOpt
+	fusedPar.Workers = 4
+	return []row{
+		{"per-probe", core.ColumnStore(exec.FullOpt)},
+		{"fused", core.ColumnStore(exec.FusedOpt)},
+		{"fused 4w", core.ColumnStore(fusedPar)},
 	}
 }
 

@@ -6,7 +6,8 @@
 //
 //	ssb-query [-sf 0.1] -q 2.1 -system CS
 //
-// Systems: CS (full column store), CS:<code> (Figure 7 configuration such
+// Systems: CS (full column store), CS-FUSED (fused morsel-parallel
+// pipeline, see PERFORMANCE.md), CS:<code> (Figure 7 configuration such
 // as Ticl), CS-ROWMV, RS (traditional), RS-TB, RS-MV, RS-VP, RS-AI,
 // PJ-NOC, PJ-INTC, PJ-MAXC.
 package main
@@ -109,6 +110,8 @@ func parseSystem(s string) (core.Config, error) {
 	switch u {
 	case "CS":
 		return core.ColumnStore(exec.FullOpt), nil
+	case "CS-FUSED":
+		return core.ColumnStore(exec.FusedOpt), nil
 	case "CS-ROWMV":
 		return core.RowMV(), nil
 	case "RS":

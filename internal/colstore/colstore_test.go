@@ -349,3 +349,73 @@ func TestQuickGatherOracle(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGatherBlockMatchesGather: block-local gather returns the same values
+// as the whole-column positional gather, and charges positional I/O.
+func TestGatherBlockMatchesGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := BlockSize + 1234
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = rng.Int31n(5000)
+	}
+	c := NewColumn("c", vals, nil, Unsorted, true)
+	// Scattered positions across both blocks.
+	var pos []int32
+	for p := int32(7); p < int32(n); p += 997 {
+		pos = append(pos, p)
+	}
+	var stWant iosim.Stats
+	want := c.Gather(vector.NewExplicitPositions(pos), nil, &stWant)
+	var got []int32
+	var stGot iosim.Stats
+	var idx []int32
+	for bi := 0; bi < c.NumBlocks(); bi++ {
+		base := int32(bi) * BlockSize
+		idx = idx[:0]
+		for _, p := range pos {
+			if p >= base && p < base+int32(c.Block(bi).Len()) {
+				idx = append(idx, p-base)
+			}
+		}
+		got = c.GatherBlock(bi, idx, got, &stGot)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("GatherBlock returned %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GatherBlock[%d] = %d want %d", i, got[i], want[i])
+		}
+	}
+	if stGot.BytesRead != stWant.BytesRead {
+		t.Fatalf("GatherBlock charged %d bytes, Gather charged %d", stGot.BytesRead, stWant.BytesRead)
+	}
+	if stGot.BytesRead == 0 {
+		t.Fatal("no positional I/O charged")
+	}
+}
+
+// TestColumnMinMax: column-wide stats equal the true extrema and charge no
+// I/O.
+func TestColumnMinMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	vals := make([]int32, BlockSize+99)
+	for i := range vals {
+		vals[i] = rng.Int31n(1<<20) - 500
+	}
+	c := NewColumn("c", vals, nil, Unsorted, true)
+	wantMn, wantMx := vals[0], vals[0]
+	for _, v := range vals {
+		if v < wantMn {
+			wantMn = v
+		}
+		if v > wantMx {
+			wantMx = v
+		}
+	}
+	mn, mx := c.MinMax()
+	if mn != wantMn || mx != wantMx {
+		t.Fatalf("MinMax = (%d, %d) want (%d, %d)", mn, mx, wantMn, wantMx)
+	}
+}

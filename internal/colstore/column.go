@@ -211,6 +211,37 @@ func (c *Column) FilterAt(p compress.Pred, candidates *vector.Positions, st *ios
 	return vector.NewBitmapPositions(out)
 }
 
+// GatherBlock gathers the values at sorted block-local indexes idx from
+// block bi, charging positional I/O for the pages the indexes touch. It is
+// the block-at-a-time access path of the fused executor: the caller owns the
+// block loop and reuses idx/dst scratch across blocks.
+func (c *Column) GatherBlock(bi int, idx []int32, dst []int32, st *iosim.Stats) []int32 {
+	if len(idx) == 0 {
+		return dst
+	}
+	chargePositional(c.blocks[bi], idx, st)
+	return c.blocks[bi].Gather(idx, dst)
+}
+
+// MinMax returns the column-wide minimum and maximum from block statistics,
+// without decoding any values or charging I/O.
+func (c *Column) MinMax() (int32, int32) {
+	if len(c.blocks) == 0 {
+		return 0, 0
+	}
+	mn, mx := c.blocks[0].MinMax()
+	for _, b := range c.blocks[1:] {
+		bmn, bmx := b.MinMax()
+		if bmn < mn {
+			mn = bmn
+		}
+		if bmx > mx {
+			mx = bmx
+		}
+	}
+	return mn, mx
+}
+
 // Gather appends the values at the given positions to dst, reading only the
 // blocks that contain selected positions.
 func (c *Column) Gather(positions *vector.Positions, dst []int32, st *iosim.Stats) []int32 {

@@ -80,7 +80,9 @@ func (b *BitPackBlock) AppendTo(dst []int32) []int32 {
 func (b *BitPackBlock) Get(i int) int32 { return int32(int64(b.min) + int64(b.get(i))) }
 
 // Filter implements IntBlock. The predicate is rebased into code space so
-// the inner loop compares packed codes without reconstructing values.
+// the inner loop compares packed codes without reconstructing values; the
+// word cursor advances incrementally rather than recomputing the bit
+// position per value.
 func (b *BitPackBlock) Filter(p Pred, base int, bm *bitmap.Bitmap) {
 	if lo, hi, ok := p.Bounds(); ok {
 		// Rebase interval to code space, clamping at block bounds.
@@ -93,8 +95,19 @@ func (b *BitPackBlock) Filter(p Pred, base int, bm *bitmap.Bitmap) {
 			cl = 0
 		}
 		ulo, uhi := uint64(cl), uint64(ch)
+		mask := uint64(1)<<b.width - 1
+		w, off := 0, uint(0)
 		for i := 0; i < b.n; i++ {
-			if c := b.get(i); c >= ulo && c <= uhi {
+			u := b.words[w] >> off
+			if off+b.width > 64 {
+				u |= b.words[w+1] << (64 - off)
+			}
+			off += b.width
+			if off >= 64 {
+				off -= 64
+				w++
+			}
+			if c := u & mask; c >= ulo && c <= uhi {
 				bm.Set(base + i)
 			}
 		}
@@ -102,6 +115,32 @@ func (b *BitPackBlock) Filter(p Pred, base int, bm *bitmap.Bitmap) {
 	}
 	for i := 0; i < b.n; i++ {
 		if p.Match(b.Get(i)) {
+			bm.Set(base + i)
+		}
+	}
+}
+
+// FilterSet implements IntBlock. The set window is rebased into code space
+// once, so the inner loop tests packed codes without reconstructing values.
+func (b *BitPackBlock) FilterSet(set *bitmap.Bitmap, setMin int32, base int, bm *bitmap.Bitmap) {
+	if b.max < setMin || int64(b.min) > int64(setMin)+int64(set.Len())-1 {
+		return
+	}
+	rebase := int64(b.min) - int64(setMin)
+	n := int64(set.Len())
+	mask := uint64(1)<<b.width - 1
+	w, off := 0, uint(0)
+	for i := 0; i < b.n; i++ {
+		u := b.words[w] >> off
+		if off+b.width > 64 {
+			u |= b.words[w+1] << (64 - off)
+		}
+		off += b.width
+		if off >= 64 {
+			off -= 64
+			w++
+		}
+		if k := int64(u&mask) + rebase; k >= 0 && k < n && set.Get(int(k)) {
 			bm.Set(base + i)
 		}
 	}

@@ -127,6 +127,22 @@ func (b *BitVecBlock) Filter(p Pred, base int, bm *bitmap.Bitmap) {
 	}
 }
 
+// FilterSet implements IntBlock: one membership bit test per distinct value,
+// then a word-level OR of the bitmaps of member values — no per-position
+// work at all.
+func (b *BitVecBlock) FilterSet(set *bitmap.Bitmap, setMin int32, base int, bm *bitmap.Bitmap) {
+	for vi, vm := range b.maps {
+		if !setContains(set, setMin, b.vals[vi]) {
+			continue
+		}
+		if base%64 == 0 {
+			bm.OrWordsAt(base/64, vm)
+		} else {
+			vm.ForEach(func(pos int) { bm.Set(base + pos) })
+		}
+	}
+}
+
 // Gather implements IntBlock.
 func (b *BitVecBlock) Gather(idx []int32, dst []int32) []int32 {
 	for _, i := range idx {

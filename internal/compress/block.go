@@ -58,6 +58,14 @@ type IntBlock interface {
 	// match. Implementations exploit their representation (e.g. RLE sets
 	// whole ranges per matching run).
 	Filter(p Pred, base int, bm *bitmap.Bitmap)
+	// FilterSet is the dense-membership analogue of Filter: it sets bit
+	// base+i in bm for every value v at index i whose bit (v-setMin) is
+	// set in set. Values outside [setMin, setMin+set.Len()) never match.
+	// Implementations probe membership directly on the compressed
+	// representation (RLE tests one bit per run, bit-vector encoding ORs
+	// whole value bitmaps), which is what makes the fused executor's
+	// join probes branch-light.
+	FilterSet(set *bitmap.Bitmap, setMin int32, base int, bm *bitmap.Bitmap)
 	// Gather appends the values at the given sorted block-local indexes
 	// to dst.
 	Gather(idx []int32, dst []int32) []int32
@@ -77,6 +85,13 @@ func NewPlainBlock(vals []int32) *PlainBlock {
 	b := &PlainBlock{vals: vals}
 	b.min, b.max = minMax(vals)
 	return b
+}
+
+// setContains reports whether v is a member of the dense set anchored at
+// setMin (bit k of set encodes value setMin+k).
+func setContains(set *bitmap.Bitmap, setMin int32, v int32) bool {
+	k := int64(v) - int64(setMin)
+	return k >= 0 && k < int64(set.Len()) && set.Get(int(k))
 }
 
 func minMax(vals []int32) (int32, int32) {
@@ -148,6 +163,16 @@ func (b *PlainBlock) Filter(p Pred, base int, bm *bitmap.Bitmap) {
 			if p.Match(v) {
 				bm.Set(base + i)
 			}
+		}
+	}
+}
+
+// FilterSet implements IntBlock with a tight membership test over the raw
+// array.
+func (b *PlainBlock) FilterSet(set *bitmap.Bitmap, setMin int32, base int, bm *bitmap.Bitmap) {
+	for i, v := range b.vals {
+		if setContains(set, setMin, v) {
+			bm.Set(base + i)
 		}
 	}
 }

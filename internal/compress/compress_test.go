@@ -498,3 +498,58 @@ func BenchmarkFilterPlainVsRLE(b *testing.B) {
 		}
 	})
 }
+
+// TestFilterSetEquivalence: FilterSet on every encoding agrees with a naive
+// membership test over the decoded values, at aligned and unaligned bases.
+func TestFilterSetEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for name, enc := range allEncoders() {
+		for trial := 0; trial < 30; trial++ {
+			vals := genVals(rng, rng.Intn(400)+1)
+			blk := enc(vals)
+			checkFilterSet(t, name, trial, blk, vals, rng)
+		}
+	}
+	// Bit-vector encoding explicitly (Choose only picks it sometimes).
+	for trial := 0; trial < 30; trial++ {
+		vals := make([]int32, rng.Intn(300)+1)
+		for i := range vals {
+			vals[i] = rng.Int31n(9) * 3
+		}
+		checkFilterSet(t, "bitvec", trial, NewBitVecBlock(vals), vals, rng)
+	}
+}
+
+func checkFilterSet(t *testing.T, name string, trial int, blk IntBlock, vals []int32, rng *rand.Rand) {
+	t.Helper()
+	// Build a random membership set around the value range, anchored at a
+	// random offset so out-of-window values are exercised.
+	mn, mx := minMax(vals)
+	setMin := mn - rng.Int31n(5)
+	width := int(mx-setMin) + 1 - rng.Intn(3) // sometimes truncate the window
+	if width < 1 {
+		width = 1
+	}
+	set := bitmap.New(width)
+	for i := 0; i < width; i++ {
+		if rng.Intn(3) == 0 {
+			set.Set(i)
+		}
+	}
+	for _, base := range []int{0, 64, 13} {
+		bm := bitmap.New(base + len(vals) + 5)
+		blk.FilterSet(set, setMin, base, bm)
+		for i, v := range vals {
+			want := setContains(set, setMin, v)
+			if bm.Get(base+i) != want {
+				t.Fatalf("%s trial %d base %d: pos %d val %d got %v want %v",
+					name, trial, base, i, v, bm.Get(base+i), want)
+			}
+		}
+		for i := 0; i < base; i++ {
+			if bm.Get(i) {
+				t.Fatalf("%s base %d: stray bit below base at %d", name, base, i)
+			}
+		}
+	}
+}

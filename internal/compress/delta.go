@@ -139,6 +139,24 @@ func (b *DeltaBlock) Filter(p Pred, base int, bm *bitmap.Bitmap) {
 	}
 }
 
+// FilterSet implements IntBlock by streaming the decoded sequence through
+// the membership test.
+func (b *DeltaBlock) FilterSet(set *bitmap.Bitmap, setMin int32, base int, bm *bitmap.Bitmap) {
+	if b.n == 0 {
+		return
+	}
+	v := int64(b.first)
+	if setContains(set, setMin, int32(v)) {
+		bm.Set(base)
+	}
+	for i := 0; i < b.n-1; i++ {
+		v += b.delta(i)
+		if setContains(set, setMin, int32(v)) {
+			bm.Set(base + i + 1)
+		}
+	}
+}
+
 // Gather implements IntBlock with one forward decode pass (idx is sorted).
 func (b *DeltaBlock) Gather(idx []int32, dst []int32) []int32 {
 	if len(idx) == 0 {

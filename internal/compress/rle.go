@@ -95,6 +95,16 @@ func (b *RLEBlock) Filter(p Pred, base int, bm *bitmap.Bitmap) {
 	}
 }
 
+// FilterSet implements IntBlock: one membership bit test per run, with whole
+// ranges set at once for matching runs.
+func (b *RLEBlock) FilterSet(set *bitmap.Bitmap, setMin int32, base int, bm *bitmap.Bitmap) {
+	for _, r := range b.runs {
+		if setContains(set, setMin, r.Val) {
+			bm.SetRange(base+int(r.Start), base+int(r.Start+r.Len))
+		}
+	}
+}
+
 // Gather implements IntBlock with a merge walk: positions are sorted, so a
 // single forward pass over runs suffices.
 func (b *RLEBlock) Gather(idx []int32, dst []int32) []int32 {

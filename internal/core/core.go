@@ -93,10 +93,14 @@ func Denormalized(m exec.DenormMode) Config { return Config{Kind: KindDenorm, De
 func (c Config) Label() string {
 	switch c.Kind {
 	case KindColumn:
-		if c.UseProjections {
-			return "CS:" + c.Col.Code() + "+proj"
+		code := c.Col.Code()
+		if c.Col.Fused {
+			code += "+fused"
 		}
-		return "CS:" + c.Col.Code()
+		if c.UseProjections {
+			return "CS:" + code + "+proj"
+		}
+		return "CS:" + code
 	case KindColumnRowMV:
 		return "CS(Row-MV)"
 	case KindRow:

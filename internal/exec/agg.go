@@ -3,12 +3,18 @@ package exec
 import (
 	"strconv"
 
+	"repro/internal/bitmap"
 	"repro/internal/colstore"
 	"repro/internal/compress"
 	"repro/internal/iosim"
 	"repro/internal/ssb"
 	"repro/internal/vector"
 )
+
+// denseLimit bounds the composite group-key space for which aggregation
+// uses flat dense arrays (one int64 per possible group) instead of a hash
+// table. Shared by the per-probe and fused pipelines.
+const denseLimit = 1 << 22
 
 // groupExtractor turns fact foreign-key values into group-by attribute
 // codes for one GROUP BY column (join phase 3 from Section 5.4.1).
@@ -164,38 +170,19 @@ func (db *DB) aggregate(q *ssb.Query, cfg Config, pos *vector.Positions, st *ios
 
 	// Composite dense aggregation: group codes are small, so the
 	// composite key space is a flat array.
-	strides := make([]int64, len(exs))
-	total := int64(1)
-	for i := len(exs) - 1; i >= 0; i-- {
-		strides[i] = total
-		total *= int64(exs[i].card)
-	}
-	const denseLimit = 1 << 22
+	strides, total := groupStrides(exs)
 	if total <= denseLimit {
 		sums := make([]int64, total)
-		seen := make([]bool, total)
+		seen := bitmap.New(int(total))
 		for r := 0; r < n; r++ {
 			idx := int64(0)
 			for i := range exs {
 				idx += int64(codes[i][r]) * strides[i]
 			}
 			sums[idx] += values[r]
-			seen[idx] = true
+			seen.Set(int(idx))
 		}
-		var rows []ssb.ResultRow
-		for idx := int64(0); idx < total; idx++ {
-			if !seen[idx] {
-				continue
-			}
-			keys := make([]string, len(exs))
-			rem := idx
-			for i := range exs {
-				keys[i] = exs[i].render(int32(rem / strides[i]))
-				rem %= strides[i]
-			}
-			rows = append(rows, ssb.ResultRow{Keys: keys, Agg: sums[idx]})
-		}
-		return ssb.NewResult(q.ID, rows)
+		return ssb.NewResult(q.ID, denseGroupRows(exs, strides, sums, seen))
 	}
 
 	// Fallback for huge group spaces: hash aggregation.
@@ -224,6 +211,35 @@ func (db *DB) aggregate(q *ssb.Query, cfg Config, pos *vector.Positions, st *ios
 		rows = append(rows, ssb.ResultRow{Keys: keys, Agg: c.sum})
 	}
 	return ssb.NewResult(q.ID, rows)
+}
+
+// groupStrides lays the group extractors' code spaces out as one composite
+// key: strides[i] is the multiplier of extractor i's code, total the size of
+// the composite space.
+func groupStrides(exs []*groupExtractor) (strides []int64, total int64) {
+	strides = make([]int64, len(exs))
+	total = 1
+	for i := len(exs) - 1; i >= 0; i-- {
+		strides[i] = total
+		total *= int64(exs[i].card)
+	}
+	return strides, total
+}
+
+// denseGroupRows renders the populated cells of a dense composite-key
+// aggregation into result rows.
+func denseGroupRows(exs []*groupExtractor, strides []int64, sums []int64, seen *bitmap.Bitmap) []ssb.ResultRow {
+	var rows []ssb.ResultRow
+	seen.ForEach(func(i int) {
+		keys := make([]string, len(exs))
+		rem := int64(i)
+		for k := range exs {
+			keys[k] = exs[k].render(int32(rem / strides[k]))
+			rem %= strides[k]
+		}
+		rows = append(rows, ssb.ResultRow{Keys: keys, Agg: sums[i]})
+	})
+	return rows
 }
 
 // computeProduct fills dst[i] = int64(a[i]) * int64(b[i]).

@@ -32,14 +32,34 @@ type Config struct {
 	// plan and processing is row-oriented ("l"), which also precludes
 	// the invisible join (paper Section 6.3.2).
 	LateMat bool
-	// Workers enables intra-query parallel full-column scans when > 1.
-	// The paper's engines are single-threaded, so Figure 7 parity
-	// requires 0 or 1; see parallel.go for the extension experiment.
+	// Workers enables intra-query parallelism when > 1: full-column
+	// predicate scans on the per-probe path, and the whole morsel loop on
+	// the fused path. The paper's engines are single-threaded, so
+	// Figure 7 parity requires 0 or 1; see parallel.go and fused.go for
+	// the extension experiments.
 	Workers int
+	// Fused enables the fused, block-at-a-time pipeline (fused.go): each
+	// fact block is scanned once against every predicate and dense-bitmap
+	// join probe with per-block min/max short-circuiting, and aggregation
+	// happens inside the same pass. It replaces the per-probe pipeline's
+	// full-table bitmap per probe and map[int32]struct{} membership
+	// lookups. Requires BlockIter and LateMat (ignored otherwise); keep
+	// it false for the Figure 5/7 ablations, whose per-probe pipeline
+	// stays the faithful reproduction path.
+	Fused bool
 }
 
 // FullOpt is the baseline C-Store configuration "tICL".
 var FullOpt = Config{BlockIter: true, InvisibleJoin: true, Compression: true, LateMat: true}
+
+// FusedOpt is FullOpt with the fused block-at-a-time pipeline enabled — the
+// performance configuration beyond the paper's ablation grid.
+var FusedOpt = Config{BlockIter: true, InvisibleJoin: true, Compression: true, LateMat: true, Fused: true}
+
+// fusedActive reports whether the fused pipeline executes under c: the
+// fused pass is inherently block-iterated and late-materialized, so the
+// flag is inert in configurations that ablate either.
+func (c Config) fusedActive() bool { return c.Fused && c.BlockIter && c.LateMat }
 
 // Figure7Configs returns the seven configurations of Figure 7 in the
 // paper's order: tICL, TICL, tiCL, TiCL, ticL, TicL, Ticl.

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/colstore"
 	"repro/internal/compress"
@@ -31,11 +32,24 @@ type DB struct {
 
 	// dateByKey maps yyyymmdd datekey -> position in the date dimension.
 	dateByKey map[int32]int32
-	numRows   int
+	// datePosDense is the dense form of dateByKey, anchored at dateKeyMin:
+	// datePosDense[k-dateKeyMin] is the position for datekey k, -1 in the
+	// yyyymmdd gaps. The fused pipeline resolves date joins with one array
+	// index per fact row instead of a map lookup.
+	datePosDense []int32
+	dateKeyMin   int32
+	numRows      int
 
 	// projections are optional redundant sort orders of the fact table
 	// (see projection.go).
 	projections []*Projection
+
+	// fusedPool recycles fused-scan worker state (selection bitmaps,
+	// gather scratch, dense aggregation arrays) across queries; see
+	// fused.go. Workers scrub their aggregation cells sparsely before
+	// returning, so a pooled worker's arrays are always all-zero. A
+	// pointer so projection clones (withFact) share one pool.
+	fusedPool *sync.Pool
 }
 
 // NumRows returns the fact cardinality.
@@ -52,6 +66,7 @@ func BuildDB(d *ssb.Data, compressed bool) *DB {
 		Compressed: compressed,
 		Dims:       map[ssb.Dim]*colstore.Table{},
 		numRows:    d.NumLineorders(),
+		fusedPool:  &sync.Pool{},
 	}
 
 	custPerm := hierarchyPerm(len(d.Customer.Key), d.Customer.Region, d.Customer.Nation, d.Customer.City)
@@ -98,6 +113,25 @@ func BuildDB(d *ssb.Data, compressed bool) *DB {
 	db.dateByKey = make(map[int32]int32, len(d.Date.Key))
 	for i, k := range d.Date.Key {
 		db.dateByKey[k] = int32(i)
+	}
+	if len(d.Date.Key) > 0 {
+		mn, mx := d.Date.Key[0], d.Date.Key[0]
+		for _, k := range d.Date.Key {
+			if k < mn {
+				mn = k
+			}
+			if k > mx {
+				mx = k
+			}
+		}
+		db.dateKeyMin = mn
+		db.datePosDense = make([]int32, int(mx-mn)+1)
+		for i := range db.datePosDense {
+			db.datePosDense[i] = -1
+		}
+		for i, k := range d.Date.Key {
+			db.datePosDense[k-mn] = int32(i)
+		}
 	}
 
 	// Fact table: remap customer/supplier/part FKs to dimension

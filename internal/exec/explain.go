@@ -25,6 +25,14 @@ func (db *DB) Explain(q *ssb.Query, cfg Config) string {
 	}
 
 	probes := db.planProbes(q, cfg, nil)
+	if cfg.fusedActive() {
+		if db.fusedGroupSpace(q) > denseLimit {
+			fmt.Fprintf(&b, "  FUSED disabled for this query: composite group space exceeds the dense limit; per-probe hash aggregation runs instead\n")
+		} else {
+			fmt.Fprintf(&b, "  FUSED: one block-at-a-time pass over %d workers; probes, extraction and dense aggregation run per 64K block\n",
+				db.fusedWorkers(q, cfg))
+		}
+	}
 	fmt.Fprintf(&b, "  phase 2 probe order (pipelined, candidates shrink left to right):\n")
 	for i, p := range probes {
 		switch {
@@ -34,9 +42,12 @@ func (db *DB) Explain(q *ssb.Query, cfg Config) string {
 		case p.isPred:
 			fmt.Fprintf(&b, "    %d. %-14s %s", i+1, p.col.Name, predString(p))
 			b.WriteString("\n")
+		case p.dense != nil:
+			fmt.Fprintf(&b, "    %d. %-14s dense-bitmap probe against %d dimension keys in [%d, %d]\n",
+				i+1, p.col.Name, p.keyCount(), p.setMin, p.setMax)
 		default:
 			fmt.Fprintf(&b, "    %d. %-14s hash probe against %d dimension keys (no contiguous range)\n",
-				i+1, p.col.Name, len(p.set))
+				i+1, p.col.Name, p.keyCount())
 		}
 	}
 	if len(probes) == 0 {
@@ -49,6 +60,8 @@ func (db *DB) Explain(q *ssb.Query, cfg Config) string {
 			switch {
 			case !cfg.InvisibleJoin:
 				fmt.Fprintf(&b, "    %s.%s via hash table (late-materialized join)\n", g.Dim, g.Col)
+			case g.Dim == ssb.DimDate && cfg.fusedActive():
+				fmt.Fprintf(&b, "    %s.%s via dense datekey->position array (no per-row hash)\n", g.Dim, g.Col)
 			case g.Dim == ssb.DimDate:
 				fmt.Fprintf(&b, "    %s.%s via datekey lookup (key is not a position: full join)\n", g.Dim, g.Col)
 			default:

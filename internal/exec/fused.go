@@ -1,0 +1,474 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/bitmap"
+	"repro/internal/colstore"
+	"repro/internal/compress"
+	"repro/internal/iosim"
+	"repro/internal/ssb"
+	"repro/internal/vector"
+)
+
+// This file implements the fused, block-at-a-time, morsel-parallel pipeline
+// (Config.Fused). The per-probe pipeline in run.go materializes a full
+// fact-table bitmap per probe and funnels every membership probe through a
+// map lookup per fact row; the fused pipeline instead scans each 64K fact
+// block exactly once against all predicates and probes:
+//
+//  1. Probes run in planProbes order with per-block min/max
+//     short-circuiting: a block a probe cannot match is abandoned before
+//     any I/O is charged, and a block a probe fully covers is passed
+//     through without decoding.
+//  2. While the selection is still the whole block, probes execute
+//     directly on the compressed representation — IntBlock.Filter for
+//     value predicates and IntBlock.FilterSet for dense-bitmap membership
+//     (RLE tests one bit per run, bit-vector encoding ORs whole value
+//     bitmaps) — into a block-local selection bitmap, word-ANDed into the
+//     running selection while it stays dense.
+//  3. Once the selection is sparse, probes switch to gather-and-test over
+//     the explicit survivor index list.
+//  4. Group-by codes (direct array extraction; date keys resolve through a
+//     dense key->position array rather than a map) and aggregate inputs
+//     are gathered for survivors only and accumulated into per-worker
+//     dense aggregation arrays inside the same pass.
+//
+// Morsel parallelism: workers own disjoint blocks (bi % workers == w) with
+// private scratch buffers, partial aggregates, and I/O stats, so the scan
+// needs no synchronization. Partials merge by commutative int64 addition
+// and bitmap OR, so results and I/O accounting are bit-identical for every
+// worker count.
+
+// fusedWorkerDenseLimit caps the composite group space for which every
+// worker gets a private dense aggregation array. Above it the fused scan
+// degrades to one worker rather than multiplying a huge array per worker.
+const fusedWorkerDenseLimit = 1 << 20
+
+// wholeBlockCheap reports whether filtering the entire block directly on
+// its compressed representation is cheaper than gathering at the current
+// survivor list: true for run-length and bit-vector blocks, whose Filter
+// is O(runs) / O(distinct values) word-level work rather than O(block
+// length) per-value decode.
+func wholeBlockCheap(blk compress.IntBlock) bool {
+	switch blk.Encoding() {
+	case compress.RLE, compress.BitVec:
+		return true
+	default:
+		return false
+	}
+}
+
+// fusedPlan is the per-query state shared (read-only) by all workers.
+type fusedPlan struct {
+	probes  []*factProbe
+	exs     []*fusedExtractor
+	strides []int64
+	mcols   []*colstore.Column
+	agg     ssb.AggKind
+	grouped bool
+	numRows int
+}
+
+// fusedExtractor resolves fact FK values to group-by attribute codes by
+// array indexing: codes[fk] when keys are reassigned positions, or
+// codes[posDense[fk-keyMin]] for the date dimension, whose yyyymmdd keys
+// resolve through the DB's cached dense key->position array.
+type fusedExtractor struct {
+	ex       *groupExtractor
+	fkCol    *colstore.Column
+	codes    []int32
+	posDense []int32 // nil for position-keyed dimensions
+	keyMin   int32
+}
+
+// newFusedExtractor prepares dense extraction state for one group column.
+// The fused pipeline always extracts by direct array indexing, so the
+// underlying extractor is built with the invisible-join layout regardless
+// of cfg (the fused flag subsumes the ablation).
+func (db *DB) newFusedExtractor(g ssb.GroupCol, cfg Config, st *iosim.Stats) *fusedExtractor {
+	ij := cfg
+	ij.InvisibleJoin = true
+	ex := db.newGroupExtractor(g, ij, st)
+	fx := &fusedExtractor{ex: ex, fkCol: ex.fkCol, codes: ex.attr}
+	if ex.isDate {
+		fx.posDense = db.datePosDense
+		fx.keyMin = db.dateKeyMin
+	}
+	return fx
+}
+
+// fusedGroupSpace bounds the composite group cardinality from catalog
+// metadata only (dictionary sizes, block min/max), without charging I/O, so
+// the executor can bail to the hash-aggregation fallback before any probe
+// work happens.
+func (db *DB) fusedGroupSpace(q *ssb.Query) int64 {
+	total := int64(1)
+	for _, g := range q.GroupBy {
+		col := db.Dims[g.Dim].MustColumn(g.Col)
+		var card int64
+		if col.Dict != nil {
+			card = int64(col.Dict.Size())
+		} else {
+			mn, mx := col.MinMax()
+			card = int64(mx) - int64(mn) + 1
+		}
+		if card < 1 {
+			card = 1
+		}
+		total *= card
+		if total > denseLimit {
+			return total
+		}
+	}
+	return total
+}
+
+// fusedWorkersFor returns the worker count the fused scan actually uses:
+// cfgWorkers clamped to at least one, degraded to one when the composite
+// group space makes per-worker dense arrays too costly, and capped at the
+// number of fact blocks.
+func fusedWorkersFor(cfgWorkers int, space int64, nb int) int {
+	workers := cfgWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if space > fusedWorkerDenseLimit {
+		workers = 1
+	}
+	if nb > 0 && nb < workers {
+		workers = nb
+	}
+	return workers
+}
+
+// fusedWorkers is the self-contained form of fusedWorkersFor, for Explain.
+func (db *DB) fusedWorkers(q *ssb.Query, cfg Config) int {
+	nb := (db.numRows + colstore.BlockSize - 1) / colstore.BlockSize
+	return fusedWorkersFor(cfg.Workers, db.fusedGroupSpace(q), nb)
+}
+
+// fusedWorker is one morsel worker's private state: scratch buffers reused
+// across blocks, partial aggregates, and I/O accounting.
+type fusedWorker struct {
+	st  iosim.Stats
+	sel *bitmap.Bitmap // block-local selection vector
+	tmp *bitmap.Bitmap // per-probe filter output, ANDed into sel
+
+	idx   []int32 // survivor block-local indexes
+	vals  []int32 // probe gather scratch
+	m0    []int32 // measure gather scratch
+	m1    []int32
+	fkv   []int32 // FK gather scratch
+	val64 []int64 // aggregate input per survivor
+	gidx  []int64 // composite group index per survivor
+
+	sums     []int64
+	seen     *bitmap.Bitmap
+	totalAgg int64
+}
+
+// getFusedWorker takes a worker from the DB pool (or makes one) and sizes
+// its aggregation arrays for a composite group space of total cells. Pooled
+// workers were scrubbed on release, so reused arrays are already all-zero.
+func (db *DB) getFusedWorker(grouped bool, total int64) *fusedWorker {
+	ws, _ := db.fusedPool.Get().(*fusedWorker)
+	if ws == nil {
+		ws = &fusedWorker{
+			sel: bitmap.New(colstore.BlockSize),
+			tmp: bitmap.New(colstore.BlockSize),
+		}
+	}
+	ws.st = iosim.Stats{}
+	ws.totalAgg = 0
+	if grouped {
+		if int64(cap(ws.sums)) < total {
+			ws.sums = make([]int64, total)
+		}
+		ws.sums = ws.sums[:total]
+		if ws.seen == nil || ws.seen.Len() < int(total) {
+			ws.seen = bitmap.New(int(total))
+		}
+	}
+	return ws
+}
+
+// putFusedWorker scrubs the worker's aggregation state — zeroing only the
+// cells its seen bitmap marks, which is what makes pooling cheaper than a
+// fresh make per query — and returns it to the pool. The merge step keeps
+// the scrub sound for worker 0 too: its seen bitmap holds the union of all
+// workers' cells by the time results are assembled.
+func (db *DB) putFusedWorker(ws *fusedWorker) {
+	if ws.seen != nil {
+		ws.seen.ForEach(func(i int) { ws.sums[i] = 0 })
+		ws.seen.Reset()
+	}
+	db.fusedPool.Put(ws)
+}
+
+// runFused executes the late-materialized plan as one fused scan.
+func (db *DB) runFused(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
+	space := db.fusedGroupSpace(q)
+	if space > denseLimit {
+		// Huge composite group spaces use the per-probe pipeline's hash
+		// aggregation fallback.
+		plain := cfg
+		plain.Fused = false
+		return db.runLateMat(q, plain, st)
+	}
+
+	plan := &fusedPlan{
+		probes:  db.planProbes(q, cfg, st),
+		agg:     q.Agg,
+		grouped: len(q.GroupBy) > 0,
+		numRows: db.numRows,
+	}
+	aggCols := q.Agg.Columns()
+	plan.mcols = make([]*colstore.Column, len(aggCols))
+	for i, name := range aggCols {
+		plan.mcols[i] = db.Fact.MustColumn(name)
+	}
+	gexs := make([]*groupExtractor, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		fx := db.newFusedExtractor(g, cfg, st)
+		plan.exs = append(plan.exs, fx)
+		gexs[i] = fx.ex
+	}
+	var total int64
+	plan.strides, total = groupStrides(gexs)
+
+	nb := (db.numRows + colstore.BlockSize - 1) / colstore.BlockSize
+	if nb == 0 {
+		return emptyResult(q)
+	}
+	workers := fusedWorkersFor(cfg.Workers, space, nb)
+
+	states := make([]*fusedWorker, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ws := db.getFusedWorker(plan.grouped, total)
+		states[w] = ws
+		wg.Add(1)
+		go func(w int, ws *fusedWorker) {
+			defer wg.Done()
+			for bi := w; bi < nb; bi += workers {
+				fusedBlock(bi, plan, ws)
+			}
+		}(w, ws)
+	}
+	wg.Wait()
+
+	if !plan.grouped {
+		var sum int64
+		for _, ws := range states {
+			st.Add(ws.st)
+			sum += ws.totalAgg
+			db.putFusedWorker(ws)
+		}
+		return ssb.NewResult(q.ID, []ssb.ResultRow{{Keys: nil, Agg: sum}})
+	}
+	// Deterministic merge into worker 0: per-worker partials combine by
+	// commutative int64 addition, and worker 0's seen bitmap becomes the
+	// union, so worker count never shows through in results or stats.
+	sums, seen := states[0].sums, states[0].seen
+	st.Add(states[0].st)
+	for _, ws := range states[1:] {
+		st.Add(ws.st)
+		ws.seen.ForEach(func(i int) {
+			sums[i] += ws.sums[i]
+			seen.Set(i)
+		})
+	}
+	rows := denseGroupRows(gexs, plan.strides, sums, seen)
+	for _, ws := range states {
+		db.putFusedWorker(ws)
+	}
+	return ssb.NewResult(q.ID, rows)
+}
+
+// fusedBlock runs the whole fused pipeline — probes, extraction,
+// aggregation — over one block.
+func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
+	blkBase := bi * colstore.BlockSize
+	blkLen := plan.numRows - blkBase
+	if blkLen > colstore.BlockSize {
+		blkLen = colstore.BlockSize
+	}
+
+	// Selection state: starts as the whole block, narrows to a bitmap
+	// while dense, then to an explicit index list.
+	full, onBitmap := true, false
+	ws.idx = ws.idx[:0]
+
+	for _, p := range plan.probes {
+		blk := p.col.Block(bi)
+		mn, mx := blk.MinMax()
+		if !p.mayMatch(mn, mx) {
+			return // min/max short-circuit: block has no survivors
+		}
+		if p.coversBlock(mn, mx) {
+			continue // every value survives: no decode, no I/O
+		}
+		switch {
+		case full:
+			// First narrowing probe: the whole block must be examined,
+			// so run directly on the compressed representation.
+			ws.sel.Reset()
+			applyBlockProbe(p, blk, ws.sel, ws)
+			full, onBitmap = false, true
+		case onBitmap && wholeBlockCheap(blk):
+			// Word-level fused selection: filter the compressed block
+			// and AND into the running selection vector.
+			ws.tmp.Reset()
+			applyBlockProbe(p, blk, ws.tmp, ws)
+			ws.sel.And(ws.tmp)
+		default:
+			if onBitmap {
+				ws.idx = ws.sel.AppendPositions(ws.idx[:0])
+				onBitmap = false
+			}
+			ws.vals = p.col.GatherBlock(bi, ws.idx, ws.vals[:0], &ws.st)
+			k := 0
+			switch {
+			case p.isPred:
+				if lo, hi, ok := p.pred.Bounds(); ok {
+					// Interval predicates compact with two compares
+					// per survivor instead of an op switch.
+					for j, v := range ws.vals {
+						if v >= lo && v <= hi {
+							ws.idx[k] = ws.idx[j]
+							k++
+						}
+					}
+				} else {
+					for j, v := range ws.vals {
+						if p.pred.Match(v) {
+							ws.idx[k] = ws.idx[j]
+							k++
+						}
+					}
+				}
+			case p.dense != nil:
+				// Dense-bitmap join probe: a branch-light bit test per
+				// survivor, no hashing.
+				dmin, dmax, bits := p.setMin, p.setMax, p.dense
+				for j, v := range ws.vals {
+					if v >= dmin && v <= dmax && bits.Get(int(v-dmin)) {
+						ws.idx[k] = ws.idx[j]
+						k++
+					}
+				}
+			default:
+				for j, v := range ws.vals {
+					if p.matches(v) {
+						ws.idx[k] = ws.idx[j]
+						k++
+					}
+				}
+			}
+			ws.idx = ws.idx[:k]
+		}
+		if onBitmap {
+			if ws.sel.Count() == 0 {
+				return
+			}
+		} else if !full && len(ws.idx) == 0 {
+			return
+		}
+	}
+
+	// Materialize the survivor list for extraction and aggregation.
+	if full {
+		ws.idx = vector.AppendSeq(ws.idx[:0], 0, int32(blkLen))
+	} else if onBitmap {
+		ws.idx = ws.sel.AppendPositions(ws.idx[:0])
+	}
+	if len(ws.idx) == 0 {
+		return
+	}
+
+	// Aggregate inputs at survivors only.
+	ws.m0 = plan.mcols[0].GatherBlock(bi, ws.idx, ws.m0[:0], &ws.st)
+	var m1 []int32
+	if len(plan.mcols) > 1 {
+		ws.m1 = plan.mcols[1].GatherBlock(bi, ws.idx, ws.m1[:0], &ws.st)
+		m1 = ws.m1
+	}
+	ws.val64 = ws.val64[:0]
+	switch plan.agg {
+	case ssb.AggDiscountRevenue:
+		for r, v := range ws.m0 {
+			ws.val64 = append(ws.val64, int64(v)*int64(m1[r]))
+		}
+	case ssb.AggRevenue:
+		for _, v := range ws.m0 {
+			ws.val64 = append(ws.val64, int64(v))
+		}
+	default:
+		for r, v := range ws.m0 {
+			ws.val64 = append(ws.val64, int64(v)-int64(m1[r]))
+		}
+	}
+
+	if !plan.grouped {
+		for _, v := range ws.val64 {
+			ws.totalAgg += v
+		}
+		return
+	}
+
+	// Group extraction: composite index accumulated per extractor, then
+	// one dense-array update per survivor.
+	ws.gidx = ws.gidx[:0]
+	for range ws.idx {
+		ws.gidx = append(ws.gidx, 0)
+	}
+	for gi, fx := range plan.exs {
+		ws.fkv = fx.fkCol.GatherBlock(bi, ws.idx, ws.fkv[:0], &ws.st)
+		stride := plan.strides[gi]
+		if fx.posDense == nil {
+			for r, fk := range ws.fkv {
+				ws.gidx[r] += int64(fx.codes[fk]) * stride
+			}
+		} else {
+			// Date keys resolve through the dense key->position array.
+			// Keys outside the dimension (possible only with unvalidated
+			// -data files) degrade to position 0, matching the per-probe
+			// path's map-miss behaviour instead of panicking.
+			for r, fk := range ws.fkv {
+				var pos int32
+				if k := int64(fk) - int64(fx.keyMin); k >= 0 && k < int64(len(fx.posDense)) {
+					if p := fx.posDense[k]; p >= 0 {
+						pos = p
+					}
+				}
+				ws.gidx[r] += int64(fx.codes[pos]) * stride
+			}
+		}
+	}
+	for r, gi := range ws.gidx {
+		ws.sums[gi] += ws.val64[r]
+		ws.seen.Set(int(gi))
+	}
+}
+
+// applyBlockProbe evaluates one probe over a whole block directly on its
+// compressed representation, charging a full block read.
+func applyBlockProbe(p *factProbe, blk compress.IntBlock, out *bitmap.Bitmap, ws *fusedWorker) {
+	ws.st.Read(blk.CompressedBytes())
+	switch {
+	case p.isPred:
+		blk.Filter(p.pred, 0, out)
+	case p.dense != nil:
+		blk.FilterSet(p.dense, p.setMin, 0, out)
+	default:
+		// Hash-set probe reached the fused path (defensive; planProbes
+		// builds dense sets whenever the fused pipeline is active).
+		ws.vals = blk.AppendTo(ws.vals[:0])
+		for i, v := range ws.vals {
+			if p.matches(v) {
+				out.Set(i)
+			}
+		}
+	}
+}

@@ -55,8 +55,11 @@ func parallelFilter(col *colstore.Column, pred compress.Pred, n int, st *iosim.S
 	return vector.NewBitmapPositions(out)
 }
 
-// parallelProbeSet is the hash-membership analogue of parallelFilter.
-func parallelProbeSet(col *colstore.Column, set map[int32]struct{}, n int, st *iosim.Stats) *vector.Positions {
+// parallelProbeSet is the membership analogue of parallelFilter. Blocks
+// whose min/max range cannot intersect the probe's key range are skipped
+// before charging I/O or decoding, mirroring probeSet.
+func parallelProbeSet(p *factProbe, n int, st *iosim.Stats) *vector.Positions {
+	col := p.col
 	out := bitmap.New(col.NumRows())
 	nb := col.NumBlocks()
 	var wg sync.WaitGroup
@@ -70,11 +73,13 @@ func parallelProbeSet(col *colstore.Column, set map[int32]struct{}, n int, st *i
 			for bi := 0; bi < nb; bi++ {
 				blk := col.Block(bi)
 				if bi%n == w {
-					stats[w].Read(blk.CompressedBytes())
-					scratch = blk.AppendTo(scratch[:0])
-					for i, v := range scratch {
-						if _, ok := set[v]; ok {
-							out.Set(base + i)
+					if mn, mx := blk.MinMax(); p.mayMatch(mn, mx) {
+						stats[w].Read(blk.CompressedBytes())
+						scratch = blk.AppendTo(scratch[:0])
+						for i, v := range scratch {
+							if p.matches(v) {
+								out.Set(base + i)
+							}
 						}
 					}
 				}

@@ -15,6 +15,9 @@ func (db *DB) Run(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
 	if !cfg.LateMat {
 		return db.runEarlyMat(q, cfg, st)
 	}
+	if cfg.fusedActive() {
+		return db.runFused(q, cfg, st)
+	}
 	return db.runLateMat(q, cfg, st)
 }
 
@@ -47,15 +50,61 @@ func (db *DB) runLateMat(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result 
 
 // factProbe is one predicate to apply against a fact column: either a
 // direct value predicate (between-rewritten joins, measure filters) or a
-// hash-set membership probe.
+// membership probe. Membership is represented as a hash set on the
+// per-probe path (the paper's simulated hash join) and as a dense bitmap
+// over the dimension key space on the fused path, where dimension keys are
+// reassigned positions and a probe is a branch-free bit test.
 type factProbe struct {
 	col    *colstore.Column
 	pred   compress.Pred
 	isPred bool
 	set    map[int32]struct{}
+	// dense holds membership bits anchored at setMin: bit (k-setMin) is
+	// set iff key k qualifies. Built instead of set under Config.Fused.
+	dense *bitmap.Bitmap
+	// setMin/setMax bound the membership keys; blocks whose value range
+	// cannot intersect [setMin, setMax] are skipped without I/O.
+	setMin, setMax int32
 	// sortedFirst marks probes that exploit the fact sort order and
 	// should run before everything else.
 	sortedFirst bool
+}
+
+// matches reports membership of v in the probe's key set (dense or hash).
+func (p *factProbe) matches(v int32) bool {
+	if p.dense != nil {
+		return v >= p.setMin && v <= p.setMax && p.dense.Get(int(v-p.setMin))
+	}
+	_, ok := p.set[v]
+	return ok
+}
+
+// keyCount returns the number of keys in the membership set.
+func (p *factProbe) keyCount() int {
+	if p.dense != nil {
+		return p.dense.Count()
+	}
+	return len(p.set)
+}
+
+// mayMatch reports whether any value in [mn, mx] could survive the probe,
+// from block statistics alone.
+func (p *factProbe) mayMatch(mn, mx int32) bool {
+	if p.isPred {
+		return p.pred.MayMatch(mn, mx)
+	}
+	return mx >= p.setMin && mn <= p.setMax
+}
+
+// coversBlock reports whether every value in [mn, mx] survives the probe,
+// so the block needs no decode at all.
+func (p *factProbe) coversBlock(mn, mx int32) bool {
+	if p.isPred {
+		lo, hi, ok := p.pred.Bounds()
+		return ok && lo <= mn && mx <= hi
+	}
+	// Membership: only provable from statistics for single-value blocks.
+	return mn == mx && p.matches(mn)
 }
 
 // planProbes runs join phase 1 (dimension predicate evaluation) and
@@ -148,17 +197,44 @@ func (db *DB) dimProbe(dim ssb.Dim, filters []ssb.DimFilter, cfg Config, st *ios
 		}
 	}
 
-	// Hash fallback (and the entire i-configuration): build the key set.
-	set := make(map[int32]struct{}, dimPos.Len())
+	// Membership fallback (and the entire i-configuration): build the key
+	// set — a hash set on the per-probe path, a dense bitmap over
+	// [setMin, setMax] on the fused path.
+	var keys []int32
 	if dim == ssb.DimDate {
 		keyCol := dimTab.MustColumn("datekey")
-		for _, k := range keyCol.Gather(dimPos, nil, st) {
-			set[k] = struct{}{}
-		}
+		keys = keyCol.Gather(dimPos, nil, st)
 	} else {
-		dimPos.ForEach(func(p int32) { set[p] = struct{}{} })
+		keys = dimPos.ToSlice(nil)
 	}
-	return &factProbe{col: fkCol, set: set}
+	probe := &factProbe{col: fkCol, setMin: 0, setMax: -1}
+	if len(keys) == 0 {
+		// Empty key range [0, -1] matches nothing.
+		probe.set = map[int32]struct{}{}
+		return probe
+	}
+	mn, mx := keys[0], keys[0]
+	for _, k := range keys {
+		if k < mn {
+			mn = k
+		}
+		if k > mx {
+			mx = k
+		}
+	}
+	probe.setMin, probe.setMax = mn, mx
+	if cfg.fusedActive() {
+		probe.dense = bitmap.New(int(mx-mn) + 1)
+		for _, k := range keys {
+			probe.dense.Set(int(k - mn))
+		}
+		return probe
+	}
+	probe.set = make(map[int32]struct{}, len(keys))
+	for _, k := range keys {
+		probe.set[k] = struct{}{}
+	}
+	return probe
 }
 
 // dimFilterPred translates a logical dimension filter into a code-space
@@ -186,9 +262,9 @@ func (p *factProbe) apply(db *DB, cand *vector.Positions, cfg Config, st *iosim.
 		return db.tupleFilter(p.col, p.pred, cand, st)
 	}
 	if cand == nil && cfg.Workers > 1 && cfg.BlockIter {
-		return parallelProbeSet(p.col, p.set, cfg.Workers, st)
+		return parallelProbeSet(p, cfg.Workers, st)
 	}
-	return db.probeSet(p.col, p.set, cand, cfg, st)
+	return db.probeSet(p, cand, cfg, st)
 }
 
 // sortedFastPathApplies reports whether Column.Filter would answer pred via
@@ -249,9 +325,13 @@ func (db *DB) tupleFilter(col *colstore.Column, pred compress.Pred, cand *vector
 	return vector.NewBitmapPositions(out)
 }
 
-// probeSet applies a hash-membership probe on a fact FK column — the
-// simulated hash join of Section 5.4.1 phase 2.
-func (db *DB) probeSet(col *colstore.Column, set map[int32]struct{}, cand *vector.Positions, cfg Config, st *iosim.Stats) *vector.Positions {
+// probeSet applies a membership probe on a fact FK column — the simulated
+// hash join of Section 5.4.1 phase 2. Blocks whose min/max value range
+// cannot intersect the probe's key range are skipped before any I/O is
+// charged or values decoded, on both the full-scan and the pipelined
+// candidate path.
+func (db *DB) probeSet(p *factProbe, cand *vector.Positions, cfg Config, st *iosim.Stats) *vector.Positions {
+	col := p.col
 	n := col.NumRows()
 	out := bitmap.New(n)
 	if cand == nil {
@@ -259,11 +339,15 @@ func (db *DB) probeSet(col *colstore.Column, set map[int32]struct{}, cand *vecto
 		var scratch []int32
 		for bi := 0; bi < col.NumBlocks(); bi++ {
 			blk := col.Block(bi)
+			if mn, mx := blk.MinMax(); !p.mayMatch(mn, mx) {
+				base += blk.Len()
+				continue
+			}
 			st.Read(blk.CompressedBytes())
 			scratch = blk.AppendTo(scratch[:0])
 			if cfg.BlockIter {
 				for i, v := range scratch {
-					if _, ok := set[v]; ok {
+					if p.matches(v) {
 						out.Set(base + i)
 					}
 				}
@@ -275,7 +359,7 @@ func (db *DB) probeSet(col *colstore.Column, set map[int32]struct{}, cand *vecto
 					if !ok {
 						break
 					}
-					if _, hit := set[v]; hit {
+					if p.matches(v) {
 						out.Set(i)
 					}
 					i++
@@ -285,20 +369,37 @@ func (db *DB) probeSet(col *colstore.Column, set map[int32]struct{}, cand *vecto
 		}
 		return vector.NewBitmapPositions(out)
 	}
+	// Pipelined path: group candidates by block (blocks hold BlockSize
+	// values each) so pruned blocks are never gathered from.
 	posList := cand.ToSlice(nil)
-	vals := col.Gather(cand, nil, st)
-	if cfg.BlockIter {
-		for k, v := range vals {
-			if _, ok := set[v]; ok {
-				out.Set(int(posList[k]))
-			}
+	var idx, vals []int32
+	for i := 0; i < len(posList); {
+		bi := int(posList[i]) / colstore.BlockSize
+		base := int32(bi) * colstore.BlockSize
+		idx = idx[:0]
+		j := i
+		for j < len(posList) && int(posList[j])/colstore.BlockSize == bi {
+			idx = append(idx, posList[j]-base)
+			j++
 		}
-	} else {
-		it := vector.NewSliceIter(vals)
-		for _, pos := range posList {
-			v, _ := it.Next()
-			if _, ok := set[v]; ok {
-				out.Set(int(pos))
+		i = j
+		if mn, mx := col.Block(bi).MinMax(); !p.mayMatch(mn, mx) {
+			continue
+		}
+		vals = col.GatherBlock(bi, idx, vals[:0], st)
+		if cfg.BlockIter {
+			for k, v := range vals {
+				if p.matches(v) {
+					out.Set(int(base + idx[k]))
+				}
+			}
+		} else {
+			it := vector.NewSliceIter(vals)
+			for _, bl := range idx {
+				v, _ := it.Next()
+				if p.matches(v) {
+					out.Set(int(base + bl))
+				}
 			}
 		}
 	}

@@ -217,6 +217,16 @@ func (p *Positions) ToSlice(dst []int32) []int32 {
 	return dst
 }
 
+// AppendSeq appends the consecutive positions [start, end) to dst. It is the
+// selection-vector analogue of NewRangePositions, used when a fused scan
+// keeps an entire block and must materialize explicit survivor indexes.
+func AppendSeq(dst []int32, start, end int32) []int32 {
+	for i := start; i < end; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
 // And intersects two position lists over a column of n rows and returns the
 // result. Representation of the result follows the cheaper input: two ranges
 // intersect to a range; anything involving a bitmap stays a bitmap.

@@ -249,3 +249,19 @@ func TestQuickRoundTripRepresentations(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendSeq(t *testing.T) {
+	got := AppendSeq(nil, 3, 7)
+	want := []int32{3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("AppendSeq len = %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendSeq[%d] = %d want %d", i, got[i], want[i])
+		}
+	}
+	if out := AppendSeq(got, 9, 9); len(out) != len(got) {
+		t.Fatal("empty range should append nothing")
+	}
+}
