@@ -30,16 +30,21 @@ func main() {
 	sf := flag.Float64("sf", 0.1, "SSBM scale factor")
 	dataPath := flag.String("data", "", "load the dataset from this file (written by ssb-gen -out) instead of generating")
 	queryID := flag.String("q", "2.1", "SSBM query id (1.1 .. 4.3)")
-	sqlText := flag.String("sql", "", "ad-hoc SQL in the SSBM dialect (overrides -q)")
+	sqlText := flag.String("sql", "", "ad-hoc SQL in the SSBM dialect (overrides -q); supports any dimension/measure predicates, group-by sets and sum/count/min/max aggregate lists")
 	system := flag.String("system", "CS", "system under test (see doc comment)")
+	workers := flag.Int("workers", 0, "column-store worker count (0 = single-threaded)")
 	verify := flag.Bool("verify", false, "also check against the brute-force reference")
 	explain := flag.Bool("explain", false, "print the physical plan instead of executing")
+	fuzzSeed := flag.Int64("fuzz-seed", 0, "run the seeded random query with this seed (overrides -q and -sql; see ssb-fuzz)")
 	flag.Parse()
 
 	cfg, err := parseSystem(*system)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if cfg.Kind == core.KindColumn && *workers > 0 {
+		cfg.Col.Workers = *workers
 	}
 
 	db, err := openDB(*dataPath, *sf)
@@ -50,7 +55,10 @@ func main() {
 	var res *ssb.Result
 	var stats core.RunStats
 	var plan *ssb.Query
-	if *sqlText != "" {
+	if *fuzzSeed != 0 {
+		plan = ssb.RandQuery(*fuzzSeed)
+		fmt.Printf("sql=%s\n", plan.SQL())
+	} else if *sqlText != "" {
 		plan, err = sql.Parse("adhoc", *sqlText)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -78,6 +86,7 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("system=%s sf=%g\n", cfg.Label(), *sf)
+	fmt.Printf("engine=%s\n", cfg.Engine())
 	fmt.Print(res.String())
 	fmt.Printf("cpu=%v  io=%.1fMB (%d seeks)  io-time=%v  total=%v\n",
 		stats.Wall, float64(stats.IO.BytesRead)/1e6, stats.IO.Seeks, stats.IOTime, stats.Total)

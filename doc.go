@@ -12,6 +12,18 @@
 // harness regenerate the paper's Figures 5-8 plus the Section 6.1/6.2
 // side experiments.
 //
+// Beyond the fixed benchmark, the logical plan is workload-open: ssb.Query
+// expresses arbitrary ad-hoc star queries (any dimension filters, any
+// measure predicates, any group-by set, multi-aggregate SUM/COUNT/MIN/MAX
+// lists), the SQL frontend (internal/sql) parses the same space, and every
+// engine executes it. ssb.RandQuery samples that plan space
+// deterministically from a seed; the differential harness
+// (internal/exec TestDifferential, cmd/ssb-fuzz) runs each sampled query
+// through the brute-force reference, the per-probe and fused column
+// pipelines, and the row-store designs, demanding byte-identical results —
+// a standing cross-engine correctness oracle. PERFORMANCE.md documents the
+// harness, the seed-replay workflow and the pinned golden results.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results.
 package repro

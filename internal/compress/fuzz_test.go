@@ -1,0 +1,217 @@
+package compress
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/bitmap"
+)
+
+// fuzzDecodeValues turns raw fuzz bytes into a value slice plus predicate
+// operands. The first byte biases the value range (small domains exercise
+// RLE/BitVec run and bitmap paths, large ones BitPack/Delta width logic).
+func fuzzDecodeValues(data []byte) (vals []int32, a, b int32) {
+	if len(data) == 0 {
+		return nil, 0, 0
+	}
+	mode := data[0]
+	data = data[1:]
+	for len(data) >= 4 {
+		v := int32(binary.LittleEndian.Uint32(data[:4]))
+		switch mode % 4 {
+		case 0:
+			v = v % 8 // tiny domain: RLE / bit-vector territory
+		case 1:
+			v = v % 1024
+		case 2:
+			v = v % 1_000_000
+		}
+		vals = append(vals, v)
+		data = data[4:]
+	}
+	if n := len(vals); n > 0 {
+		a, b = vals[0]%97, vals[n-1]%97
+		if a > b {
+			a, b = b, a
+		}
+	}
+	return vals, a, b
+}
+
+// encodersFor returns every encoding construction of vals: the five
+// explicit constructors plus the storage manager's Choose. Bit-vector
+// encoding is defined only for tiny cardinalities (its constructor treats
+// more as a chooser bug), so it is gated exactly like the chooser gates it.
+func encodersFor(vals []int32) map[string]IntBlock {
+	m := map[string]IntBlock{
+		"plain":   NewPlainBlock(vals),
+		"rle":     NewRLEBlock(vals),
+		"bitpack": NewBitPackBlock(vals),
+		"delta":   NewDeltaBlock(vals),
+		"choose":  Choose(vals),
+	}
+	if DistinctSmall(vals, maxBitVecValues) {
+		m["bitvec"] = NewBitVecBlock(vals)
+	}
+	return m
+}
+
+// checkBlockOracle compares one encoded block against the plain-slice
+// oracle: full decode, random access, Filter, FilterSet and Gather.
+func checkBlockOracle(t *testing.T, name string, blk IntBlock, vals []int32, preds []Pred, setMin int32, set *bitmap.Bitmap, gatherIdx []int32) {
+	t.Helper()
+	n := len(vals)
+	if blk.Len() != n {
+		t.Fatalf("%s: Len=%d want %d", name, blk.Len(), n)
+	}
+
+	// Round-trip decode.
+	got := blk.AppendTo(nil)
+	if len(got) != n {
+		t.Fatalf("%s: AppendTo returned %d values, want %d", name, len(got), n)
+	}
+	for i, v := range got {
+		if v != vals[i] {
+			t.Fatalf("%s: decode[%d]=%d want %d", name, i, v, vals[i])
+		}
+	}
+	if n > 0 {
+		wantMn, wantMx := minMax(vals)
+		mn, mx := blk.MinMax()
+		if mn != wantMn || mx != wantMx {
+			t.Fatalf("%s: MinMax=(%d,%d) want (%d,%d)", name, mn, mx, wantMn, wantMx)
+		}
+		// Random access at a few positions.
+		for _, i := range []int{0, n / 2, n - 1} {
+			if blk.Get(i) != vals[i] {
+				t.Fatalf("%s: Get(%d)=%d want %d", name, i, blk.Get(i), vals[i])
+			}
+		}
+	}
+
+	// Filter against the oracle for every predicate.
+	for _, p := range preds {
+		bm := bitmap.New(n)
+		blk.Filter(p, 0, bm)
+		for i, v := range vals {
+			if bm.Get(i) != p.Match(v) {
+				t.Fatalf("%s: Filter(%+v) bit %d = %v, oracle %v (value %d)",
+					name, p, i, bm.Get(i), p.Match(v), v)
+			}
+		}
+	}
+
+	// FilterSet against the membership oracle.
+	bm := bitmap.New(n)
+	blk.FilterSet(set, setMin, 0, bm)
+	for i, v := range vals {
+		want := setContains(set, setMin, v)
+		if bm.Get(i) != want {
+			t.Fatalf("%s: FilterSet bit %d = %v, oracle %v (value %d, setMin %d)",
+				name, i, bm.Get(i), want, v, setMin)
+		}
+	}
+
+	// Gather at sorted positions.
+	out := blk.Gather(gatherIdx, nil)
+	if len(out) != len(gatherIdx) {
+		t.Fatalf("%s: Gather returned %d values, want %d", name, len(out), len(gatherIdx))
+	}
+	for k, i := range gatherIdx {
+		if out[k] != vals[i] {
+			t.Fatalf("%s: Gather[%d] (pos %d) = %d want %d", name, k, i, out[k], vals[i])
+		}
+	}
+}
+
+// FuzzRoundTrip is the native fuzz target shared by all five encodings:
+// whatever bytes arrive, encode -> decode/Filter/FilterSet/Gather must
+// agree with the plain-slice oracle on every scheme.
+func FuzzRoundTrip(f *testing.F) {
+	// Seed corpus: sorted runs, alternation, negatives, single values,
+	// wide ranges, empty.
+	f.Add([]byte{0})
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0})
+	f.Add([]byte{1, 5, 0, 0, 0, 1, 0, 0, 0, 5, 0, 0, 0, 1, 0, 0, 0, 5, 0, 0, 0})
+	f.Add([]byte{2, 0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x80, 0x39, 0x30, 0x00, 0x00})
+	f.Add([]byte{3, 0x10, 0x27, 0x00, 0x00, 0x20, 0x4e, 0x00, 0x00, 0x30, 0x75, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // bound block size like the storage layer does
+		}
+		vals, a, b := fuzzDecodeValues(data)
+		n := len(vals)
+
+		preds := []Pred{
+			Eq(a), Between(a, b), Lt(b), Le(a), Gt(a), Ge(b),
+			{Op: OpNe, A: a}, In(a, b, a+3),
+		}
+		// Membership set over a window of the value domain.
+		setMin := a - 1
+		set := bitmap.New(64)
+		for i := 0; i < 64; i += 3 {
+			set.Set(i)
+		}
+		var gatherIdx []int32
+		for i := 0; i < n; i += 2 {
+			gatherIdx = append(gatherIdx, int32(i))
+		}
+
+		for name, blk := range encodersFor(vals) {
+			checkBlockOracle(t, name, blk, vals, preds, setMin, set, gatherIdx)
+		}
+	})
+}
+
+// FuzzDictEncodePred fuzzes the order-preserving dictionary: EncodePred
+// over codes must agree with direct string comparison for every operator.
+func FuzzDictEncodePred(f *testing.F) {
+	f.Add("apple\nbanana\ncherry", "banana", "cherry", uint8(0))
+	f.Add("x\ny\nz\nx", "w", "zz", uint8(6))
+	f.Add("", "a", "b", uint8(2))
+	f.Fuzz(func(t *testing.T, blob, a, b string, opRaw uint8) {
+		var vals []string
+		start := 0
+		for i := 0; i <= len(blob); i++ {
+			if i == len(blob) || blob[i] == '\n' {
+				vals = append(vals, blob[start:i])
+				start = i + 1
+			}
+		}
+		dict := BuildDict(vals)
+		op := Op(opRaw % 8)
+		set := []string{a, b}
+		pred := dict.EncodePred(op, a, b, set)
+
+		match := func(s string) bool {
+			switch op {
+			case OpEq:
+				return s == a
+			case OpNe:
+				return s != a
+			case OpLt:
+				return s < a
+			case OpLe:
+				return s <= a
+			case OpGt:
+				return s > a
+			case OpGe:
+				return s >= a
+			case OpBetween:
+				return s >= a && s <= b
+			default: // OpIn
+				return s == a || s == b
+			}
+		}
+		for _, v := range vals {
+			code, ok := dict.Code(v)
+			if !ok {
+				t.Fatalf("dictionary lost value %q", v)
+			}
+			if pred.Match(code) != match(v) {
+				t.Fatalf("op %v (%q, %q): code predicate says %v for %q, strings say %v",
+					op, a, b, pred.Match(code), v, match(v))
+			}
+		}
+	})
+}

@@ -116,6 +116,35 @@ func (c Config) Label() string {
 	}
 }
 
+// Engine describes the physical execution path Run takes under this
+// configuration — which engine family runs and in what mode.
+func (c Config) Engine() string {
+	switch c.Kind {
+	case KindColumn:
+		switch {
+		case !c.Col.LateMat:
+			return "column store: early-materialized row-at-a-time pipeline"
+		case c.Col.FusedActive():
+			w := c.Col.Workers
+			if w < 1 {
+				w = 1
+			}
+			return fmt.Sprintf("column store: fused morsel-parallel pipeline (workers=%d)", w)
+		default:
+			return "column store: per-probe late-materialized pipeline"
+		}
+	case KindColumnRowMV:
+		return "column store: row-oriented MV (string tuple reconstruction)"
+	case KindRow:
+		if c.SuperTuples {
+			return "row store System X: super-tuple vertical partitions with positional merge joins"
+		}
+		return fmt.Sprintf("row store System X: %v design (partition pruning %v)", c.Design, c.Partitioning)
+	default:
+		return fmt.Sprintf("denormalized pre-joined table (%s), no joins", c.Denorm)
+	}
+}
+
 // RunStats reports what one query execution cost.
 type RunStats struct {
 	// Wall is measured execution time (CPU, in-memory).

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/rowexec"
+	"repro/internal/ssb"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_sf001.json from the reference engine")
+
+const goldenPath = "testdata/golden_sf001.json"
+
+// goldenRow is one pinned result row.
+type goldenRow struct {
+	Keys []string `json:"keys,omitempty"`
+	Aggs []int64  `json:"aggs"`
+}
+
+// goldenFile pins query id -> canonical rows at SF=0.01.
+type goldenFile map[string][]goldenRow
+
+func toGoldenRows(res *ssb.Result) []goldenRow {
+	rows := make([]goldenRow, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = goldenRow{Keys: r.Keys, Aggs: r.AggValues()}
+	}
+	return rows
+}
+
+func diffGolden(want []goldenRow, got *ssb.Result) string {
+	gotRows := toGoldenRows(got)
+	if len(want) != len(gotRows) {
+		return fmt.Sprintf("row counts differ: golden %d vs got %d", len(want), len(gotRows))
+	}
+	for i := range want {
+		w, g := want[i], gotRows[i]
+		if fmt.Sprint(w.Keys) != fmt.Sprint(g.Keys) || fmt.Sprint(w.Aggs) != fmt.Sprint(g.Aggs) {
+			return fmt.Sprintf("row %d: golden %v=%v vs got %v=%v", i, w.Keys, w.Aggs, g.Keys, g.Aggs)
+		}
+	}
+	return ""
+}
+
+func loadGolden(t *testing.T) goldenFile {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with `go test ./internal/core -run TestGolden -update`): %v", err)
+	}
+	var g goldenFile
+	if err := json.Unmarshal(raw, &g); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+	return g
+}
+
+// TestGoldenReference pins the reference engine's results for all thirteen
+// SSBM queries at SF=0.01 against a committed golden file, so neither the
+// data generator nor the oracle can silently drift.
+func TestGoldenReference(t *testing.T) {
+	if *updateGolden {
+		g := goldenFile{}
+		for _, q := range ssb.Queries() {
+			g[q.ID] = toGoldenRows(ssb.Reference(testDB.Data, q))
+		}
+		raw, err := json.MarshalIndent(g, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	g := loadGolden(t)
+	if len(g) != 13 {
+		t.Fatalf("golden file has %d queries, want 13", len(g))
+	}
+	for _, q := range ssb.Queries() {
+		if d := diffGolden(g[q.ID], ssb.Reference(testDB.Data, q)); d != "" {
+			t.Errorf("Q%s: reference drifted from golden: %s", q.ID, d)
+		}
+	}
+}
+
+// goldenMatrix is every engine/Config combination the golden sweep pins:
+// the column store per-probe and fused at 1/4/8 workers, all five row-store
+// designs (plus the no-partitioning and super-tuple variants), the
+// row-oriented MV, and the three denormalized modes.
+func goldenMatrix() []Config {
+	var out []Config
+	for _, fused := range []bool{false, true} {
+		for _, w := range []int{1, 4, 8} {
+			c := exec.FullOpt
+			c.Fused = fused
+			c.Workers = w
+			out = append(out, ColumnStore(c))
+		}
+	}
+	out = append(out, Figure7Systems()...)
+	for _, d := range rowexec.Designs() {
+		out = append(out, RowStore(d))
+		out = append(out, Config{Kind: KindRow, Design: d})
+	}
+	out = append(out, SuperTupleVP(), RowMV())
+	out = append(out,
+		Denormalized(exec.DenormNoC),
+		Denormalized(exec.DenormIntC),
+		Denormalized(exec.DenormMaxC),
+	)
+	return out
+}
+
+// TestGoldenEngineMatrix runs all thirteen queries through every pinned
+// engine/Config combination and demands exact agreement with the golden
+// file — future optimizations cannot silently change any answer.
+func TestGoldenEngineMatrix(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden update run")
+	}
+	g := loadGolden(t)
+	for _, cfg := range goldenMatrix() {
+		for _, q := range ssb.Queries() {
+			res, _, err := testDB.Run(q.ID, cfg)
+			if err != nil {
+				t.Errorf("Q%s on %s: %v", q.ID, cfg.Label(), err)
+				continue
+			}
+			if d := diffGolden(g[q.ID], res); d != "" {
+				t.Errorf("Q%s on %s drifted from golden: %s", q.ID, cfg.Label(), d)
+			}
+		}
+	}
+}

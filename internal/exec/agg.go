@@ -134,29 +134,27 @@ func (ex *groupExtractor) render(code int32) string {
 // aggregate runs join phase 3 plus aggregation over the final position
 // list.
 func (db *DB) aggregate(q *ssb.Query, cfg Config, pos *vector.Positions, st *iosim.Stats) *ssb.Result {
-	// Gather aggregate input measures at qualifying positions only.
-	aggCols := q.Agg.Columns()
-	measures := make([][]int32, len(aggCols))
-	for i, name := range aggCols {
-		measures[i] = db.Fact.MustColumn(name).Gather(pos, nil, st)
-	}
-	n := len(measures[0])
-	values := make([]int64, n)
-	switch q.Agg {
-	case ssb.AggDiscountRevenue:
-		computeProduct(values, measures[0], measures[1], cfg.BlockIter)
-	case ssb.AggRevenue:
-		computeCopy(values, measures[0], cfg.BlockIter)
-	default:
-		computeDiff(values, measures[0], measures[1], cfg.BlockIter)
-	}
+	// Gather aggregate input measures at qualifying positions only, then
+	// evaluate every aggregate expression into a per-row value column.
+	specs := q.AggSpecs()
+	n := pos.Len()
+	values := evalAggValues(specs, cfg.BlockIter, n, func(name string) []int32 {
+		return db.Fact.MustColumn(name).Gather(pos, nil, st)
+	})
 
 	if len(q.GroupBy) == 0 {
-		var total int64
-		for _, v := range values {
-			total += v
+		cells := make([]int64, len(specs))
+		ssb.InitCells(specs, cells)
+		for k, s := range specs {
+			if values[k] == nil { // COUNT: one per row
+				cells[k] += int64(n)
+				continue
+			}
+			for _, v := range values[k] {
+				cells[k] = s.Combine(cells[k], v)
+			}
 		}
-		return ssb.NewResult(q.ID, []ssb.ResultRow{{Keys: nil, Agg: total}})
+		return ssb.NewResult(q.ID, []ssb.ResultRow{ssb.MakeRow(nil, ssb.FinalizeCells(specs, cells, int64(n)))})
 	}
 
 	// Group extraction.
@@ -169,48 +167,96 @@ func (db *DB) aggregate(q *ssb.Query, cfg Config, pos *vector.Positions, st *ios
 	}
 
 	// Composite dense aggregation: group codes are small, so the
-	// composite key space is a flat array.
+	// composite key space is a flat array (one cell per aggregate).
+	nAggs := len(specs)
 	strides, total := groupStrides(exs)
 	if total <= denseLimit {
-		sums := make([]int64, total)
+		sums := make([]int64, total*int64(nAggs))
 		seen := bitmap.New(int(total))
 		for r := 0; r < n; r++ {
 			idx := int64(0)
 			for i := range exs {
 				idx += int64(codes[i][r]) * strides[i]
 			}
-			sums[idx] += values[r]
-			seen.Set(int(idx))
+			base := idx * int64(nAggs)
+			if !seen.Get(int(idx)) {
+				seen.Set(int(idx))
+				ssb.InitCells(specs, sums[base:base+int64(nAggs)])
+			}
+			for k, s := range specs {
+				var v int64
+				if values[k] != nil {
+					v = values[k][r]
+				}
+				sums[base+int64(k)] = s.Combine(sums[base+int64(k)], v)
+			}
 		}
-		return ssb.NewResult(q.ID, denseGroupRows(exs, strides, sums, seen))
+		return ssb.NewResult(q.ID, denseGroupRows(exs, strides, specs, sums, seen))
 	}
 
 	// Fallback for huge group spaces: hash aggregation.
-	type cell struct{ sum int64 }
-	m := map[int64]*cell{}
+	m := map[int64][]int64{}
 	for r := 0; r < n; r++ {
 		idx := int64(0)
 		for i := range exs {
 			idx += int64(codes[i][r]) * strides[i]
 		}
-		c, ok := m[idx]
+		cells, ok := m[idx]
 		if !ok {
-			c = &cell{}
-			m[idx] = c
+			cells = make([]int64, nAggs)
+			ssb.InitCells(specs, cells)
+			m[idx] = cells
 		}
-		c.sum += values[r]
+		for k, s := range specs {
+			var v int64
+			if values[k] != nil {
+				v = values[k][r]
+			}
+			cells[k] = s.Combine(cells[k], v)
+		}
 	}
 	var rows []ssb.ResultRow
-	for idx, c := range m {
+	for idx, cells := range m {
 		keys := make([]string, len(exs))
 		rem := idx
 		for i := range exs {
 			keys[i] = exs[i].render(int32(rem / strides[i]))
 			rem %= strides[i]
 		}
-		rows = append(rows, ssb.ResultRow{Keys: keys, Agg: c.sum})
+		rows = append(rows, ssb.MakeRow(keys, cells))
 	}
 	return ssb.NewResult(q.ID, rows)
+}
+
+// evalAggValues gathers the distinct aggregate input columns through the
+// caller's gather function and evaluates every aggregate expression into
+// one int64 column per spec. COUNT specs get a nil column — Combine counts
+// rows without reading an input — so accumulation loops must treat nil as
+// "any value". Shared by the per-probe late-materialized path and the
+// denormalized engine.
+func evalAggValues(specs []ssb.AggSpec, blockIter bool, n int, gather func(name string) []int32) [][]int64 {
+	colNames, ia, ib := ssb.AggInputs(specs)
+	measures := make([][]int32, len(colNames))
+	for i, name := range colNames {
+		measures[i] = gather(name)
+	}
+	values := make([][]int64, len(specs))
+	for k, s := range specs {
+		if s.Func == ssb.FuncCount {
+			continue
+		}
+		v := make([]int64, n)
+		switch s.Expr.Op {
+		case '*':
+			computeProduct(v, measures[ia[k]], measures[ib[k]], blockIter)
+		case '-':
+			computeDiff(v, measures[ia[k]], measures[ib[k]], blockIter)
+		default:
+			computeCopy(v, measures[ia[k]], blockIter)
+		}
+		values[k] = v
+	}
+	return values
 }
 
 // groupStrides lays the group extractors' code spaces out as one composite
@@ -227,8 +273,10 @@ func groupStrides(exs []*groupExtractor) (strides []int64, total int64) {
 }
 
 // denseGroupRows renders the populated cells of a dense composite-key
-// aggregation into result rows.
-func denseGroupRows(exs []*groupExtractor, strides []int64, sums []int64, seen *bitmap.Bitmap) []ssb.ResultRow {
+// aggregation into result rows. sums is laid out with one len(specs) cell
+// run per composite group index.
+func denseGroupRows(exs []*groupExtractor, strides []int64, specs []ssb.AggSpec, sums []int64, seen *bitmap.Bitmap) []ssb.ResultRow {
+	nAggs := len(specs)
 	var rows []ssb.ResultRow
 	seen.ForEach(func(i int) {
 		keys := make([]string, len(exs))
@@ -237,7 +285,7 @@ func denseGroupRows(exs []*groupExtractor, strides []int64, sums []int64, seen *
 			keys[k] = exs[k].render(int32(rem / strides[k]))
 			rem %= strides[k]
 		}
-		rows = append(rows, ssb.ResultRow{Keys: keys, Agg: sums[i]})
+		rows = append(rows, ssb.MakeRow(keys, sums[i*nAggs:i*nAggs+nAggs]))
 	})
 	return rows
 }
@@ -289,11 +337,12 @@ func computeDiff(dst []int64, a, b []int32, block bool) {
 	}
 }
 
-// emptyResult matches the reference semantics: SUM over an empty input is a
-// single zero row for ungrouped queries and no rows for grouped ones.
+// emptyResult matches the reference semantics: aggregates over an empty
+// input render as a single all-zero row for ungrouped queries and no rows
+// for grouped ones.
 func emptyResult(q *ssb.Query) *ssb.Result {
 	if len(q.GroupBy) == 0 {
-		return ssb.NewResult(q.ID, []ssb.ResultRow{{Keys: nil, Agg: 0}})
+		return ssb.NewResult(q.ID, []ssb.ResultRow{ssb.MakeRow(nil, make([]int64, len(q.AggSpecs())))})
 	}
 	return ssb.NewResult(q.ID, nil)
 }

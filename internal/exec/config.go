@@ -56,10 +56,10 @@ var FullOpt = Config{BlockIter: true, InvisibleJoin: true, Compression: true, La
 // performance configuration beyond the paper's ablation grid.
 var FusedOpt = Config{BlockIter: true, InvisibleJoin: true, Compression: true, LateMat: true, Fused: true}
 
-// fusedActive reports whether the fused pipeline executes under c: the
+// FusedActive reports whether the fused pipeline executes under c: the
 // fused pass is inherently block-iterated and late-materialized, so the
 // flag is inert in configurations that ablate either.
-func (c Config) fusedActive() bool { return c.Fused && c.BlockIter && c.LateMat }
+func (c Config) FusedActive() bool { return c.Fused && c.BlockIter && c.LateMat }
 
 // Figure7Configs returns the seven configurations of Figure 7 in the
 // paper's order: tICL, TICL, tiCL, TiCL, ticL, TicL, Ticl.

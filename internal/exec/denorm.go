@@ -230,6 +230,19 @@ func (db *DenormDB) Supports(q *ssb.Query) bool {
 			return false
 		}
 	}
+	// Measure columns: only the five SSBM measures are inlined.
+	for _, f := range q.FactFilters {
+		if _, ok := db.intCols[f.Col]; !ok {
+			return false
+		}
+	}
+	for _, s := range q.AggSpecs() {
+		for _, c := range s.Expr.Columns() {
+			if _, ok := db.intCols[c]; !ok {
+				return false
+			}
+		}
+	}
 	return true
 }
 
@@ -293,28 +306,26 @@ func (db *DenormDB) Run(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 		return emptyResult(q)
 	}
 
-	// Aggregate inputs.
-	aggCols := q.Agg.Columns()
-	measures := make([][]int32, len(aggCols))
-	for i, name := range aggCols {
-		measures[i] = db.intCols[name].Gather(pos, nil, st)
-	}
-	n := len(measures[0])
-	values := make([]int64, n)
-	switch q.Agg {
-	case ssb.AggDiscountRevenue:
-		computeProduct(values, measures[0], measures[1], true)
-	case ssb.AggRevenue:
-		computeCopy(values, measures[0], true)
-	default:
-		computeDiff(values, measures[0], measures[1], true)
-	}
+	// Aggregate inputs: evaluate every aggregate expression at the final
+	// positions.
+	specs := q.AggSpecs()
+	n := pos.Len()
+	values := evalAggValues(specs, true, n, func(name string) []int32 {
+		return db.intCols[name].Gather(pos, nil, st)
+	})
 	if len(q.GroupBy) == 0 {
-		var total int64
-		for _, v := range values {
-			total += v
+		cells := make([]int64, len(specs))
+		ssb.InitCells(specs, cells)
+		for k, s := range specs {
+			if values[k] == nil { // COUNT: one per row
+				cells[k] += int64(n)
+				continue
+			}
+			for _, v := range values[k] {
+				cells[k] = s.Combine(cells[k], v)
+			}
 		}
-		return ssb.NewResult(q.ID, []ssb.ResultRow{{Keys: nil, Agg: total}})
+		return ssb.NewResult(q.ID, []ssb.ResultRow{ssb.MakeRow(nil, ssb.FinalizeCells(specs, cells, int64(n)))})
 	}
 
 	// Group keys come straight from the inlined columns.
@@ -341,8 +352,8 @@ func (db *DenormDB) Run(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 		groupKeys[gi] = keys
 	}
 	type cell struct {
-		keys []string
-		sum  int64
+		keys  []string
+		cells []int64
 	}
 	m := map[string]*cell{}
 	for r := 0; r < n; r++ {
@@ -359,14 +370,21 @@ func (db *DenormDB) Run(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 			for gi := range groupKeys {
 				keys[gi] = groupKeys[gi][r]
 			}
-			c = &cell{keys: keys}
+			c = &cell{keys: keys, cells: make([]int64, len(specs))}
+			ssb.InitCells(specs, c.cells)
 			m[ck] = c
 		}
-		c.sum += values[r]
+		for k, s := range specs {
+			var v int64
+			if values[k] != nil {
+				v = values[k][r]
+			}
+			c.cells[k] = s.Combine(c.cells[k], v)
+		}
 	}
 	rows := make([]ssb.ResultRow, 0, len(m))
 	for _, c := range m {
-		rows = append(rows, ssb.ResultRow{Keys: c.keys, Agg: c.sum})
+		rows = append(rows, ssb.MakeRow(c.keys, c.cells))
 	}
 	return ssb.NewResult(q.ID, rows)
 }

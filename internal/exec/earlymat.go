@@ -107,10 +107,8 @@ func (db *DB) runEarlyMat(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result
 		exCols[i] = colIdx[g.Dim.FactFK()]
 	}
 
-	aggIdx := make([]int, len(q.Agg.Columns()))
-	for i, c := range q.Agg.Columns() {
-		aggIdx[i] = colIdx[c]
-	}
+	specs := q.AggSpecs()
+	agg := newTupleAgg(specs, func(name string) int { return colIdx[name] })
 
 	// Dense group accumulation (same layout as the late-mat path so
 	// results are identical).
@@ -120,13 +118,16 @@ func (db *DB) runEarlyMat(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result
 		strides[i] = totalCard
 		totalCard *= int64(exs[i].card)
 	}
+	nAggs := len(specs)
 	var sums []int64
 	var seen []bool
 	if len(exs) > 0 {
-		sums = make([]int64, totalCard)
+		sums = make([]int64, totalCard*int64(nAggs))
 		seen = make([]bool, totalCard)
 	}
-	var total int64
+	total := make([]int64, nAggs)
+	ssb.InitCells(specs, total)
+	var totalRows int64
 
 rowLoop:
 	for r := 0; r < n; r++ {
@@ -141,29 +142,25 @@ rowLoop:
 				continue rowLoop
 			}
 		}
-		var v int64
-		switch q.Agg {
-		case ssb.AggDiscountRevenue:
-			v = int64(tup[aggIdx[0]]) * int64(tup[aggIdx[1]])
-		case ssb.AggRevenue:
-			v = int64(tup[aggIdx[0]])
-		default:
-			v = int64(tup[aggIdx[0]]) - int64(tup[aggIdx[1]])
-		}
 		if len(exs) == 0 {
-			total += v
+			totalRows++
+			agg.accumulate(total, tup)
 			continue
 		}
 		idx := int64(0)
 		for i := range exs {
 			idx += int64(exs[i].viaHash[tup[exCols[i]]]) * strides[i]
 		}
-		sums[idx] += v
-		seen[idx] = true
+		base := idx * int64(nAggs)
+		if !seen[idx] {
+			seen[idx] = true
+			ssb.InitCells(specs, sums[base:base+int64(nAggs)])
+		}
+		agg.accumulate(sums[base:base+int64(nAggs)], tup)
 	}
 
 	if len(exs) == 0 {
-		return ssb.NewResult(q.ID, []ssb.ResultRow{{Keys: nil, Agg: total}})
+		return ssb.NewResult(q.ID, []ssb.ResultRow{ssb.MakeRow(nil, ssb.FinalizeCells(specs, total, totalRows))})
 	}
 	var out []ssb.ResultRow
 	for idx := int64(0); idx < totalCard; idx++ {
@@ -176,7 +173,54 @@ rowLoop:
 			keys[i] = exs[i].render(int32(rem / strides[i]))
 			rem %= strides[i]
 		}
-		out = append(out, ssb.ResultRow{Keys: keys, Agg: sums[idx]})
+		base := idx * int64(nAggs)
+		out = append(out, ssb.MakeRow(keys, sums[base:base+int64(nAggs)]))
 	}
 	return ssb.NewResult(q.ID, out)
+}
+
+// tupleAgg evaluates the aggregate list over constructed []int32 tuples —
+// the shared accumulation helper of the row-oriented paths (early
+// materialization and the row-oriented MV).
+type tupleAgg struct {
+	specs  []ssb.AggSpec
+	ia, ib []int // tuple positions per spec (-1 unused)
+}
+
+// newTupleAgg resolves each spec's expression operands through the caller's
+// column->tuple-position mapping.
+func newTupleAgg(specs []ssb.AggSpec, pos func(string) int) *tupleAgg {
+	cols, ia, ib := ssb.AggInputs(specs)
+	at := make([]int, len(cols))
+	for i, c := range cols {
+		at[i] = pos(c)
+	}
+	resolve := func(src []int) []int {
+		out := make([]int, len(src))
+		for i, v := range src {
+			if v < 0 {
+				out[i] = -1
+			} else {
+				out[i] = at[v]
+			}
+		}
+		return out
+	}
+	return &tupleAgg{specs: specs, ia: resolve(ia), ib: resolve(ib)}
+}
+
+// accumulate folds one qualifying tuple into cells.
+func (a *tupleAgg) accumulate(cells []int64, tup []int32) {
+	for k, s := range a.specs {
+		var v int64
+		if s.Func != ssb.FuncCount {
+			var x, y int32
+			x = tup[a.ia[k]]
+			if a.ib[k] >= 0 {
+				y = tup[a.ib[k]]
+			}
+			v = s.Expr.Eval(x, y)
+		}
+		cells[k] = s.Combine(cells[k], v)
+	}
 }

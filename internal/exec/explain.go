@@ -25,7 +25,7 @@ func (db *DB) Explain(q *ssb.Query, cfg Config) string {
 	}
 
 	probes := db.planProbes(q, cfg, nil)
-	if cfg.fusedActive() {
+	if cfg.FusedActive() {
 		if db.fusedGroupSpace(q) > denseLimit {
 			fmt.Fprintf(&b, "  FUSED disabled for this query: composite group space exceeds the dense limit; per-probe hash aggregation runs instead\n")
 		} else {
@@ -60,7 +60,7 @@ func (db *DB) Explain(q *ssb.Query, cfg Config) string {
 			switch {
 			case !cfg.InvisibleJoin:
 				fmt.Fprintf(&b, "    %s.%s via hash table (late-materialized join)\n", g.Dim, g.Col)
-			case g.Dim == ssb.DimDate && cfg.fusedActive():
+			case g.Dim == ssb.DimDate && cfg.FusedActive():
 				fmt.Fprintf(&b, "    %s.%s via dense datekey->position array (no per-row hash)\n", g.Dim, g.Col)
 			case g.Dim == ssb.DimDate:
 				fmt.Fprintf(&b, "    %s.%s via datekey lookup (key is not a position: full join)\n", g.Dim, g.Col)
@@ -69,7 +69,12 @@ func (db *DB) Explain(q *ssb.Query, cfg Config) string {
 			}
 		}
 	}
-	fmt.Fprintf(&b, "  aggregate: %s over %s\n", aggName(q.Agg), strings.Join(q.Agg.Columns(), ", "))
+	specs := q.AggSpecs()
+	rendered := make([]string, len(specs))
+	for i, s := range specs {
+		rendered[i] = s.String()
+	}
+	fmt.Fprintf(&b, "  aggregate: %s\n", strings.Join(rendered, ", "))
 	return b.String()
 }
 
@@ -81,16 +86,5 @@ func predString(p *factProbe) string {
 		return fmt.Sprintf("IN (%d values)", len(p.pred.Set))
 	default:
 		return fmt.Sprintf("%s %d", p.pred.Op, p.pred.A)
-	}
-}
-
-func aggName(a ssb.AggKind) string {
-	switch a {
-	case ssb.AggDiscountRevenue:
-		return "sum(extendedprice*discount)"
-	case ssb.AggRevenue:
-		return "sum(revenue)"
-	default:
-		return "sum(revenue-supplycost)"
 	}
 }

@@ -64,8 +64,10 @@ type fusedPlan struct {
 	probes  []*factProbe
 	exs     []*fusedExtractor
 	strides []int64
-	mcols   []*colstore.Column
-	agg     ssb.AggKind
+	specs   []ssb.AggSpec
+	aggCols []*colstore.Column // distinct aggregate input columns
+	ia, ib  []int              // per-spec operand indexes into aggCols (-1 unused)
+	nAggs   int
 	grouped bool
 	numRows int
 }
@@ -155,23 +157,28 @@ type fusedWorker struct {
 	sel *bitmap.Bitmap // block-local selection vector
 	tmp *bitmap.Bitmap // per-probe filter output, ANDed into sel
 
-	idx   []int32 // survivor block-local indexes
-	vals  []int32 // probe gather scratch
-	m0    []int32 // measure gather scratch
-	m1    []int32
-	fkv   []int32 // FK gather scratch
-	val64 []int64 // aggregate input per survivor
-	gidx  []int64 // composite group index per survivor
+	idx   []int32   // survivor block-local indexes
+	vals  []int32   // probe gather scratch
+	mvals [][]int32 // aggregate input gather scratch, one per distinct column
+	fkv   []int32   // FK gather scratch
+	gidx  []int64   // composite group index per survivor
 
-	sums     []int64
-	seen     *bitmap.Bitmap
-	totalAgg int64
+	// sums holds nAggs cells per composite group index; seen marks
+	// populated groups (shared by every aggregate of the group).
+	sums  []int64
+	seen  *bitmap.Bitmap
+	nAggs int
+	// aggCells / rows accumulate the ungrouped aggregates.
+	aggCells []int64
+	rows     int64
 }
 
 // getFusedWorker takes a worker from the DB pool (or makes one) and sizes
-// its aggregation arrays for a composite group space of total cells. Pooled
-// workers were scrubbed on release, so reused arrays are already all-zero.
-func (db *DB) getFusedWorker(grouped bool, total int64) *fusedWorker {
+// its aggregation arrays for the plan's composite group space (nAggs cells
+// per group). Pooled workers were scrubbed on release, so reused arrays are
+// already all-zero; newly seen groups are initialized to the aggregate
+// identities before the first Combine.
+func (db *DB) getFusedWorker(plan *fusedPlan, total int64) *fusedWorker {
 	ws, _ := db.fusedPool.Get().(*fusedWorker)
 	if ws == nil {
 		ws = &fusedWorker{
@@ -180,12 +187,22 @@ func (db *DB) getFusedWorker(grouped bool, total int64) *fusedWorker {
 		}
 	}
 	ws.st = iosim.Stats{}
-	ws.totalAgg = 0
-	if grouped {
-		if int64(cap(ws.sums)) < total {
-			ws.sums = make([]int64, total)
+	ws.nAggs = plan.nAggs
+	ws.rows = 0
+	if cap(ws.aggCells) < plan.nAggs {
+		ws.aggCells = make([]int64, plan.nAggs)
+	}
+	ws.aggCells = ws.aggCells[:plan.nAggs]
+	ssb.InitCells(plan.specs, ws.aggCells)
+	for len(ws.mvals) < len(plan.aggCols) {
+		ws.mvals = append(ws.mvals, nil)
+	}
+	if plan.grouped {
+		cells := total * int64(plan.nAggs)
+		if int64(cap(ws.sums)) < cells {
+			ws.sums = make([]int64, cells)
 		}
-		ws.sums = ws.sums[:total]
+		ws.sums = ws.sums[:cells]
 		if ws.seen == nil || ws.seen.Len() < int(total) {
 			ws.seen = bitmap.New(int(total))
 		}
@@ -200,7 +217,12 @@ func (db *DB) getFusedWorker(grouped bool, total int64) *fusedWorker {
 // workers' cells by the time results are assembled.
 func (db *DB) putFusedWorker(ws *fusedWorker) {
 	if ws.seen != nil {
-		ws.seen.ForEach(func(i int) { ws.sums[i] = 0 })
+		nAggs := ws.nAggs
+		ws.seen.ForEach(func(i int) {
+			for k := 0; k < nAggs; k++ {
+				ws.sums[i*nAggs+k] = 0
+			}
+		})
 		ws.seen.Reset()
 	}
 	db.fusedPool.Put(ws)
@@ -219,14 +241,16 @@ func (db *DB) runFused(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
 
 	plan := &fusedPlan{
 		probes:  db.planProbes(q, cfg, st),
-		agg:     q.Agg,
+		specs:   q.AggSpecs(),
 		grouped: len(q.GroupBy) > 0,
 		numRows: db.numRows,
 	}
-	aggCols := q.Agg.Columns()
-	plan.mcols = make([]*colstore.Column, len(aggCols))
-	for i, name := range aggCols {
-		plan.mcols[i] = db.Fact.MustColumn(name)
+	plan.nAggs = len(plan.specs)
+	var aggColNames []string
+	aggColNames, plan.ia, plan.ib = ssb.AggInputs(plan.specs)
+	plan.aggCols = make([]*colstore.Column, len(aggColNames))
+	for i, name := range aggColNames {
+		plan.aggCols[i] = db.Fact.MustColumn(name)
 	}
 	gexs := make([]*groupExtractor, len(q.GroupBy))
 	for i, g := range q.GroupBy {
@@ -246,7 +270,7 @@ func (db *DB) runFused(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
 	states := make([]*fusedWorker, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		ws := db.getFusedWorker(plan.grouped, total)
+		ws := db.getFusedWorker(plan, total)
 		states[w] = ws
 		wg.Add(1)
 		go func(w int, ws *fusedWorker) {
@@ -259,27 +283,41 @@ func (db *DB) runFused(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
 	wg.Wait()
 
 	if !plan.grouped {
-		var sum int64
+		cells := make([]int64, plan.nAggs)
+		ssb.InitCells(plan.specs, cells)
+		var rows int64
 		for _, ws := range states {
 			st.Add(ws.st)
-			sum += ws.totalAgg
+			rows += ws.rows
+			for k, s := range plan.specs {
+				cells[k] = s.Merge(cells[k], ws.aggCells[k])
+			}
 			db.putFusedWorker(ws)
 		}
-		return ssb.NewResult(q.ID, []ssb.ResultRow{{Keys: nil, Agg: sum}})
+		return ssb.NewResult(q.ID, []ssb.ResultRow{ssb.MakeRow(nil, ssb.FinalizeCells(plan.specs, cells, rows))})
 	}
 	// Deterministic merge into worker 0: per-worker partials combine by
-	// commutative int64 addition, and worker 0's seen bitmap becomes the
-	// union, so worker count never shows through in results or stats.
+	// the aggregates' commutative merge (addition for SUM/COUNT, min/max
+	// otherwise), and worker 0's seen bitmap becomes the union, so worker
+	// count never shows through in results or stats.
+	nAggs := plan.nAggs
 	sums, seen := states[0].sums, states[0].seen
 	st.Add(states[0].st)
 	for _, ws := range states[1:] {
 		st.Add(ws.st)
 		ws.seen.ForEach(func(i int) {
-			sums[i] += ws.sums[i]
-			seen.Set(i)
+			base := i * nAggs
+			if seen.Get(i) {
+				for k, s := range plan.specs {
+					sums[base+k] = s.Merge(sums[base+k], ws.sums[base+k])
+				}
+			} else {
+				seen.Set(i)
+				copy(sums[base:base+nAggs], ws.sums[base:base+nAggs])
+			}
 		})
 	}
-	rows := denseGroupRows(gexs, plan.strides, sums, seen)
+	rows := denseGroupRows(gexs, plan.strides, plan.specs, sums, seen)
 	for _, ws := range states {
 		db.putFusedWorker(ws)
 	}
@@ -387,33 +425,15 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 		return
 	}
 
-	// Aggregate inputs at survivors only.
-	ws.m0 = plan.mcols[0].GatherBlock(bi, ws.idx, ws.m0[:0], &ws.st)
-	var m1 []int32
-	if len(plan.mcols) > 1 {
-		ws.m1 = plan.mcols[1].GatherBlock(bi, ws.idx, ws.m1[:0], &ws.st)
-		m1 = ws.m1
-	}
-	ws.val64 = ws.val64[:0]
-	switch plan.agg {
-	case ssb.AggDiscountRevenue:
-		for r, v := range ws.m0 {
-			ws.val64 = append(ws.val64, int64(v)*int64(m1[r]))
-		}
-	case ssb.AggRevenue:
-		for _, v := range ws.m0 {
-			ws.val64 = append(ws.val64, int64(v))
-		}
-	default:
-		for r, v := range ws.m0 {
-			ws.val64 = append(ws.val64, int64(v)-int64(m1[r]))
-		}
+	// Aggregate inputs at survivors only: gather each distinct input
+	// column once per block.
+	for ci, col := range plan.aggCols {
+		ws.mvals[ci] = col.GatherBlock(bi, ws.idx, ws.mvals[ci][:0], &ws.st)
 	}
 
 	if !plan.grouped {
-		for _, v := range ws.val64 {
-			ws.totalAgg += v
-		}
+		ws.rows += int64(len(ws.idx))
+		fusedAccumulate(plan, ws, nil)
 		return
 	}
 
@@ -446,9 +466,89 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 			}
 		}
 	}
-	for r, gi := range ws.gidx {
-		ws.sums[gi] += ws.val64[r]
-		ws.seen.Set(int(gi))
+	// Initialize newly seen groups to the aggregate identities, then
+	// accumulate every aggregate.
+	nAggs := plan.nAggs
+	for _, gi := range ws.gidx {
+		if !ws.seen.Get(int(gi)) {
+			ws.seen.Set(int(gi))
+			ssb.InitCells(plan.specs, ws.sums[gi*int64(nAggs):(gi+1)*int64(nAggs)])
+		}
+	}
+	fusedAccumulate(plan, ws, ws.gidx)
+}
+
+// fusedAccumulate folds the block's survivors into the worker's aggregates:
+// the ungrouped cells when gidx is nil, otherwise the dense per-group cells.
+// The single-column SUM loops are kept specialized — they are the hot path
+// for every fixed SSBM flight.
+func fusedAccumulate(plan *fusedPlan, ws *fusedWorker, gidx []int64) {
+	nAggs := int64(plan.nAggs)
+	for k, s := range plan.specs {
+		var va, vb []int32
+		if plan.ia[k] >= 0 {
+			va = ws.mvals[plan.ia[k]]
+		}
+		if plan.ib[k] >= 0 {
+			vb = ws.mvals[plan.ib[k]]
+		}
+		if gidx == nil {
+			cell := ws.aggCells[k]
+			switch {
+			case s.Func == ssb.FuncCount:
+				cell += int64(len(ws.idx))
+			case s.Func == ssb.FuncSum && s.Expr.Op == '*':
+				for r, v := range va {
+					cell += int64(v) * int64(vb[r])
+				}
+			case s.Func == ssb.FuncSum && s.Expr.Op == '-':
+				for r, v := range va {
+					cell += int64(v) - int64(vb[r])
+				}
+			case s.Func == ssb.FuncSum:
+				for _, v := range va {
+					cell += int64(v)
+				}
+			default:
+				for r, v := range va {
+					var b int32
+					if vb != nil {
+						b = vb[r]
+					}
+					cell = s.Combine(cell, s.Expr.Eval(v, b))
+				}
+			}
+			ws.aggCells[k] = cell
+			continue
+		}
+		ko := int64(k)
+		switch {
+		case s.Func == ssb.FuncCount:
+			for _, gi := range gidx {
+				ws.sums[gi*nAggs+ko]++
+			}
+		case s.Func == ssb.FuncSum && s.Expr.Op == '*':
+			for r, gi := range gidx {
+				ws.sums[gi*nAggs+ko] += int64(va[r]) * int64(vb[r])
+			}
+		case s.Func == ssb.FuncSum && s.Expr.Op == '-':
+			for r, gi := range gidx {
+				ws.sums[gi*nAggs+ko] += int64(va[r]) - int64(vb[r])
+			}
+		case s.Func == ssb.FuncSum:
+			for r, gi := range gidx {
+				ws.sums[gi*nAggs+ko] += int64(va[r])
+			}
+		default:
+			for r, gi := range gidx {
+				var b int32
+				if vb != nil {
+					b = vb[r]
+				}
+				c := gi*nAggs + ko
+				ws.sums[c] = s.Combine(ws.sums[c], s.Expr.Eval(va[r], b))
+			}
+		}
 	}
 }
 

@@ -109,7 +109,7 @@ func TestProjectionErrors(t *testing.T) {
 func TestExplainOutputs(t *testing.T) {
 	q := ssb.QueryByID("3.1")
 	out := testDBC.Explain(q, FullOpt)
-	for _, want := range []string{"BETWEEN", "sorted column", "direct array extraction", "datekey lookup", "sum(revenue)"} {
+	for _, want := range []string{"BETWEEN", "sorted column", "direct array extraction", "datekey lookup", "sum(lo_revenue)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Explain(3.1, tICL) missing %q:\n%s", want, out)
 		}

@@ -123,10 +123,8 @@ func (db *DB) RunRowMV(q *ssb.Query, mv *RowMV, st *iosim.Stats) *ssb.Result {
 		exs[i] = db.newGroupExtractor(g, hashCfg, st)
 		exCols[i] = mv.colIdx[g.Dim.FactFK()]
 	}
-	aggIdx := make([]int, len(q.Agg.Columns()))
-	for i, c := range q.Agg.Columns() {
-		aggIdx[i] = mv.colIdx[c]
-	}
+	specs := q.AggSpecs()
+	agg := newTupleAgg(specs, func(name string) int { return mv.colIdx[name] })
 
 	strides := make([]int64, len(exs))
 	totalCard := int64(1)
@@ -134,13 +132,16 @@ func (db *DB) RunRowMV(q *ssb.Query, mv *RowMV, st *iosim.Stats) *ssb.Result {
 		strides[i] = totalCard
 		totalCard *= int64(exs[i].card)
 	}
+	nAggs := len(specs)
 	var sums []int64
 	var seen []bool
 	if len(exs) > 0 {
-		sums = make([]int64, totalCard)
+		sums = make([]int64, totalCard*int64(nAggs))
 		seen = make([]bool, totalCard)
 	}
-	var total int64
+	total := make([]int64, nAggs)
+	ssb.InitCells(specs, total)
+	var totalRows int64
 
 	st.Read(mv.Blob.Bytes())
 	tup := make([]int32, len(mv.Cols))
@@ -158,29 +159,25 @@ rowLoop:
 				continue rowLoop
 			}
 		}
-		var v int64
-		switch q.Agg {
-		case ssb.AggDiscountRevenue:
-			v = int64(tup[aggIdx[0]]) * int64(tup[aggIdx[1]])
-		case ssb.AggRevenue:
-			v = int64(tup[aggIdx[0]])
-		default:
-			v = int64(tup[aggIdx[0]]) - int64(tup[aggIdx[1]])
-		}
 		if len(exs) == 0 {
-			total += v
+			totalRows++
+			agg.accumulate(total, tup)
 			continue
 		}
 		idx := int64(0)
 		for i := range exs {
 			idx += int64(exs[i].viaHash[tup[exCols[i]]]) * strides[i]
 		}
-		sums[idx] += v
-		seen[idx] = true
+		base := idx * int64(nAggs)
+		if !seen[idx] {
+			seen[idx] = true
+			ssb.InitCells(specs, sums[base:base+int64(nAggs)])
+		}
+		agg.accumulate(sums[base:base+int64(nAggs)], tup)
 	}
 
 	if len(exs) == 0 {
-		return ssb.NewResult(q.ID, []ssb.ResultRow{{Keys: nil, Agg: total}})
+		return ssb.NewResult(q.ID, []ssb.ResultRow{ssb.MakeRow(nil, ssb.FinalizeCells(specs, total, totalRows))})
 	}
 	var out []ssb.ResultRow
 	for idx := int64(0); idx < totalCard; idx++ {
@@ -193,7 +190,8 @@ rowLoop:
 			keys[i] = exs[i].render(int32(rem / strides[i]))
 			rem %= strides[i]
 		}
-		out = append(out, ssb.ResultRow{Keys: keys, Agg: sums[idx]})
+		base := idx * int64(nAggs)
+		out = append(out, ssb.MakeRow(keys, sums[base:base+int64(nAggs)]))
 	}
 	return ssb.NewResult(q.ID, out)
 }

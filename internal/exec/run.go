@@ -15,7 +15,7 @@ func (db *DB) Run(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
 	if !cfg.LateMat {
 		return db.runEarlyMat(q, cfg, st)
 	}
-	if cfg.fusedActive() {
+	if cfg.FusedActive() {
 		return db.runFused(q, cfg, st)
 	}
 	return db.runLateMat(q, cfg, st)
@@ -223,7 +223,7 @@ func (db *DB) dimProbe(dim ssb.Dim, filters []ssb.DimFilter, cfg Config, st *ios
 		}
 	}
 	probe.setMin, probe.setMax = mn, mx
-	if cfg.fusedActive() {
+	if cfg.FusedActive() {
 		probe.dense = bitmap.New(int(mx-mn) + 1)
 		for _, k := range keys {
 			probe.dense.Set(int(k - mn))

@@ -1,59 +1,142 @@
 package rowexec
 
-import "repro/internal/ssb"
+import (
+	"repro/internal/rowstore"
+	"repro/internal/ssb"
+)
 
-// aggregator accumulates grouped sums from rendered group keys. It backs
-// both the Volcano hashAgg operator and the callback-style drivers (bitmap,
-// vertical-partitioning and index-only plans).
+// aggregator accumulates grouped aggregates from rendered group keys. It
+// backs both the Volcano hashAgg operator and the callback-style drivers
+// (bitmap, vertical-partitioning, index-only and super-tuple plans).
 type aggregator struct {
 	queryID string
 	grouped bool
-	total   int64
+	specs   []ssb.AggSpec
+	totals  []int64
+	rows    int64
 	groups  map[string]*aggCell
 	kb      []byte
 }
 
 type aggCell struct {
-	keys []string
-	sum  int64
+	keys  []string
+	cells []int64
 }
 
-// newAggregator returns an aggregator for a query with (grouped=true) or
-// without group-by columns.
-func newAggregator(queryID string, grouped bool) *aggregator {
-	return &aggregator{queryID: queryID, grouped: grouped, groups: map[string]*aggCell{}}
-}
-
-// add accumulates v under the given group keys (ignored when ungrouped).
-// keys is borrowed: the aggregator copies it on first sight of a group.
-func (a *aggregator) add(keys []string, v int64) {
-	if !a.grouped {
-		a.total += v
-		return
+// newAggregator returns an aggregator over the given aggregate list for a
+// query with (grouped=true) or without group-by columns.
+func newAggregator(queryID string, grouped bool, specs []ssb.AggSpec) *aggregator {
+	a := &aggregator{
+		queryID: queryID,
+		grouped: grouped,
+		specs:   specs,
+		totals:  make([]int64, len(specs)),
+		groups:  map[string]*aggCell{},
 	}
-	a.kb = a.kb[:0]
-	for i, k := range keys {
-		if i > 0 {
-			a.kb = append(a.kb, 0)
+	ssb.InitCells(specs, a.totals)
+	return a
+}
+
+// add accumulates one qualifying row's evaluated expression values (one per
+// spec; COUNT entries are ignored) under the given group keys. keys is
+// borrowed: the aggregator copies it on first sight of a group.
+func (a *aggregator) add(keys []string, vals []int64) {
+	cells := a.totals
+	if a.grouped {
+		a.kb = a.kb[:0]
+		for i, k := range keys {
+			if i > 0 {
+				a.kb = append(a.kb, 0)
+			}
+			a.kb = append(a.kb, k...)
 		}
-		a.kb = append(a.kb, k...)
+		c, ok := a.groups[string(a.kb)]
+		if !ok {
+			c = &aggCell{
+				keys:  append([]string(nil), keys...),
+				cells: make([]int64, len(a.specs)),
+			}
+			ssb.InitCells(a.specs, c.cells)
+			a.groups[string(a.kb)] = c
+		}
+		cells = c.cells
+	} else {
+		a.rows++
 	}
-	c, ok := a.groups[string(a.kb)]
-	if !ok {
-		c = &aggCell{keys: append([]string(nil), keys...)}
-		a.groups[string(a.kb)] = c
+	for k, s := range a.specs {
+		cells[k] = s.Combine(cells[k], vals[k])
 	}
-	c.sum += v
 }
 
 // result renders the canonical query result.
 func (a *aggregator) result() *ssb.Result {
 	if !a.grouped {
-		return ssb.NewResult(a.queryID, []ssb.ResultRow{{Keys: nil, Agg: a.total}})
+		return ssb.NewResult(a.queryID, []ssb.ResultRow{
+			ssb.MakeRow(nil, ssb.FinalizeCells(a.specs, a.totals, a.rows)),
+		})
 	}
 	rows := make([]ssb.ResultRow, 0, len(a.groups))
 	for _, c := range a.groups {
-		rows = append(rows, ssb.ResultRow{Keys: c.keys, Agg: c.sum})
+		rows = append(rows, ssb.MakeRow(c.keys, c.cells))
 	}
 	return ssb.NewResult(a.queryID, rows)
+}
+
+// aggEval resolves the aggregate list's expression operands to positions in
+// whatever row representation a plan uses (rowstore.Row for heap scans,
+// []int32 tuples for the vertical and index-only plans) and evaluates them
+// into a reused per-row value slice.
+type aggEval struct {
+	specs  []ssb.AggSpec
+	ia, ib []int // positions per spec (-1 unused)
+	out    []int64
+}
+
+// newAggEval maps each spec's expression columns through pos.
+func newAggEval(specs []ssb.AggSpec, pos func(string) int) *aggEval {
+	cols, ia, ib := ssb.AggInputs(specs)
+	at := make([]int, len(cols))
+	for i, c := range cols {
+		at[i] = pos(c)
+	}
+	resolve := func(src []int) []int {
+		out := make([]int, len(src))
+		for i, v := range src {
+			if v < 0 {
+				out[i] = -1
+			} else {
+				out[i] = at[v]
+			}
+		}
+		return out
+	}
+	return &aggEval{specs: specs, ia: resolve(ia), ib: resolve(ib), out: make([]int64, len(specs))}
+}
+
+// evalFunc evaluates the expressions reading column values through get; the
+// returned slice is reused across calls.
+func (a *aggEval) evalFunc(get func(int) int32) []int64 {
+	for k, s := range a.specs {
+		if s.Func == ssb.FuncCount {
+			a.out[k] = 0
+			continue
+		}
+		var va, vb int32
+		va = get(a.ia[k])
+		if a.ib[k] >= 0 {
+			vb = get(a.ib[k])
+		}
+		a.out[k] = s.Expr.Eval(va, vb)
+	}
+	return a.out
+}
+
+// evalRow evaluates over a heap row.
+func (a *aggEval) evalRow(row rowstore.Row) []int64 {
+	return a.evalFunc(func(i int) int32 { return row[i].I })
+}
+
+// evalVals evaluates over an []int32 tuple.
+func (a *aggEval) evalVals(vals []int32) []int64 {
+	return a.evalFunc(func(i int) int32 { return vals[i] })
 }

@@ -109,12 +109,9 @@ func (sx *SystemX) runIndexOnlyPlan(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 		attrMaps[gi] = sx.dimIndexAttrMap(g.Dim, g.Col, st)
 		attrPos[gi] = colPos[g.Dim.FactFK()]
 	}
-	aggIdx := make([]int, len(q.Agg.Columns()))
-	for i, c := range q.Agg.Columns() {
-		aggIdx[i] = colPos[c]
-	}
+	agg := newAggEval(q.AggSpecs(), func(c string) int { return colPos[c] })
 
-	out := newAggregator(q.ID, len(q.GroupBy) > 0)
+	out := newAggregator(q.ID, len(q.GroupBy) > 0, agg.specs)
 	keys := make([]string, len(q.GroupBy))
 tupleLoop:
 	for _, vals := range tuples {
@@ -128,19 +125,10 @@ tupleLoop:
 				continue tupleLoop
 			}
 		}
-		var v int64
-		switch q.Agg {
-		case ssb.AggDiscountRevenue:
-			v = int64(vals[aggIdx[0]]) * int64(vals[aggIdx[1]])
-		case ssb.AggRevenue:
-			v = int64(vals[aggIdx[0]])
-		default:
-			v = int64(vals[aggIdx[0]]) - int64(vals[aggIdx[1]])
-		}
 		for gi := range q.GroupBy {
 			keys[gi] = attrMaps[gi][vals[attrPos[gi]]]
 		}
-		out.add(keys, v)
+		out.add(keys, agg.evalVals(vals))
 	}
 	return out.result()
 }

@@ -99,70 +99,20 @@ func (j *hashJoin) Next() (rowstore.Row, bool) {
 	}
 }
 
-// aggSpec describes the aggregate expression over (possibly joined) rows.
-type aggSpec struct {
-	kind ssb.AggKind
-	colA int
-	colB int
-}
-
-func (a aggSpec) eval(row rowstore.Row) int64 {
-	switch a.kind {
-	case ssb.AggDiscountRevenue:
-		return int64(row[a.colA].I) * int64(row[a.colB].I)
-	case ssb.AggRevenue:
-		return int64(row[a.colA].I)
-	default:
-		return int64(row[a.colA].I) - int64(row[a.colB].I)
-	}
-}
-
 // hashAgg drains the child, grouping on the given row positions (string
 // values produced by joins, or integer columns rendered in decimal).
-func hashAgg(child Iterator, queryID string, groupIdx []int, agg aggSpec) *ssb.Result {
-	if len(groupIdx) == 0 {
-		var total int64
-		for {
-			row, ok := child.Next()
-			if !ok {
-				break
-			}
-			total += agg.eval(row)
-		}
-		return ssb.NewResult(queryID, []ssb.ResultRow{{Keys: nil, Agg: total}})
-	}
-	type cell struct {
-		keys []string
-		sum  int64
-	}
-	groups := map[string]*cell{}
-	var kb []byte
+func hashAgg(child Iterator, queryID string, groupIdx []int, agg *aggEval) *ssb.Result {
+	out := newAggregator(queryID, len(groupIdx) > 0, agg.specs)
+	keys := make([]string, len(groupIdx))
 	for {
 		row, ok := child.Next()
 		if !ok {
 			break
 		}
-		kb = kb[:0]
 		for i, gi := range groupIdx {
-			if i > 0 {
-				kb = append(kb, 0)
-			}
-			kb = append(kb, row[gi].S...)
+			keys[i] = row[gi].S
 		}
-		c, hit := groups[string(kb)]
-		if !hit {
-			keys := make([]string, len(groupIdx))
-			for i, gi := range groupIdx {
-				keys[i] = row[gi].S
-			}
-			c = &cell{keys: keys}
-			groups[string(kb)] = c
-		}
-		c.sum += agg.eval(row)
+		out.add(keys, agg.evalRow(row))
 	}
-	rows := make([]ssb.ResultRow, 0, len(groups))
-	for _, c := range groups {
-		rows = append(rows, ssb.ResultRow{Keys: c.keys, Agg: c.sum})
-	}
-	return ssb.NewResult(queryID, rows)
+	return out.result()
 }

@@ -157,11 +157,6 @@ func (sx *SystemX) runScanPlan(q *ssb.Query, src *rowstore.Table, prune bool, st
 		it = newHashJoin(it, fkIdx, b.table)
 	}
 
-	agg := aggSpec{kind: q.Agg}
-	cols := q.Agg.Columns()
-	agg.colA = src.Schema.MustColIndex(cols[0])
-	if len(cols) > 1 {
-		agg.colB = src.Schema.MustColIndex(cols[1])
-	}
+	agg := newAggEval(q.AggSpecs(), src.Schema.MustColIndex)
 	return hashAgg(it, q.ID, groupIdx, agg)
 }

@@ -142,10 +142,7 @@ func (sx *SystemX) RunSuperVP(q *ssb.Query, super map[string]*SuperVP, st *iosim
 		attrMaps[gi] = sx.dimAttrMap(g.Dim, g.Col, st)
 		attrCol[gi] = colPos[g.Dim.FactFK()]
 	}
-	aggIdx := make([]int, len(q.Agg.Columns()))
-	for i, c := range q.Agg.Columns() {
-		aggIdx[i] = colPos[c]
-	}
+	agg := newAggEval(q.AggSpecs(), func(c string) int { return colPos[c] })
 
 	// Zip-scan: pull one batch from every column cursor in lockstep (the
 	// positional merge join of the paper's conclusion — virtual
@@ -160,7 +157,7 @@ func (sx *SystemX) RunSuperVP(q *ssb.Query, super map[string]*SuperVP, st *iosim
 	}
 	batches := make([][]int32, len(cols))
 
-	out := newAggregator(q.ID, len(q.GroupBy) > 0)
+	out := newAggregator(q.ID, len(q.GroupBy) > 0, agg.specs)
 	keys := make([]string, len(q.GroupBy))
 	for {
 		n := -1
@@ -189,19 +186,10 @@ func (sx *SystemX) RunSuperVP(q *ssb.Query, super map[string]*SuperVP, st *iosim
 					continue rowLoop
 				}
 			}
-			var v int64
-			switch q.Agg {
-			case ssb.AggDiscountRevenue:
-				v = int64(batches[aggIdx[0]][r]) * int64(batches[aggIdx[1]][r])
-			case ssb.AggRevenue:
-				v = int64(batches[aggIdx[0]][r])
-			default:
-				v = int64(batches[aggIdx[0]][r]) - int64(batches[aggIdx[1]][r])
-			}
 			for gi := range q.GroupBy {
 				keys[gi] = attrMaps[gi][batches[attrCol[gi]][r]]
 			}
-			out.add(keys, v)
+			out.add(keys, agg.evalFunc(func(i int) int32 { return batches[i][r] }))
 		}
 	}
 	return out.result()

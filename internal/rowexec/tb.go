@@ -29,7 +29,14 @@ func (sx *SystemX) runBitmapPlan(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 		}
 	}
 
-	// Fact measure predicates via bitmap indexes.
+	// Fact measure predicates via bitmap indexes where one exists
+	// (discount and quantity); other measure columns fall back to residual
+	// predicates evaluated during the heap fetch.
+	type residual struct {
+		idx  int
+		pred func(int32) bool
+	}
+	var residuals []residual
 	for _, f := range q.FactFilters {
 		pred := f.Pred
 		switch f.Col {
@@ -37,6 +44,8 @@ func (sx *SystemX) runBitmapPlan(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 			and(sx.DiscountBM.Lookup(pred.Match, st))
 		case "quantity":
 			and(sx.QuantityBM.Lookup(pred.Match, st))
+		default:
+			residuals = append(residuals, residual{idx: sx.Fact.Schema.MustColIndex(f.Col), pred: pred.Match})
 		}
 	}
 
@@ -110,16 +119,16 @@ func (sx *SystemX) runBitmapPlan(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 	for i, b := range builds {
 		fkIdx[i] = sx.Fact.Schema.MustColIndex(b.dim.FactFK())
 	}
-	agg := aggSpec{kind: q.Agg}
-	cols := q.Agg.Columns()
-	agg.colA = sx.Fact.Schema.MustColIndex(cols[0])
-	if len(cols) > 1 {
-		agg.colB = sx.Fact.Schema.MustColIndex(cols[1])
-	}
+	agg := newAggEval(q.AggSpecs(), sx.Fact.Schema.MustColIndex)
 
-	out := newAggregator(q.ID, len(q.GroupBy) > 0)
+	out := newAggregator(q.ID, len(q.GroupBy) > 0, agg.specs)
 	keys := make([]string, len(q.GroupBy))
 	sx.Fact.ScanRidBitmap(acc, st, func(_ int32, row rowstore.Row) bool {
+		for _, r := range residuals {
+			if !r.pred(row[r.idx].I) {
+				return true
+			}
+		}
 		for i, b := range builds {
 			payload, hit := b.table[row[fkIdx[i]].I]
 			if !hit {
@@ -129,7 +138,7 @@ func (sx *SystemX) runBitmapPlan(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 				keys[gi] = payload[pi].S
 			}
 		}
-		out.add(keys, agg.eval(row))
+		out.add(keys, agg.evalRow(row))
 		return true
 	})
 	return out.result()

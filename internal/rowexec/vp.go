@@ -45,10 +45,19 @@ func (sx *SystemX) runVPPlan(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 		infos[dim] = info
 	}
 
-	// Fact measure predicates by column.
-	factPred := map[string]func(int32) bool{}
+	// Fact measure predicates by column (a query may carry several on one
+	// column; all must hold).
+	factPred := map[string][]func(int32) bool{}
 	for _, f := range q.FactFilters {
-		factPred[f.Col] = f.Pred.Match
+		factPred[f.Col] = append(factPred[f.Col], f.Pred.Match)
+	}
+	passAll := func(preds []func(int32) bool, v int32) bool {
+		for _, p := range preds {
+			if !p(v) {
+				return false
+			}
+		}
+		return true
 	}
 
 	// Column processing order: filtered columns first, most selective
@@ -84,7 +93,7 @@ func (sx *SystemX) runVPPlan(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 		if !ok {
 			panic("rowexec: no vertical table for " + col)
 		}
-		pred := factPred[col]
+		preds := factPred[col]
 		keys := keySetOf(col)
 		if ci > 0 {
 			// Position-keyed hash join against the accumulated
@@ -95,7 +104,7 @@ func (sx *SystemX) runVPPlan(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 			tuples = make(map[int32][]int32, 1024)
 			vt.Scan(st, func(_ int32, row rowstore.Row) bool {
 				v := row[1].I
-				if pred != nil && !pred(v) {
+				if !passAll(preds, v) {
 					return true
 				}
 				if keys != nil {
@@ -116,7 +125,7 @@ func (sx *SystemX) runVPPlan(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 				return true
 			}
 			v := row[1].I
-			if (pred != nil && !pred(v)) || (keys != nil && !inSet(keys, v)) {
+			if !passAll(preds, v) || (keys != nil && !inSet(keys, v)) {
 				delete(tuples, row[0].I)
 				return true
 			}
@@ -136,30 +145,18 @@ func (sx *SystemX) runVPPlan(q *ssb.Query, st *iosim.Stats) *ssb.Result {
 		attrMaps[gi] = sx.dimAttrMap(g.Dim, g.Col, st)
 		attrCol[gi] = colPos[g.Dim.FactFK()]
 	}
-	aggIdx := make([]int, len(q.Agg.Columns()))
-	for i, c := range q.Agg.Columns() {
-		aggIdx[i] = colPos[c]
-	}
+	agg := newAggEval(q.AggSpecs(), func(c string) int { return colPos[c] })
 
-	out := newAggregator(q.ID, len(q.GroupBy) > 0)
+	out := newAggregator(q.ID, len(q.GroupBy) > 0, agg.specs)
 	keys := make([]string, len(q.GroupBy))
 	for _, vals := range tuples {
 		if len(vals) != len(cols) {
 			continue // dropped mid-join
 		}
-		var v int64
-		switch q.Agg {
-		case ssb.AggDiscountRevenue:
-			v = int64(vals[aggIdx[0]]) * int64(vals[aggIdx[1]])
-		case ssb.AggRevenue:
-			v = int64(vals[aggIdx[0]])
-		default:
-			v = int64(vals[aggIdx[0]]) - int64(vals[aggIdx[1]])
-		}
 		for gi := range q.GroupBy {
 			keys[gi] = attrMaps[gi][vals[attrCol[gi]]]
 		}
-		out.add(keys, v)
+		out.add(keys, agg.evalVals(vals))
 	}
 	return out.result()
 }

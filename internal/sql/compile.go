@@ -2,6 +2,7 @@ package sql
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/compress"
 	"repro/internal/ssb"
@@ -11,18 +12,27 @@ import (
 func compile(id string, s *stmt) (*ssb.Query, error) {
 	q := &ssb.Query{ID: id}
 
-	// Aggregate.
-	switch {
-	case s.agg.op == 0 && s.agg.a.isFact && s.agg.a.col == "revenue":
-		q.Agg = ssb.AggRevenue
-	case s.agg.op == '*' && s.agg.a.isFact && s.agg.b.isFact &&
-		s.agg.a.col == "extendedprice" && s.agg.b.col == "discount":
-		q.Agg = ssb.AggDiscountRevenue
-	case s.agg.op == '-' && s.agg.a.isFact && s.agg.b.isFact &&
-		s.agg.a.col == "revenue" && s.agg.b.col == "supplycost":
-		q.Agg = ssb.AggProfit
-	default:
-		return nil, fmt.Errorf("sql: unsupported aggregate (supported: sum(lo_revenue), sum(lo_extendedprice*lo_discount), sum(lo_revenue-lo_supplycost))")
+	// Aggregates: each is sum/min/max over a measure expression, or
+	// count(*). The legacy AggKind is kept in sync for the three published
+	// SSBM forms so the figure harnesses can still classify plans.
+	specs := make([]ssb.AggSpec, len(s.aggs))
+	for i, it := range s.aggs {
+		spec, err := compileAgg(it)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	q.Aggs = specs
+	if len(specs) == 1 && specs[0].Func == ssb.FuncSum {
+		switch specs[0].Expr {
+		case (ssb.AggExpr{ColA: "extendedprice", Op: '*', ColB: "discount"}):
+			q.Agg = ssb.AggDiscountRevenue
+		case (ssb.AggExpr{ColA: "revenue"}):
+			q.Agg = ssb.AggRevenue
+		case (ssb.AggExpr{ColA: "revenue", Op: '-', ColB: "supplycost"}):
+			q.Agg = ssb.AggProfit
+		}
 	}
 
 	// Predicates.
@@ -58,10 +68,37 @@ func compile(id string, s *stmt) (*ssb.Query, error) {
 	return q, nil
 }
 
+// compileAgg lowers one SELECT-list aggregate to its spec, validating the
+// expression operands against the measure set every engine materializes.
+func compileAgg(it aggItem) (ssb.AggSpec, error) {
+	if it.fn == ssb.FuncCount {
+		// count(expr) over never-NULL measures is count(*).
+		return ssb.AggSpec{Func: ssb.FuncCount}, nil
+	}
+	check := func(r colRef) error {
+		if !r.isFact || !ssb.IsMeasureCol(r.col) {
+			return fmt.Errorf("sql: aggregate expressions are supported over lineorder measures (%s)", strings.Join(ssb.MeasureCols, ", "))
+		}
+		return nil
+	}
+	if err := check(it.a); err != nil {
+		return ssb.AggSpec{}, err
+	}
+	expr := ssb.AggExpr{ColA: it.a.col, Op: it.op}
+	if it.op != 0 {
+		if err := check(it.b); err != nil {
+			return ssb.AggSpec{}, err
+		}
+		expr.ColB = it.b.col
+	}
+	return ssb.AggSpec{Func: it.fn, Expr: expr}, nil
+}
+
 // compileFactFilter lowers a lineorder measure predicate.
 func compileFactFilter(pr pred) (ssb.FactFilter, error) {
-	if pr.left.col != "discount" && pr.left.col != "quantity" {
-		return ssb.FactFilter{}, fmt.Errorf("sql: fact predicates are supported on lo_discount and lo_quantity only (got lo_%s)", pr.left.col)
+	if !ssb.IsMeasureCol(pr.left.col) {
+		return ssb.FactFilter{}, fmt.Errorf("sql: fact predicates are supported on lineorder measures (%s), got lo_%s",
+			strings.Join(ssb.MeasureCols, ", "), pr.left.col)
 	}
 	if pr.isStr {
 		return ssb.FactFilter{}, fmt.Errorf("sql: lo_%s is an integer column", pr.left.col)

@@ -25,16 +25,19 @@ type pred struct {
 	isStr   bool
 }
 
-// aggExpr is the parsed SELECT aggregate.
-type aggExpr struct {
+// aggItem is one parsed aggregate of the SELECT list. count(*) carries no
+// operands; count(expr) parses its operands but compiles to the same
+// COUNT(*) spec (SSBM measures are never NULL).
+type aggItem struct {
+	fn ssb.AggFunc
 	a  colRef
-	op byte // 0: sum(a); '*': sum(a*b); '-': sum(a-b)
+	op byte // 0: fn(a); '*': fn(a*b); '-': fn(a-b)
 	b  colRef
 }
 
 // stmt is the parsed and semantically resolved statement.
 type stmt struct {
-	agg     aggExpr
+	aggs    []aggItem
 	preds   []pred
 	groupBy []colRef
 	joins   map[ssb.Dim]bool
@@ -96,21 +99,16 @@ func (p *parser) parseStatement() (*stmt, error) {
 	if err := p.expectKw("select"); err != nil {
 		return nil, err
 	}
-	// SELECT list: exactly one sum(...) plus optional output columns that
-	// must reappear in GROUP BY.
+	// SELECT list: one or more aggregates (sum/count/min/max) plus
+	// optional output columns that must reappear in GROUP BY.
 	var outputCols []string
-	sawAgg := false
 	for {
-		if p.kw("sum") {
-			if sawAgg {
-				return nil, fmt.Errorf("sql: multiple aggregates are not supported")
-			}
-			sawAgg = true
-			agg, err := p.parseSumExpr()
+		if fn, ok := p.aggKeyword(); ok {
+			agg, err := p.parseAggExpr(fn)
 			if err != nil {
 				return nil, err
 			}
-			s.agg = agg
+			s.aggs = append(s.aggs, agg)
 		} else {
 			t := p.cur()
 			if t.kind != tokIdent {
@@ -135,8 +133,8 @@ func (p *parser) parseStatement() (*stmt, error) {
 		}
 		break
 	}
-	if !sawAgg {
-		return nil, fmt.Errorf("sql: SELECT list must contain a sum() aggregate")
+	if len(s.aggs) == 0 {
+		return nil, fmt.Errorf("sql: SELECT list must contain at least one aggregate (sum/count/min/max)")
 	}
 
 	if err := p.expectKw("from"); err != nil {
@@ -244,11 +242,44 @@ func (p *parser) parseStatement() (*stmt, error) {
 	return s, nil
 }
 
-// parseSumExpr parses the inside of sum( ... ).
-func (p *parser) parseSumExpr() (aggExpr, error) {
-	var agg aggExpr
+// aggKeyword reports (and consumes) an aggregate function keyword when the
+// current token is one of sum/count/min/max followed by "(".
+func (p *parser) aggKeyword() (ssb.AggFunc, bool) {
+	t := p.cur()
+	if t.kind != tokIdent || p.i+1 >= len(p.toks) {
+		return 0, false
+	}
+	nxt := p.toks[p.i+1]
+	if !(nxt.kind == tokSymbol && nxt.text == "(") {
+		return 0, false
+	}
+	var fn ssb.AggFunc
+	switch strings.ToLower(t.text) {
+	case "sum":
+		fn = ssb.FuncSum
+	case "count":
+		fn = ssb.FuncCount
+	case "min":
+		fn = ssb.FuncMin
+	case "max":
+		fn = ssb.FuncMax
+	default:
+		return 0, false
+	}
+	p.i++
+	return fn, true
+}
+
+// parseAggExpr parses the parenthesized body of an aggregate: a column, a
+// column product or difference, or * for count(*).
+func (p *parser) parseAggExpr(fn ssb.AggFunc) (aggItem, error) {
+	agg := aggItem{fn: fn}
 	if err := p.expectSym("("); err != nil {
 		return agg, err
+	}
+	if t := p.cur(); fn == ssb.FuncCount && (t.kind == tokSymbol || t.kind == tokOp) && t.text == "*" {
+		p.next()
+		return agg, p.expectSym(")")
 	}
 	name, err := p.parseRefText()
 	if err != nil {

@@ -127,8 +127,9 @@ func (f DimFilter) MatchStr(s string) bool {
 	}
 }
 
-// FactFilter is a predicate on a fact-table measure column (flight 1 only:
-// discount and quantity).
+// FactFilter is a predicate on a fact-table measure column (the fixed SSBM
+// queries restrict discount and quantity; ad-hoc plans may use any column
+// in MeasureCols).
 type FactFilter struct {
 	Col  string
 	Pred compress.Pred
@@ -175,6 +176,9 @@ type Query struct {
 	DimFilters  []DimFilter
 	GroupBy     []GroupCol
 	Agg         AggKind
+	// Aggs is the generalized aggregate list. When empty the query is a
+	// legacy single-SUM plan described by Agg; see AggSpecs.
+	Aggs []AggSpec
 	// PaperSelectivity is the LINEORDER selectivity published in paper
 	// Section 3, pinned by generator tests.
 	PaperSelectivity float64
@@ -407,8 +411,10 @@ func (q *Query) NeededFactColumns() []string {
 	for _, d := range q.DimsUsed() {
 		add(d.FactFK())
 	}
-	for _, c := range q.Agg.Columns() {
-		add(c)
+	for _, s := range q.AggSpecs() {
+		for _, c := range s.Expr.Columns() {
+			add(c)
+		}
 	}
 	return out
 }

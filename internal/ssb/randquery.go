@@ -1,0 +1,210 @@
+package ssb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compress"
+)
+
+// RandQuery builds a pseudo-random ad-hoc query over the SSBM schema,
+// deterministic in seed: any subset of dimension filters (equality, range,
+// IN and not-equal over the hierarchy attributes), any combination of
+// fact-measure predicates, any group-by set over dimension attributes, and
+// a 1–3 element aggregate list drawn from SUM/COUNT/MIN/MAX over the
+// measure expression forms. Every attribute it samples is materialized by
+// every engine, so a generated query is a valid differential-test input
+// for the full engine matrix (the denormalized designs may still decline
+// via DenormDB.Supports).
+func RandQuery(seed int64) *Query {
+	rng := rand.New(rand.NewSource(seed))
+	q := &Query{ID: fmt.Sprintf("fuzz-%d", seed)}
+
+	q.Aggs = randAggs(rng)
+	randFactFilters(rng, q)
+	randDimFilters(rng, q)
+	randGroupBy(rng, q)
+	return q
+}
+
+// randAggs samples the aggregate list.
+func randAggs(rng *rand.Rand) []AggSpec {
+	n := 1 + rng.Intn(3)
+	specs := make([]AggSpec, 0, n)
+	for len(specs) < n {
+		fn := []AggFunc{FuncSum, FuncSum, FuncCount, FuncMin, FuncMax}[rng.Intn(5)]
+		if fn == FuncCount {
+			specs = append(specs, AggSpec{Func: FuncCount})
+			continue
+		}
+		expr := AggExpr{ColA: MeasureCols[rng.Intn(len(MeasureCols))]}
+		switch rng.Intn(3) {
+		case 0: // single column
+		case 1:
+			expr.Op = '*'
+			expr.ColB = MeasureCols[rng.Intn(len(MeasureCols))]
+		default:
+			expr.Op = '-'
+			expr.ColB = MeasureCols[rng.Intn(len(MeasureCols))]
+		}
+		specs = append(specs, AggSpec{Func: fn, Expr: expr})
+	}
+	return specs
+}
+
+// randFactFilters samples 0–2 measure predicates with value ranges matched
+// to the generator's column domains.
+func randFactFilters(rng *rand.Rand, q *Query) {
+	domain := map[string][2]int32{
+		"quantity":      {1, 50},
+		"discount":      {0, 10},
+		"extendedprice": {1000, 99999},
+		"revenue":       {900, 99999},
+		"supplycost":    {600, 59999},
+	}
+	for _, col := range MeasureCols {
+		if rng.Intn(4) != 0 {
+			continue
+		}
+		lo, hi := domain[col][0], domain[col][1]
+		span := hi - lo
+		a := lo + rng.Int31n(span+1)
+		var p compress.Pred
+		switch rng.Intn(6) {
+		case 0:
+			p = compress.Between(a, a+rng.Int31n(span/4+1))
+		case 1:
+			p = compress.Lt(a)
+		case 2:
+			p = compress.Ge(a)
+		case 3:
+			p = compress.Eq(a)
+		case 4:
+			set := make([]int32, 0, 3)
+			for len(set) < 1+rng.Intn(3) {
+				set = append(set, lo+rng.Int31n(span+1))
+			}
+			p = compress.In(set...)
+		default:
+			p = compress.Pred{Op: compress.OpNe, A: a}
+		}
+		q.FactFilters = append(q.FactFilters, FactFilter{Col: col, Pred: p})
+		// Occasionally stack a second predicate on the same column — the
+		// conjunction class that exposes engines collapsing per-column
+		// predicate lists.
+		if rng.Intn(4) == 0 {
+			q.FactFilters = append(q.FactFilters, FactFilter{Col: col, Pred: compress.Le(a + rng.Int31n(span/2+1))})
+		}
+	}
+}
+
+// strFilter builds a string dimension filter.
+func strFilter(d Dim, col string, op compress.Op, a, b string, set []string) DimFilter {
+	return DimFilter{Dim: d, Col: col, Op: op, StrA: a, StrB: b, StrSet: set}
+}
+
+// intFilter builds an integer dimension filter.
+func intFilter(d Dim, col string, op compress.Op, a, b int32, set []int32) DimFilter {
+	return DimFilter{Dim: d, Col: col, Op: op, IsInt: true, IntA: a, IntB: b, IntSet: set}
+}
+
+// randDimFilters samples restrictions per dimension, including occasional
+// double predicates on one dimension (the invisible join's summarization
+// case) and not-equal / IN shapes outside the fixed thirteen.
+func randDimFilters(rng *rand.Rand, q *Query) {
+	pick := func(vals []string) string { return vals[rng.Intn(len(vals))] }
+
+	// Customer.
+	switch rng.Intn(6) {
+	case 0:
+		q.DimFilters = append(q.DimFilters, strFilter(DimCustomer, "region", compress.OpEq, pick(Regions), "", nil))
+	case 1:
+		q.DimFilters = append(q.DimFilters, strFilter(DimCustomer, "nation", compress.OpEq, pick(Nations), "", nil))
+	case 2:
+		n := pick(Nations)
+		q.DimFilters = append(q.DimFilters, strFilter(DimCustomer, "city", compress.OpIn, "", "",
+			[]string{CityOf(n, rng.Intn(10)), CityOf(n, rng.Intn(10)), CityOf(pick(Nations), rng.Intn(10))}))
+	case 3:
+		q.DimFilters = append(q.DimFilters,
+			strFilter(DimCustomer, "region", compress.OpEq, pick(Regions), "", nil),
+			strFilter(DimCustomer, "mktsegment", compress.OpNe, pick([]string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}), "", nil))
+	}
+
+	// Supplier.
+	switch rng.Intn(5) {
+	case 0:
+		q.DimFilters = append(q.DimFilters, strFilter(DimSupplier, "region", compress.OpEq, pick(Regions), "", nil))
+	case 1:
+		q.DimFilters = append(q.DimFilters, strFilter(DimSupplier, "nation", compress.OpBetween,
+			pick(Nations), pick(Nations), nil))
+	case 2:
+		n := pick(Nations)
+		q.DimFilters = append(q.DimFilters, strFilter(DimSupplier, "city", compress.OpIn, "", "",
+			[]string{CityOf(n, rng.Intn(10)), CityOf(n, rng.Intn(10))}))
+	}
+
+	// Part.
+	switch rng.Intn(6) {
+	case 0:
+		q.DimFilters = append(q.DimFilters, strFilter(DimPart, "mfgr", compress.OpEq, MfgrOf(rng.Intn(5)+1), "", nil))
+	case 1:
+		q.DimFilters = append(q.DimFilters, strFilter(DimPart, "category", compress.OpEq,
+			CategoryOf(rng.Intn(5)+1, rng.Intn(5)+1), "", nil))
+	case 2:
+		m, c, b := rng.Intn(5)+1, rng.Intn(5)+1, rng.Intn(30)+1
+		q.DimFilters = append(q.DimFilters, strFilter(DimPart, "brand1", compress.OpBetween,
+			Brand1Of(m, c, b), Brand1Of(m, c, b+rng.Intn(8)), nil))
+	case 3:
+		q.DimFilters = append(q.DimFilters, intFilter(DimPart, "size", compress.OpBetween,
+			int32(1+rng.Intn(40)), int32(10+rng.Intn(41)), nil))
+	case 4:
+		q.DimFilters = append(q.DimFilters,
+			strFilter(DimPart, "mfgr", compress.OpEq, MfgrOf(rng.Intn(5)+1), "", nil),
+			strFilter(DimPart, "container", compress.OpIn, "", "",
+				[]string{"JUMBO BAG", "LG BOX", "MED CASE"}[:1+rng.Intn(3)]))
+	}
+
+	// Date.
+	switch rng.Intn(7) {
+	case 0:
+		q.DimFilters = append(q.DimFilters, intFilter(DimDate, "year", compress.OpEq, int32(1992+rng.Intn(7)), 0, nil))
+	case 1:
+		y := int32(1992 + rng.Intn(5))
+		q.DimFilters = append(q.DimFilters, intFilter(DimDate, "year", compress.OpBetween, y, y+int32(rng.Intn(4)), nil))
+	case 2:
+		q.DimFilters = append(q.DimFilters, intFilter(DimDate, "yearmonthnum", compress.OpEq,
+			int32((1992+rng.Intn(7))*100+1+rng.Intn(12)), 0, nil))
+	case 3:
+		q.DimFilters = append(q.DimFilters, intFilter(DimDate, "year", compress.OpIn, 0, 0,
+			[]int32{int32(1992 + rng.Intn(7)), int32(1992 + rng.Intn(7))}))
+	case 4:
+		q.DimFilters = append(q.DimFilters,
+			intFilter(DimDate, "year", compress.OpEq, int32(1992+rng.Intn(7)), 0, nil),
+			intFilter(DimDate, "weeknuminyear", compress.OpBetween, int32(1+rng.Intn(20)), int32(21+rng.Intn(32)), nil))
+	case 5:
+		q.DimFilters = append(q.DimFilters, strFilter(DimDate, "sellingseason", compress.OpEq,
+			pick([]string{"Winter", "Spring", "Summer", "Fall", "Christmas"}), "", nil))
+	}
+}
+
+// randGroupBy samples 0–3 distinct group columns.
+func randGroupBy(rng *rand.Rand, q *Query) {
+	menu := []GroupCol{
+		{Dim: DimDate, Col: "year"},
+		{Dim: DimDate, Col: "month"},
+		{Dim: DimDate, Col: "sellingseason"},
+		{Dim: DimCustomer, Col: "region"},
+		{Dim: DimCustomer, Col: "nation"},
+		{Dim: DimCustomer, Col: "city"},
+		{Dim: DimCustomer, Col: "mktsegment"},
+		{Dim: DimSupplier, Col: "region"},
+		{Dim: DimSupplier, Col: "nation"},
+		{Dim: DimSupplier, Col: "city"},
+		{Dim: DimPart, Col: "mfgr"},
+		{Dim: DimPart, Col: "category"},
+		{Dim: DimPart, Col: "brand1"},
+		{Dim: DimPart, Col: "container"},
+	}
+	rng.Shuffle(len(menu), func(i, j int) { menu[i], menu[j] = menu[j], menu[i] })
+	q.GroupBy = append(q.GroupBy, menu[:rng.Intn(4)]...)
+}

@@ -45,23 +45,31 @@ func Reference(d *Data, q *Query) *Result {
 
 	lo := &d.Line
 	n := len(lo.OrderKey)
-	groups := map[string]*ResultRow{}
-	var total int64
+	specs := q.AggSpecs()
+	aggColNames, ia, ib := AggInputs(specs)
+	aggCols := make([][]int32, len(aggColNames))
+	for i, name := range aggColNames {
+		aggCols[i] = lo.MustIntCol(name)
+	}
+	factCols := make([][]int32, len(q.FactFilters))
+	for i, f := range q.FactFilters {
+		factCols[i] = lo.MustIntCol(f.Col)
+	}
+
+	type cell struct {
+		keys  []string
+		cells []int64
+	}
+	groups := map[string]*cell{}
+	total := make([]int64, len(specs))
+	InitCells(specs, total)
+	var totalRows int64
 	hasGroups := len(q.GroupBy) > 0
 
 	for i := 0; i < n; i++ {
 		ok := true
-		for _, f := range q.FactFilters {
-			var v int32
-			switch f.Col {
-			case "discount":
-				v = lo.Discount[i]
-			case "quantity":
-				v = lo.Quantity[i]
-			default:
-				panic("ssb: unsupported fact filter column " + f.Col)
-			}
-			if !f.Pred.Match(v) {
+		for fi, f := range q.FactFilters {
+			if !f.Pred.Match(factCols[fi][i]) {
 				ok = false
 				break
 			}
@@ -78,39 +86,43 @@ func Reference(d *Data, q *Query) *Result {
 		if !ok {
 			continue
 		}
-		var v int64
-		switch q.Agg {
-		case AggDiscountRevenue:
-			v = int64(lo.ExtendedPrice[i]) * int64(lo.Discount[i])
-		case AggRevenue:
-			v = int64(lo.Revenue[i])
-		default:
-			v = int64(lo.Revenue[i]) - int64(lo.SupplyCost[i])
+		cells := total
+		if hasGroups {
+			keys := make([]string, len(q.GroupBy))
+			for k, g := range q.GroupBy {
+				di := d.FactDimIndex(g.Dim, i, dateIdx)
+				keys[k] = d.DimKeyString(g.Dim, g.Col, di)
+			}
+			ck := compositeKey(keys)
+			row, found := groups[ck]
+			if !found {
+				row = &cell{keys: keys, cells: make([]int64, len(specs))}
+				InitCells(specs, row.cells)
+				groups[ck] = row
+			}
+			cells = row.cells
 		}
-		if !hasGroups {
-			total += v
-			continue
+		totalRows++
+		for k, s := range specs {
+			var v int64
+			if s.Func != FuncCount {
+				var a, b int32
+				a = aggCols[ia[k]][i]
+				if ib[k] >= 0 {
+					b = aggCols[ib[k]][i]
+				}
+				v = s.Expr.Eval(a, b)
+			}
+			cells[k] = s.Combine(cells[k], v)
 		}
-		keys := make([]string, len(q.GroupBy))
-		for k, g := range q.GroupBy {
-			di := d.FactDimIndex(g.Dim, i, dateIdx)
-			keys[k] = d.DimKeyString(g.Dim, g.Col, di)
-		}
-		ck := compositeKey(keys)
-		row, found := groups[ck]
-		if !found {
-			row = &ResultRow{Keys: keys}
-			groups[ck] = row
-		}
-		row.Agg += v
 	}
 
 	if !hasGroups {
-		return NewResult(q.ID, []ResultRow{{Keys: nil, Agg: total}})
+		return NewResult(q.ID, []ResultRow{MakeRow(nil, FinalizeCells(specs, total, totalRows))})
 	}
 	rows := make([]ResultRow, 0, len(groups))
 	for _, r := range groups {
-		rows = append(rows, *r)
+		rows = append(rows, MakeRow(r.keys, r.cells))
 	}
 	return NewResult(q.ID, rows)
 }
@@ -339,16 +351,14 @@ func Selectivity(d *Data, q *Query) float64 {
 	dateIdx := d.DateIndex()
 	match := 0
 	n := d.NumLineorders()
+	factCols := make([][]int32, len(q.FactFilters))
+	for i, f := range q.FactFilters {
+		factCols[i] = d.Line.MustIntCol(f.Col)
+	}
 	for i := 0; i < n; i++ {
 		ok := true
-		for _, f := range q.FactFilters {
-			var v int32
-			if f.Col == "discount" {
-				v = d.Line.Discount[i]
-			} else {
-				v = d.Line.Quantity[i]
-			}
-			if !f.Pred.Match(v) {
+		for fi, f := range q.FactFilters {
+			if !f.Pred.Match(factCols[fi][i]) {
 				ok = false
 				break
 			}

@@ -7,10 +7,23 @@ import (
 )
 
 // ResultRow is one output row: the group-by key values (rendered as
-// strings, integers in decimal) and the aggregate.
+// strings, integers in decimal) and the aggregate(s).
 type ResultRow struct {
 	Keys []string
-	Agg  int64
+	// Agg is the first (for the thirteen SSBM queries: only) aggregate.
+	Agg int64
+	// Aggs holds the full aggregate list for multi-aggregate queries
+	// (Aggs[0] == Agg); nil for single-aggregate rows. Engines build rows
+	// through MakeRow so the representation is canonical.
+	Aggs []int64
+}
+
+// AggValues returns all aggregate values of the row.
+func (r ResultRow) AggValues() []int64 {
+	if r.Aggs != nil {
+		return r.Aggs
+	}
+	return []int64{r.Agg}
 }
 
 // Result is a canonicalized query result: rows sorted by group keys so that
@@ -49,6 +62,15 @@ func (r *Result) Equal(o *Result) bool {
 				return false
 			}
 		}
+		av, bv := a.AggValues(), b.AggValues()
+		if len(av) != len(bv) {
+			return false
+		}
+		for k := range av {
+			if av[k] != bv[k] {
+				return false
+			}
+		}
 	}
 	return true
 }
@@ -67,8 +89,8 @@ func (r *Result) Diff(o *Result) string {
 	diffs := 0
 	for i := 0; i < n && diffs < 5; i++ {
 		a, c := r.Rows[i], o.Rows[i]
-		if a.Agg != c.Agg || strings.Join(a.Keys, "|") != strings.Join(c.Keys, "|") {
-			fmt.Fprintf(&b, "row %d: %v=%d vs %v=%d\n", i, a.Keys, a.Agg, c.Keys, c.Agg)
+		if fmt.Sprint(a.AggValues()) != fmt.Sprint(c.AggValues()) || strings.Join(a.Keys, "|") != strings.Join(c.Keys, "|") {
+			fmt.Fprintf(&b, "row %d: %v=%v vs %v=%v\n", i, a.Keys, a.AggValues(), c.Keys, c.AggValues())
 			diffs++
 		}
 	}
@@ -93,7 +115,12 @@ func (r *Result) String() string {
 			fmt.Fprintf(&b, "  ... %d more rows\n", len(r.Rows)-20)
 			break
 		}
-		fmt.Fprintf(&b, "  %-40s %15d\n", strings.Join(row.Keys, " | "), row.Agg)
+		vals := row.AggValues()
+		rendered := make([]string, len(vals))
+		for k, v := range vals {
+			rendered[k] = fmt.Sprintf("%15d", v)
+		}
+		fmt.Fprintf(&b, "  %-40s %s\n", strings.Join(row.Keys, " | "), strings.Join(rendered, " "))
 	}
 	return b.String()
 }
