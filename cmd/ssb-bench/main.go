@@ -11,7 +11,9 @@
 //	-figure conclusion   super-tuple row-store simulation        (Section 7)
 //	-figure partition  partitioning on/off ablation              (Section 6.1)
 //	-figure fused      fused pipeline vs per-probe extension     (PERFORMANCE.md)
-//	-figure all        everything
+//	-figure segstore   segment store: cold vs warm + budget sweep (PERFORMANCE.md)
+//	-figure all        everything (except segstore, which needs -data *.seg
+//	                   or generates its own temporary segment file)
 //
 // Reported numbers are total simulated seconds: measured CPU time plus the
 // I/O the run performed priced at the paper's 180 MB/s striped-disk model.
@@ -25,41 +27,67 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/datafile"
 	"repro/internal/exec"
+	"repro/internal/iosim"
 	"repro/internal/rowexec"
 	"repro/internal/ssb"
 )
 
 var (
-	sfFlag   = flag.Float64("sf", 0.1, "SSBM scale factor (paper uses 10)")
-	dataPath = flag.String("data", "", "load the dataset from this file (written by ssb-gen -out) instead of generating")
-	reps     = flag.Int("reps", 1, "repetitions per cell (best time wins)")
-	showCPU  = flag.Bool("cpu", false, "also print measured CPU seconds")
-	showIO   = flag.Bool("io", false, "also print simulated I/O seconds")
-	verify   = flag.Bool("verify", false, "verify every cell against the reference (slow)")
-	csvOut   = flag.Bool("csv", false, "emit figures as CSV instead of aligned tables")
-	figureID = flag.String("figure", "all", "which experiment to run: 5, 6, 7, 8, sizes, partition, all")
+	sfFlag    = flag.Float64("sf", 0.1, "SSBM scale factor (paper uses 10)")
+	dataPath  = flag.String("data", "", "load the dataset from this file (either ssb-gen -out format, sniffed) instead of generating")
+	memBudget = flag.Float64("mem-budget", 0, "buffer-pool budget in MB for segment-store runs (0 = unbounded)")
+	reps      = flag.Int("reps", 1, "repetitions per cell (best time wins)")
+	showCPU   = flag.Bool("cpu", false, "also print measured CPU seconds")
+	showIO    = flag.Bool("io", false, "also print simulated I/O seconds")
+	verify    = flag.Bool("verify", false, "verify every cell against the reference (slow)")
+	csvOut    = flag.Bool("csv", false, "emit figures as CSV instead of aligned tables")
+	figureID  = flag.String("figure", "all", "which experiment to run: 5, 6, 7, 8, sizes, projections, conclusion, partition, fused, segstore, all")
 )
+
+// segServable marks the figures a segment-store -data file can serve: only
+// the compressed column engines run without the raw dataset.
+var segServable = map[string]bool{"fused": true, "segstore": true}
 
 func main() {
 	flag.Parse()
 	var db *core.DB
 	if *dataPath != "" {
-		d, err := datafile.Load(*dataPath)
+		var err error
+		db, err = core.OpenFile(*dataPath, int64(*memBudget*1e6))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		db = core.OpenData(d)
 	} else {
 		db = core.Open(*sfFlag)
 	}
-	fmt.Printf("# SSBM at SF=%g (%d lineorder rows); disk model %.0f MB/s\n",
-		*sfFlag, db.Data.NumLineorders(), db.Disk.SeqMBPerSec)
+	rows := "?"
+	if db.Data != nil {
+		rows = fmt.Sprint(db.Data.NumLineorders())
+	} else if st := db.SegmentStore(); st != nil {
+		rows = fmt.Sprintf("%d (segment store, %.1f MB compressed)",
+			factRows(db), float64(st.CompressedBytes())/1e6)
+	}
+	fmt.Printf("# SSBM at SF=%g (%s lineorder rows); disk model %.0f MB/s\n",
+		db.SF, rows, db.Disk.SeqMBPerSec)
 
 	ran := false
 	for _, f := range strings.Split(*figureID, ",") {
+		if db.Data == nil && !segServable[f] {
+			if f == "all" {
+				// A segment store cannot serve the row-store, ablation, or
+				// denormalized figures; run what it can instead of dying
+				// on the first raw-dataset config.
+				fmt.Println("\n(segment-store -data file: raw-dataset figures skipped; running fused + segstore)")
+				runFigure(db, "Extension: fused morsel-parallel pipeline (see PERFORMANCE.md)", fusedRows(db))
+				runSegstore(db)
+				ran = true
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "figure %q needs the raw dataset; a segment store (-data *.seg) serves only: fused, segstore\n", f)
+			os.Exit(2)
+		}
 		switch f {
 		case "5":
 			runFigure(db, "Figure 5: baseline comparison", figure5Rows(db))
@@ -79,6 +107,8 @@ func main() {
 			runPartition(db)
 		case "fused":
 			runFigure(db, "Extension: fused morsel-parallel pipeline (see PERFORMANCE.md)", fusedRows(db))
+		case "segstore":
+			runSegstore(db)
 		case "all":
 			runFigure(db, "Figure 5: baseline comparison", figure5Rows(db))
 			runFigure(db, "Figure 6: row-store physical designs", figure6Rows(db))
@@ -267,6 +297,127 @@ func runSizes(db *core.DB) {
 	p("column store: fact, compressed", col.Fact.CompressedBytes(), n*17)
 	fmt.Printf("\nPaper: VP needs ~16 bytes/value (8B header + 4B rid + 4B value)\n")
 	fmt.Printf("vs 4 bytes/value uncompressed in C-Store; whole compressed fact ~2.3GB at SF=10.\n")
+}
+
+// factRows returns the fact cardinality for a segment-backed DB.
+func factRows(db *core.DB) int {
+	t, err := db.SegmentStore().Table("lineorder")
+	if err != nil {
+		return 0
+	}
+	return t.NumRows()
+}
+
+// runSegstore produces the segment-store figures: cold-vs-warm scans of all
+// 13 SSBM queries over a pool-backed file, then a budget sweep showing how
+// eviction pressure trades resident memory for repeated disk fetches. If
+// -data is not a segment file, the current dataset is written to a
+// temporary segment file first, so `-figure segstore -sf 0.1` works
+// standalone.
+func runSegstore(db *core.DB) {
+	segDB := db
+	if segDB.SegmentStore() == nil {
+		tmp, err := os.CreateTemp("", "ssb-*.seg")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tmp.Close()
+		defer os.Remove(tmp.Name())
+		fmt.Printf("\n(writing temporary segment file %s)\n", tmp.Name())
+		if err := exec.SaveSegments(tmp.Name(), db.SF, db.ColumnDB(true)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		segDB, err = core.OpenSegmentStore(tmp.Name(), int64(*memBudget*1e6))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	st := segDB.SegmentStore()
+	fmt.Printf("\n## Segment store: cold vs warm (budget %s; %d segments, %.1f MB compressed, %.1f MB decoded)\n",
+		budgetLabel(st.Pool().Budget()), st.NumSegments(),
+		float64(st.CompressedBytes())/1e6, float64(st.RawBytes())/1e6)
+	cfg := core.ColumnStore(exec.FusedOpt)
+
+	// Each cell is paper-comparable seconds: measured CPU plus the pool's
+	// *physical* fetches for that query priced by the disk model — warm
+	// runs pay no disk at all, which is the point of the figure.
+	queries := ssb.Queries()
+	header := fmt.Sprintf("%-26s", "")
+	for _, q := range queries {
+		header += fmt.Sprintf("%8s", q.ID)
+	}
+	fmt.Println(header + fmt.Sprintf("%10s", "disk MB") + fmt.Sprintf("%8s", "miss") + fmt.Sprintf("%8s", "evict"))
+
+	pass := func(label string) {
+		start := st.Pool().Stats()
+		line := fmt.Sprintf("%-26s", label)
+		for _, q := range queries {
+			before := st.Pool().Stats()
+			_, stats, err := segDB.Run(q.ID, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			after := st.Pool().Stats()
+			var phys iosim.Stats
+			phys.Read(after.IO.BytesRead - before.IO.BytesRead)
+			phys.AddSeeks(after.IO.Seeks - before.IO.Seeks)
+			cell := stats.Wall.Seconds() + segDB.Disk.Time(phys).Seconds()
+			line += fmt.Sprintf("%8.3f", cell)
+		}
+		end := st.Pool().Stats()
+		line += fmt.Sprintf("%10.1f%8d%8d",
+			float64(end.BytesRead-start.BytesRead)/1e6,
+			end.Misses-start.Misses, end.Evictions-start.Evictions)
+		fmt.Println(line)
+	}
+	st.Pool().Reset()
+	pass("cold")
+	pass("warm")
+
+	fmt.Printf("\n## Segment store: budget sweep (fused pipeline, all 13 queries per cell)\n")
+	fmt.Printf("%-12s%12s%12s%12s%12s%12s\n", "budget", "total (s)", "disk MB", "misses", "evictions", "peak MB")
+	decoded := st.RawBytes()
+	for _, frac := range []float64{0, 1, 0.5, 0.25, 0.1, 0.05} {
+		budget := int64(0)
+		label := "unbounded"
+		if frac > 0 {
+			budget = int64(float64(decoded) * frac)
+			label = fmt.Sprintf("%.0f%% (%0.1fMB)", frac*100, float64(budget)/1e6)
+		}
+		sweepDB, err := core.OpenSegmentStore(st.Path(), budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sp := sweepDB.SegmentStore().Pool()
+		total := 0.0
+		for _, q := range ssb.Queries() {
+			_, stats, err := sweepDB.Run(q.ID, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			total += stats.Wall.Seconds()
+		}
+		ps := sp.Stats()
+		total += sweepDB.Disk.Time(ps.IO).Seconds()
+		fmt.Printf("%-12s%12.3f%12.1f%12d%12d%12.1f\n", label, total,
+			float64(ps.BytesRead)/1e6, ps.Misses, ps.Evictions, float64(ps.Peak)/1e6)
+		sweepDB.SegmentStore().Close()
+	}
+	fmt.Printf("\n(budget %% is of the %0.1f MB decoded dataset; every run computes identical results)\n", float64(decoded)/1e6)
+}
+
+// budgetLabel renders a pool budget.
+func budgetLabel(b int64) string {
+	if b <= 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%.1fMB", float64(b)/1e6)
 }
 
 // runPartition reproduces the Section 6.1 partitioning ablation: the

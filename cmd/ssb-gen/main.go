@@ -5,12 +5,22 @@
 // Usage:
 //
 //	ssb-gen [-sf 0.1] [-verify] [-encodings]
+//	ssb-gen -sf 1 -out ssb_sf1.seg     # compressed segment store
+//	ssb-gen -sf 1 -out ssb_sf1.dat     # v1 raw columnar dump
+//
+// -out writes one of two formats, chosen by extension (override with
+// -format): files ending in .seg get the segment-store format — the
+// physical compressed column layout with per-segment zone maps, which
+// ssb-query/ssb-bench scan lazily through a buffer pool under -mem-budget —
+// while anything else gets the v1 raw dump, which loads wholesale and
+// serves every engine family (row stores, denormalized tables, ablations).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/datafile"
 	"repro/internal/exec"
@@ -20,7 +30,8 @@ import (
 
 func main() {
 	sf := flag.Float64("sf", 0.1, "SSBM scale factor (paper uses 10)")
-	out := flag.String("out", "", "write the generated dataset to this file (binary columnar format)")
+	out := flag.String("out", "", "write the generated dataset to this file (.seg -> segment store, else v1 raw dump)")
+	format := flag.String("format", "", "force the -out format: v1 or seg (default: by file extension)")
 	verify := flag.Bool("verify", false, "check measured selectivities against the paper's published values")
 	encodings := flag.Bool("encodings", false, "print per-column encodings of the compressed column store")
 	flag.Parse()
@@ -28,7 +39,7 @@ func main() {
 	fmt.Printf("Generating SSBM at SF=%g ...\n", *sf)
 	d := ssb.Generate(*sf)
 	if *out != "" {
-		if err := datafile.Save(*out, d); err != nil {
+		if err := save(*out, *format, d, *sf); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -86,3 +97,25 @@ func main() {
 }
 
 func mb(b int64) float64 { return float64(b) / 1e6 }
+
+// save writes the dataset in the requested format: "seg" builds the
+// compressed physical column store and persists it as a zone-mapped segment
+// file; "v1" (the back-compatible default) dumps the raw logical columns.
+func save(path, format string, d *ssb.Data, sf float64) error {
+	if format == "" {
+		if strings.HasSuffix(path, ".seg") {
+			format = "seg"
+		} else {
+			format = "v1"
+		}
+	}
+	switch format {
+	case "v1":
+		return datafile.Save(path, d)
+	case "seg":
+		db := exec.BuildDB(d, true)
+		return exec.SaveSegments(path, sf, db)
+	default:
+		return fmt.Errorf("unknown -format %q (want v1 or seg)", format)
+	}
+}

@@ -5,6 +5,15 @@
 // Usage:
 //
 //	ssb-query [-sf 0.1] -q 2.1 -system CS
+//	ssb-query -data ssb.seg -mem-budget 16 -q 2.1 -system CS-FUSED
+//	ssb-query -data ssb.seg -golden internal/core/testdata/golden_sf001.json
+//
+// -data accepts both on-disk formats (sniffed by magic): a v1 raw dump
+// loads wholesale and serves every system; a segment store (.seg) serves
+// the compressed column-store systems through a buffer pool bounded by
+// -mem-budget, printing pool hit/miss/eviction statistics after the run.
+// -golden runs all 13 SSBM queries and checks every result against a
+// pinned golden JSON file (the CI round-trip check for segment files).
 //
 // Systems: CS (full column store), CS-FUSED (fused morsel-parallel
 // pipeline, see PERFORMANCE.md), CS:<code> (Figure 7 configuration such
@@ -13,13 +22,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/datafile"
 	"repro/internal/exec"
 	"repro/internal/rowexec"
 	"repro/internal/sql"
@@ -33,6 +42,8 @@ func main() {
 	sqlText := flag.String("sql", "", "ad-hoc SQL in the SSBM dialect (overrides -q); supports any dimension/measure predicates, group-by sets and sum/count/min/max aggregate lists")
 	system := flag.String("system", "CS", "system under test (see doc comment)")
 	workers := flag.Int("workers", 0, "column-store worker count (0 = single-threaded)")
+	memBudget := flag.Float64("mem-budget", 0, "buffer-pool budget in MB for segment-store -data files (0 = unbounded)")
+	golden := flag.String("golden", "", "run all 13 SSBM queries and check results against this golden JSON file")
 	verify := flag.Bool("verify", false, "also check against the brute-force reference")
 	explain := flag.Bool("explain", false, "print the physical plan instead of executing")
 	fuzzSeed := flag.Int64("fuzz-seed", 0, "run the seeded random query with this seed (overrides -q and -sql; see ssb-fuzz)")
@@ -47,10 +58,19 @@ func main() {
 		cfg.Col.Workers = *workers
 	}
 
-	db, err := openDB(*dataPath, *sf)
+	db, err := openDB(*dataPath, *sf, int64(*memBudget*1e6))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *golden != "" {
+		if err := checkGolden(db, cfg, *golden); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printPoolStats(db)
+		fmt.Printf("golden check passed: 13/13 queries match %s under %s\n", *golden, cfg.Label())
+		return
 	}
 	var res *ssb.Result
 	var stats core.RunStats
@@ -85,11 +105,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Printf("system=%s sf=%g\n", cfg.Label(), *sf)
+	fmt.Printf("system=%s sf=%g\n", cfg.Label(), db.SF)
 	fmt.Printf("engine=%s\n", cfg.Engine())
 	fmt.Print(res.String())
 	fmt.Printf("cpu=%v  io=%.1fMB (%d seeks)  io-time=%v  total=%v\n",
 		stats.Wall, float64(stats.IO.BytesRead)/1e6, stats.IO.Seeks, stats.IOTime, stats.Total)
+	printPoolStats(db)
 
 	if *verify {
 		want := ssb.Reference(db.Data, plan)
@@ -101,16 +122,68 @@ func main() {
 	}
 }
 
-// openDB loads a saved dataset or generates one.
-func openDB(path string, sf float64) (*core.DB, error) {
+// openDB loads a saved dataset (either format, sniffed) or generates one.
+func openDB(path string, sf float64, memBudget int64) (*core.DB, error) {
 	if path == "" {
 		return core.Open(sf), nil
 	}
-	d, err := datafile.Load(path)
-	if err != nil {
-		return nil, err
+	return core.OpenFile(path, memBudget)
+}
+
+// printPoolStats reports buffer-pool activity for segment-backed DBs.
+func printPoolStats(db *core.DB) {
+	st := db.SegmentStore()
+	if st == nil {
+		return
 	}
-	return core.OpenData(d), nil
+	ps := st.Pool().Stats()
+	budget := "unbounded"
+	if st.Pool().Budget() > 0 {
+		budget = fmt.Sprintf("%.1fMB", float64(st.Pool().Budget())/1e6)
+	}
+	fmt.Printf("pool: budget=%s hits=%d misses=%d evictions=%d disk-read=%.1fMB resident=%.1fMB peak=%.1fMB (%d segment fetches, file has %d segments)\n",
+		budget, ps.Hits, ps.Misses, ps.Evictions, float64(ps.BytesRead)/1e6,
+		float64(ps.Resident)/1e6, float64(ps.Peak)/1e6, ps.Misses, st.NumSegments())
+}
+
+// goldenRow mirrors the golden file's row schema (see internal/core's
+// golden tests, which write the file).
+type goldenRow struct {
+	Keys []string `json:"keys,omitempty"`
+	Aggs []int64  `json:"aggs"`
+}
+
+// checkGolden runs all 13 SSBM queries under cfg and compares each result
+// with the pinned golden rows.
+func checkGolden(db *core.DB, cfg core.Config, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading golden file: %w", err)
+	}
+	var g map[string][]goldenRow
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return fmt.Errorf("golden file corrupt: %w", err)
+	}
+	for _, q := range ssb.Queries() {
+		want, ok := g[q.ID]
+		if !ok {
+			return fmt.Errorf("golden file has no entry for query %s", q.ID)
+		}
+		res, _, err := db.RunPlan(q, cfg)
+		if err != nil {
+			return fmt.Errorf("Q%s: %w", q.ID, err)
+		}
+		if len(res.Rows) != len(want) {
+			return fmt.Errorf("Q%s: %d rows, golden has %d", q.ID, len(res.Rows), len(want))
+		}
+		for i, w := range want {
+			r := res.Rows[i]
+			if fmt.Sprint(w.Keys) != fmt.Sprint(r.Keys) || fmt.Sprint(w.Aggs) != fmt.Sprint(r.AggValues()) {
+				return fmt.Errorf("Q%s row %d: got %v=%v, golden %v=%v", q.ID, i, r.Keys, r.AggValues(), w.Keys, w.Aggs)
+			}
+		}
+	}
+	return nil
 }
 
 // parseSystem maps a CLI name to a core.Config.

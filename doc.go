@@ -12,6 +12,20 @@
 // harness regenerate the paper's Figures 5-8 plus the Section 6.1/6.2
 // side experiments.
 //
+// Storage is two-tier. The in-memory tier (internal/colstore) holds
+// resident encoded blocks; the persistent tier (internal/segstore) is an
+// on-disk columnar format — every column split into 64K-row segments
+// stored compressed under the encoding internal/compress chose, each with
+// a persisted zone map (min/max, row count, encoding tag, CRC32) — plus a
+// buffer manager with pinned-segment reference counting and clock
+// eviction under a byte budget. Executors reach both tiers through one
+// colstore.Column API: zone-map queries never perform I/O, so min/max
+// pruning skips segments before they are ever read or decompressed, and
+// larger-than-memory scale factors run under ssb-query/ssb-bench
+// -mem-budget. ssb-gen -out writes either tier's format (.seg for the
+// segment store, anything else for the v1 raw dump; loaders sniff the
+// magic).
+//
 // Beyond the fixed benchmark, the logical plan is workload-open: ssb.Query
 // expresses arbitrary ad-hoc star queries (any dimension filters, any
 // measure predicates, any group-by set, multi-aggregate SUM/COUNT/MIN/MAX

@@ -187,6 +187,20 @@ func (b *Bitmap) NextSet(from int) int {
 // accounting layer when bitmaps are materialized by index-only plans.
 func (b *Bitmap) SizeBytes() int64 { return int64(len(b.words) * 8) }
 
+// Words exposes the backing word slice for serialization (internal/compress
+// persists bit-vector blocks word-for-word). The slice is live: callers must
+// not mutate it.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// FromWords reconstructs a bitmap of length n over the given backing words
+// (the inverse of Words, used when deserializing persisted blocks). The
+// slice is retained. Bits beyond n are cleared so Count stays exact.
+func FromWords(words []uint64, n int) *Bitmap {
+	b := &Bitmap{words: words, n: n}
+	b.clearTail()
+	return b
+}
+
 // OrWordsAt ORs other into b starting at the given word offset (bit offset
 // wordOff*64). It lets a block-local bitmap be merged into a column-global
 // one without per-bit shifting; column blocks are 64-bit aligned by

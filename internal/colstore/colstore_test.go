@@ -374,7 +374,7 @@ func TestGatherBlockMatchesGather(t *testing.T) {
 		base := int32(bi) * BlockSize
 		idx = idx[:0]
 		for _, p := range pos {
-			if p >= base && p < base+int32(c.Block(bi).Len()) {
+			if p >= base && p < base+int32(c.BlockLen(bi)) {
 				idx = append(idx, p-base)
 			}
 		}

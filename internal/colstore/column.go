@@ -6,6 +6,14 @@
 //
 // String columns are dictionary encoded with an order-preserving dictionary
 // (compress.Dict); all physical storage and execution is over int32 codes.
+//
+// A column's blocks live in one of two places: resident (the []IntBlock the
+// column was built with, the in-memory engines' mode) or behind a
+// ColumnSource (a segment file's buffer pool, internal/segstore). Executors
+// see one API either way: zone-map queries (BlockMinMax, BlockLen,
+// BlockEncoding, BlockBytes) never perform I/O, and AcquireBlock pins the
+// decoded block only when values are actually needed — which is what makes
+// min/max pruning skip pruned segments before any disk read happens.
 package colstore
 
 import (
@@ -36,6 +44,35 @@ const (
 	SecondarySort
 )
 
+// ColumnSource supplies a column's encoded segments on demand from external
+// storage. The zone-map queries (SegRows, SegMinMax, SegEncoding, SegBytes)
+// answer from persisted metadata and must not perform I/O; Acquire returns
+// the decoded segment pinned in the source's buffer pool until the release
+// function is called. Every segment except the last must hold exactly
+// BlockSize rows (positional addressing depends on it). Implementations
+// must be safe for concurrent use: the fused executor acquires blocks from
+// multiple morsel workers at once.
+type ColumnSource interface {
+	// NumSegments returns the segment count.
+	NumSegments() int
+	// SegRows returns segment i's row count.
+	SegRows(i int) int
+	// SegMinMax returns segment i's persisted zone-map bounds.
+	SegMinMax(i int) (min, max int32)
+	// SegEncoding returns segment i's physical encoding tag.
+	SegEncoding(i int) compress.Encoding
+	// SegBytes returns segment i's model-accounting compressed size —
+	// what IntBlock.CompressedBytes reports for the decoded block, which
+	// the logical I/O layer charges. It intentionally differs from the
+	// raw on-disk payload length (the wire format adds small structural
+	// headers); returning the payload length here would skew logical I/O
+	// away from the resident-column engines.
+	SegBytes(i int) int64
+	// Acquire returns segment i decoded and pinned; the caller must call
+	// the release function exactly once when done with the block.
+	Acquire(i int) (compress.IntBlock, func(), error)
+}
+
 // Column is one attribute stored as encoded blocks. For string attributes,
 // Dict is non-nil and block values are dictionary codes.
 type Column struct {
@@ -43,12 +80,13 @@ type Column struct {
 	Sorted SortKind
 	Dict   *compress.Dict
 
-	blocks []compress.IntBlock
+	blocks []compress.IntBlock // resident mode
+	src    ColumnSource        // sourced mode (nil when resident)
 	n      int
 }
 
-// NewColumn builds a column over vals. When compressed is true each block
-// picks its own encoding via compress.Choose; otherwise all blocks are
+// NewColumn builds a resident column over vals. When compressed is true each
+// block picks its own encoding via compress.Choose; otherwise all blocks are
 // plain, which is how the Figure 7 "compression removed" configuration is
 // expressed.
 func NewColumn(name string, vals []int32, dict *compress.Dict, sorted SortKind, compressed bool) *Column {
@@ -68,20 +106,89 @@ func NewColumn(name string, vals []int32, dict *compress.Dict, sorted SortKind, 
 	return c
 }
 
+// NewSourcedColumn builds a column whose blocks are served by src (a segment
+// file's buffer pool). Zone-map queries answer from src metadata without
+// I/O; values load lazily through Acquire.
+func NewSourcedColumn(name string, dict *compress.Dict, sorted SortKind, src ColumnSource) *Column {
+	c := &Column{Name: name, Sorted: sorted, Dict: dict, src: src}
+	for i := 0; i < src.NumSegments(); i++ {
+		c.n += src.SegRows(i)
+	}
+	return c
+}
+
+// noopRelease is the release function for resident blocks, shared to keep
+// AcquireBlock allocation-free on the in-memory path.
+func noopRelease() {}
+
+// AcquireBlock returns block i and a release function the caller must invoke
+// when finished with it. Resident blocks return a no-op release; sourced
+// blocks are pinned in the source's buffer pool until released. A source
+// read failure (corrupt or vanished segment file) panics with the column and
+// segment named: executors have no error path mid-scan, and a storage-layer
+// integrity failure is not a recoverable query condition.
+func (c *Column) AcquireBlock(i int) (compress.IntBlock, func()) {
+	if c.src == nil {
+		return c.blocks[i], noopRelease
+	}
+	blk, release, err := c.src.Acquire(i)
+	if err != nil {
+		panic(fmt.Sprintf("colstore: column %q segment %d: %v", c.Name, i, err))
+	}
+	return blk, release
+}
+
 // NumRows returns the number of values in the column.
 func (c *Column) NumRows() int { return c.n }
 
 // NumBlocks returns the block count.
-func (c *Column) NumBlocks() int { return len(c.blocks) }
+func (c *Column) NumBlocks() int {
+	if c.src != nil {
+		return c.src.NumSegments()
+	}
+	return len(c.blocks)
+}
 
-// Block returns the i-th block (for executors that stream blocks).
-func (c *Column) Block(i int) compress.IntBlock { return c.blocks[i] }
+// BlockLen returns block i's row count without touching values.
+func (c *Column) BlockLen(i int) int {
+	if c.src != nil {
+		return c.src.SegRows(i)
+	}
+	return c.blocks[i].Len()
+}
+
+// BlockMinMax returns block i's zone-map bounds without touching values:
+// from the persisted zone map for sourced columns, from the in-memory block
+// statistics otherwise. This is the pruning entry point — callers decide
+// from it whether a block is ever acquired.
+func (c *Column) BlockMinMax(i int) (int32, int32) {
+	if c.src != nil {
+		return c.src.SegMinMax(i)
+	}
+	return c.blocks[i].MinMax()
+}
+
+// BlockEncoding returns block i's physical encoding without touching values.
+func (c *Column) BlockEncoding(i int) compress.Encoding {
+	if c.src != nil {
+		return c.src.SegEncoding(i)
+	}
+	return c.blocks[i].Encoding()
+}
+
+// BlockBytes returns block i's on-disk footprint without touching values.
+func (c *Column) BlockBytes(i int) int64 {
+	if c.src != nil {
+		return c.src.SegBytes(i)
+	}
+	return c.blocks[i].CompressedBytes()
+}
 
 // CompressedBytes is the on-disk footprint charged when scanning the column.
 func (c *Column) CompressedBytes() int64 {
 	var n int64
-	for _, b := range c.blocks {
-		n += b.CompressedBytes()
+	for i := 0; i < c.NumBlocks(); i++ {
+		n += c.BlockBytes(i)
 	}
 	return n
 }
@@ -92,18 +199,19 @@ func (c *Column) RawBytes() int64 { return int64(c.n) * 4 }
 // Encodings summarises block encodings, for stats output.
 func (c *Column) Encodings() map[compress.Encoding]int {
 	m := map[compress.Encoding]int{}
-	for _, b := range c.blocks {
-		m[b.Encoding()]++
+	for i := 0; i < c.NumBlocks(); i++ {
+		m[c.BlockEncoding(i)]++
 	}
 	return m
 }
 
 // Filter scans the column with predicate p and returns the matching
-// positions. Blocks whose min/max statistics exclude the predicate are
-// skipped without charging I/O (their values are never read). For a
-// primary-sorted column with an interval predicate the result collapses to a
-// contiguous PosRange found by block statistics plus an in-block range
-// probe, reading only the boundary blocks.
+// positions. Blocks whose zone-map statistics exclude the predicate are
+// skipped without charging I/O or being acquired (for sourced columns their
+// segments are never read from disk). For a primary-sorted column with an
+// interval predicate the result collapses to a contiguous PosRange found by
+// block statistics plus an in-block range probe, reading only the boundary
+// blocks.
 func (c *Column) Filter(p compress.Pred, st *iosim.Stats) *vector.Positions {
 	if c.Sorted == PrimarySort {
 		if pos, ok := c.sortedFilter(p, st); ok {
@@ -112,19 +220,22 @@ func (c *Column) Filter(p compress.Pred, st *iosim.Stats) *vector.Positions {
 	}
 	bm := bitmap.New(c.n)
 	base := 0
-	for _, blk := range c.blocks {
-		mn, mx := blk.MinMax()
+	for bi := 0; bi < c.NumBlocks(); bi++ {
+		mn, mx := c.BlockMinMax(bi)
 		if p.MayMatch(mn, mx) {
+			blk, release := c.AcquireBlock(bi)
 			st.Read(blk.CompressedBytes())
 			blk.Filter(p, base, bm)
+			release()
 		}
-		base += blk.Len()
+		base += c.BlockLen(bi)
 	}
 	return vector.NewBitmapPositions(bm)
 }
 
 // sortedFilter exploits a globally sorted column: the matching positions are
-// one contiguous range.
+// one contiguous range. Only boundary blocks are acquired; fully covered
+// blocks are answered from the zone map alone.
 func (c *Column) sortedFilter(p compress.Pred, st *iosim.Stats) (*vector.Positions, bool) {
 	lo, hi, ok := p.Bounds()
 	if !ok {
@@ -132,9 +243,9 @@ func (c *Column) sortedFilter(p compress.Pred, st *iosim.Stats) (*vector.Positio
 	}
 	start, end := int32(-1), int32(-1)
 	base := int32(0)
-	for _, blk := range c.blocks {
-		mn, mx := blk.MinMax()
-		blkLen := int32(blk.Len())
+	for bi := 0; bi < c.NumBlocks(); bi++ {
+		mn, mx := c.BlockMinMax(bi)
+		blkLen := int32(c.BlockLen(bi))
 		if mx >= lo && mn <= hi {
 			// Boundary or interior block.
 			if mn >= lo && mx <= hi {
@@ -145,8 +256,10 @@ func (c *Column) sortedFilter(p compress.Pred, st *iosim.Stats) (*vector.Positio
 				end = base + blkLen
 			} else {
 				// Boundary block: read it to locate the edge.
+				blk, release := c.AcquireBlock(bi)
 				st.Read(blk.CompressedBytes())
-				s, e := c.blockRange(blk, p)
+				s, e := blockRange(blk, p)
+				release()
 				if e > s {
 					if start < 0 {
 						start = base + s
@@ -164,7 +277,7 @@ func (c *Column) sortedFilter(p compress.Pred, st *iosim.Stats) (*vector.Positio
 }
 
 // blockRange finds the in-block contiguous match range for a sorted block.
-func (c *Column) blockRange(blk compress.IntBlock, p compress.Pred) (int32, int32) {
+func blockRange(blk compress.IntBlock, p compress.Pred) (int32, int32) {
 	if rle, ok := blk.(*compress.RLEBlock); ok {
 		s, e, ok := rle.SortedFilterRange(p)
 		if ok {
@@ -219,19 +332,23 @@ func (c *Column) GatherBlock(bi int, idx []int32, dst []int32, st *iosim.Stats) 
 	if len(idx) == 0 {
 		return dst
 	}
-	chargePositional(c.blocks[bi], idx, st)
-	return c.blocks[bi].Gather(idx, dst)
+	blk, release := c.AcquireBlock(bi)
+	chargePositional(blk, idx, st)
+	dst = blk.Gather(idx, dst)
+	release()
+	return dst
 }
 
-// MinMax returns the column-wide minimum and maximum from block statistics,
-// without decoding any values or charging I/O.
+// MinMax returns the column-wide minimum and maximum from zone-map
+// statistics, without decoding any values or charging I/O.
 func (c *Column) MinMax() (int32, int32) {
-	if len(c.blocks) == 0 {
+	nb := c.NumBlocks()
+	if nb == 0 {
 		return 0, 0
 	}
-	mn, mx := c.blocks[0].MinMax()
-	for _, b := range c.blocks[1:] {
-		bmn, bmx := b.MinMax()
+	mn, mx := c.BlockMinMax(0)
+	for i := 1; i < nb; i++ {
+		bmn, bmx := c.BlockMinMax(i)
 		if bmn < mn {
 			mn = bmn
 		}
@@ -283,19 +400,21 @@ func chargePositional(blk compress.IntBlock, idx []int32, st *iosim.Stats) {
 
 // forEachCandidateBlock groups sorted candidate positions by block, charges
 // I/O for the pages the candidates touch, and invokes fn with block-local
-// indexes.
+// indexes. Blocks with no candidates are never acquired.
 func (c *Column) forEachCandidateBlock(candidates *vector.Positions, st *iosim.Stats, fn func(base int32, blk compress.IntBlock, idx []int32), scratch *[]int32) {
 	bi := 0
 	base := int32(0)
 	blkEnd := int32(0)
-	if len(c.blocks) > 0 {
-		blkEnd = int32(c.blocks[0].Len())
+	if c.NumBlocks() > 0 {
+		blkEnd = int32(c.BlockLen(0))
 	}
 	idx := (*scratch)[:0]
 	flush := func() {
 		if len(idx) > 0 {
-			chargePositional(c.blocks[bi], idx, st)
-			fn(base, c.blocks[bi], idx)
+			blk, release := c.AcquireBlock(bi)
+			chargePositional(blk, idx, st)
+			fn(base, blk, idx)
+			release()
 			idx = idx[:0]
 		}
 	}
@@ -304,7 +423,7 @@ func (c *Column) forEachCandidateBlock(candidates *vector.Positions, st *iosim.S
 			flush()
 			base = blkEnd
 			bi++
-			blkEnd += int32(c.blocks[bi].Len())
+			blkEnd += int32(c.BlockLen(bi))
 		}
 		idx = append(idx, pos-base)
 	})
@@ -315,9 +434,11 @@ func (c *Column) forEachCandidateBlock(candidates *vector.Positions, st *iosim.S
 // DecodeAll decodes the whole column, appending to dst, charging a full
 // sequential scan.
 func (c *Column) DecodeAll(dst []int32, st *iosim.Stats) []int32 {
-	for _, blk := range c.blocks {
+	for bi := 0; bi < c.NumBlocks(); bi++ {
+		blk, release := c.AcquireBlock(bi)
 		st.Read(blk.CompressedBytes())
 		dst = blk.AppendTo(dst)
+		release()
 	}
 	return dst
 }
@@ -325,8 +446,10 @@ func (c *Column) DecodeAll(dst []int32, st *iosim.Stats) []int32 {
 // Get returns the value at position i without I/O accounting (used by tests
 // and by point lookups whose cost is charged by the caller).
 func (c *Column) Get(i int32) int32 {
-	bi := int(i) / BlockSize
-	return c.blocks[bi].Get(int(i) % BlockSize)
+	blk, release := c.AcquireBlock(int(i) / BlockSize)
+	v := blk.Get(int(i) % BlockSize)
+	release()
+	return v
 }
 
 // ValueString renders the value at position i using the dictionary when

@@ -16,9 +16,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/datafile"
 	"repro/internal/exec"
 	"repro/internal/iosim"
 	"repro/internal/rowexec"
+	"repro/internal/segstore"
 	"repro/internal/ssb"
 )
 
@@ -157,11 +159,19 @@ type RunStats struct {
 	Total time.Duration
 }
 
-// DB owns the dataset and the lazily built physical designs.
+// DB owns the dataset and the lazily built physical designs. Data is nil
+// for a segment-store-backed DB (OpenSegmentStore): those serve the
+// compressed column engines straight from the file's buffer pool, and
+// designs that need the raw dataset (row stores, denormalized tables,
+// plain-storage column builds, the brute-force reference) are rejected by
+// validation instead of being silently rebuilt.
 type DB struct {
 	SF   float64
 	Data *ssb.Data
 	Disk iosim.Model
+
+	// seg is the open segment store for file-backed DBs (nil otherwise).
+	seg *segstore.Store
 
 	colC      *exec.DB
 	colPlain  *exec.DB
@@ -195,10 +205,64 @@ func OpenData(d *ssb.Data) *DB {
 	}
 }
 
+// OpenSegmentStore opens a segment-store file (written by ssb-gen -out
+// *.seg) with the given buffer-pool byte budget (<= 0 for unbounded). The
+// returned DB executes the compressed column-store configurations over
+// pool-backed columns; engines that need the raw dataset are rejected at
+// validation.
+func OpenSegmentStore(path string, memBudget int64) (*DB, error) {
+	st, err := segstore.Open(path, memBudget)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		SF:      st.SF(),
+		Disk:    iosim.PaperDisk,
+		seg:     st,
+		denorms: map[exec.DenormMode]*exec.DenormDB{},
+	}, nil
+}
+
+// SegmentStore returns the backing segment store (pool statistics, segment
+// counts), or nil for in-memory DBs.
+func (db *DB) SegmentStore() *segstore.Store { return db.seg }
+
+// OpenFile loads a -data file of either on-disk format, sniffing the magic:
+// a segment store (ssb-gen -out *.seg) opens lazily behind a buffer pool
+// with the given byte budget; a v1 datafile loads the raw dataset wholesale
+// into memory (budget ignored).
+func OpenFile(path string, memBudget int64) (*DB, error) {
+	isSeg, err := segstore.IsSegmentFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isSeg {
+		return OpenSegmentStore(path, memBudget)
+	}
+	d, err := datafile.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenData(d), nil
+}
+
 // ColumnDB returns the column store with compressed (true) or plain storage.
+// For a segment-backed DB the compressed store's columns fault through the
+// file's buffer pool; plain storage requires the raw dataset (validation
+// rejects it before reaching here).
 func (db *DB) ColumnDB(compressed bool) *exec.DB {
 	if compressed {
-		db.onceColC.Do(func() { db.colC = exec.BuildDB(db.Data, true) })
+		db.onceColC.Do(func() {
+			if db.seg != nil {
+				col, err := exec.OpenSegmentDB(db.seg)
+				if err != nil {
+					panic(err) // validated at Open: tables present and well-formed
+				}
+				db.colC = col
+				return
+			}
+			db.colC = exec.BuildDB(db.Data, true)
+		})
 		return db.colC
 	}
 	db.oncePlain.Do(func() { db.colPlain = exec.BuildDB(db.Data, false) })
@@ -320,6 +384,16 @@ func (db *DB) RunPlan(q *ssb.Query, cfg Config) (*ssb.Result, RunStats, error) {
 // validate rejects configuration/plan combinations whose physical design
 // does not cover the plan.
 func (db *DB) validate(q *ssb.Query, cfg Config) error {
+	if db.Data == nil {
+		// Segment-store-backed: only the compressed column engines run
+		// without the raw dataset.
+		if cfg.Kind != KindColumn {
+			return fmt.Errorf("core: %s needs the raw dataset; a segment store serves only compressed column-store configurations", cfg.Label())
+		}
+		if !cfg.Col.Compression {
+			return fmt.Errorf("core: segment stores hold the compressed physical design; %s needs a plain-storage build from the raw dataset", cfg.Label())
+		}
+	}
 	switch cfg.Kind {
 	case KindColumnRowMV:
 		if q.Flight < 1 || q.Flight > 4 {
@@ -367,6 +441,9 @@ func (db *DB) ExplainPlan(q *ssb.Query, cfg Config) (string, error) {
 // Verify runs the query under cfg and checks the result against the
 // brute-force reference, returning an error describing any mismatch.
 func (db *DB) Verify(queryID string, cfg Config) error {
+	if db.Data == nil {
+		return fmt.Errorf("core: verification needs the raw dataset; segment stores are checked against the pinned golden file instead (ssb-query -golden)")
+	}
 	got, _, err := db.Run(queryID, cfg)
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/exec"
@@ -120,6 +121,71 @@ func goldenMatrix() []Config {
 		Denormalized(exec.DenormMaxC),
 	)
 	return out
+}
+
+// TestGoldenSegmentStore round-trips the SF=0.01 dataset through a segment
+// file and demands that the pool-backed column engines still reproduce the
+// golden results exactly — under a buffer-pool budget small enough to force
+// evictions — and that engines needing the raw dataset are rejected with a
+// useful error rather than run against nothing.
+func TestGoldenSegmentStore(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden update run")
+	}
+	g := loadGolden(t)
+	path := filepath.Join(t.TempDir(), "golden.seg")
+	if err := exec.SaveSegments(path, testDB.SF, testDB.ColumnDB(true)); err != nil {
+		t.Fatalf("SaveSegments: %v", err)
+	}
+	segDB, err := OpenSegmentStore(path, 192<<10)
+	if err != nil {
+		t.Fatalf("OpenSegmentStore: %v", err)
+	}
+	defer segDB.SegmentStore().Close()
+	if segDB.SF != testDB.SF {
+		t.Errorf("segment store SF = %v want %v", segDB.SF, testDB.SF)
+	}
+
+	var cfgs []Config
+	for _, fused := range []bool{false, true} {
+		for _, w := range []int{1, 8} {
+			c := exec.FullOpt
+			c.Fused = fused
+			c.Workers = w
+			cfgs = append(cfgs, ColumnStore(c))
+		}
+	}
+	for _, cfg := range cfgs {
+		for _, q := range ssb.Queries() {
+			res, _, err := segDB.Run(q.ID, cfg)
+			if err != nil {
+				t.Errorf("Q%s on %s (segment store): %v", q.ID, cfg.Label(), err)
+				continue
+			}
+			if d := diffGolden(g[q.ID], res); d != "" {
+				t.Errorf("Q%s on %s from segment store drifted from golden: %s", q.ID, cfg.Label(), d)
+			}
+		}
+	}
+	ps := segDB.SegmentStore().Pool().Stats()
+	if ps.Evictions == 0 {
+		t.Error("192KB budget over the full golden sweep produced no evictions")
+	}
+
+	// Raw-dataset engines must be rejected, not crash.
+	for _, cfg := range []Config{
+		RowStore(rowexec.Traditional),
+		RowMV(),
+		Denormalized(exec.DenormNoC),
+		ColumnStore(exec.Config{BlockIter: true, LateMat: true}), // plain storage
+	} {
+		if _, _, err := segDB.Run("1.1", cfg); err == nil || !strings.Contains(err.Error(), "segment store") {
+			t.Errorf("%s over a segment store: err = %v, want a segment-store rejection", cfg.Label(), err)
+		}
+	}
+	if err := segDB.Verify("1.1", ColumnStore(exec.FullOpt)); err == nil {
+		t.Error("Verify over a segment store should explain it needs the raw dataset")
+	}
 }
 
 // TestGoldenEngineMatrix runs all thirteen queries through every pinned

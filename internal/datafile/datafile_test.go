@@ -2,6 +2,8 @@ package datafile
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -160,6 +162,152 @@ func TestReadFailsOnShortReader(t *testing.T) {
 type errReader struct{}
 
 func (errReader) Read([]byte) (int, error) { return 0, io.ErrUnexpectedEOF }
+
+// secLoc records where one section's fields live in the serialized stream,
+// so corruption tests can hit each field surgically.
+type secLoc struct {
+	name       string
+	nameOff    int // offset of the name bytes
+	kindOff    int // offset of the kind byte
+	rowsOff    int // offset of the rows field
+	lenOff     int // offset of the payloadLen field
+	crcOff     int // offset of the crc field
+	payloadOff int // offset of the payload bytes
+	payloadLen int
+}
+
+// walkSections parses the file layout (magic, sf, nsect, sections) and
+// returns the field offsets of every section.
+func walkSections(t *testing.T, full []byte) []secLoc {
+	t.Helper()
+	pos := len(magic) + 8 + 4
+	var out []secLoc
+	for pos < len(full) {
+		var loc secLoc
+		nameLen := int(uint16(full[pos]) | uint16(full[pos+1])<<8)
+		loc.nameOff = pos + 2
+		loc.name = string(full[loc.nameOff : loc.nameOff+nameLen])
+		loc.kindOff = loc.nameOff + nameLen
+		loc.rowsOff = loc.kindOff + 1
+		loc.lenOff = loc.rowsOff + 4
+		loc.crcOff = loc.lenOff + 8
+		loc.payloadOff = loc.crcOff + 4
+		loc.payloadLen = int(uint32(full[loc.lenOff]) | uint32(full[loc.lenOff+1])<<8 |
+			uint32(full[loc.lenOff+2])<<16 | uint32(full[loc.lenOff+3])<<24)
+		out = append(out, loc)
+		pos = loc.payloadOff + loc.payloadLen
+	}
+	return out
+}
+
+// TestSectionErrorPaths exercises every section-level failure mode with a
+// surgical corruption, and requires the error to both describe the failure
+// and name the offending section.
+func TestSectionErrorPaths(t *testing.T) {
+	d := ssb.Generate(0.002)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	secs := walkSections(t, full)
+	if len(secs) < 3 {
+		t.Fatalf("walker found only %d sections", len(secs))
+	}
+	// Pick sections away from the file edges, one of each kind:
+	// customer.key (int32) and customer.city (string).
+	var intSec, strSec secLoc
+	for _, s := range secs {
+		switch s.name {
+		case "customer.key":
+			intSec = s
+		case "customer.city":
+			strSec = s
+		}
+	}
+	if intSec.name == "" || strSec.name == "" {
+		t.Fatal("expected sections not found")
+	}
+
+	cases := []struct {
+		label    string
+		sec      secLoc
+		mutate   func(b []byte, s secLoc) []byte
+		wantErr  string
+		wantName string
+	}{
+		{"crc-mismatch-int", intSec, func(b []byte, s secLoc) []byte {
+			b[s.payloadOff+5] ^= 0xFF
+			return b
+		}, "checksum mismatch", intSec.name},
+		{"crc-mismatch-str", strSec, func(b []byte, s secLoc) []byte {
+			b[s.payloadOff+s.payloadLen-1] ^= 0xFF
+			return b
+		}, "checksum mismatch", strSec.name},
+		{"short-payload", intSec, func(b []byte, s secLoc) []byte {
+			return b[:s.payloadOff+s.payloadLen/2]
+		}, "truncated payload", intSec.name},
+		{"name-mismatch", intSec, func(b []byte, s secLoc) []byte {
+			b[s.nameOff] ^= 0x20
+			return b
+		}, "found section", intSec.name},
+		{"kind-mismatch", intSec, func(b []byte, s secLoc) []byte {
+			// Flip int32 -> string kind; the CRC still matches, so the
+			// kind/type check must catch it.
+			b[s.kindOff] = kindStr
+			return b
+		}, "does not match expected column type", intSec.name},
+		{"rows-vs-payload", intSec, func(b []byte, s secLoc) []byte {
+			// Shrink the declared row count; payload CRC still matches.
+			b[s.rowsOff]--
+			return b
+		}, "does not match", intSec.name},
+		{"implausible-length", intSec, func(b []byte, s secLoc) []byte {
+			for i := 0; i < 8; i++ {
+				b[s.lenOff+i] = 0xFF
+			}
+			return b
+		}, "implausible payload size", intSec.name},
+		{"offsets-out-of-order", strSec, func(b []byte, s secLoc) []byte {
+			// Swap two cumulative string offsets so they decrease, then
+			// refresh the CRC so only the offset check can object.
+			copy(b[s.payloadOff:], []byte{0xFF, 0xFF, 0xFF, 0x7F})
+			crc := crc32.ChecksumIEEE(b[s.payloadOff : s.payloadOff+s.payloadLen])
+			binary.LittleEndian.PutUint32(b[s.crcOff:], crc)
+			return b
+		}, "out of order or out of range", strSec.name},
+		{"truncated-header", intSec, func(b []byte, s secLoc) []byte {
+			return b[:s.kindOff+2] // mid section header
+		}, "", intSec.name},
+	}
+	for _, tc := range cases {
+		b := append([]byte(nil), full...)
+		_, err := Read(bytes.NewReader(tc.mutate(b, tc.sec)))
+		if err == nil {
+			t.Errorf("%s: corruption not detected", tc.label)
+			continue
+		}
+		if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.label, err, tc.wantErr)
+		}
+		if !strings.Contains(err.Error(), tc.wantName) {
+			t.Errorf("%s: err = %v does not name section %q", tc.label, err, tc.wantName)
+		}
+	}
+}
+
+// TestBadMagicNamesProblem pins the non-section framing errors: bad magic
+// and a file too short for the header.
+func TestHeaderErrorPaths(t *testing.T) {
+	if _, err := Read(strings.NewReader("SSBREPR9xxxxxxxxxxxx")); err == nil ||
+		!strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("wrong-version magic: %v", err)
+	}
+	if _, err := Read(strings.NewReader("SSB")); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Fatalf("short header: %v", err)
+	}
+}
 
 func TestDeterministicBytes(t *testing.T) {
 	d := ssb.Generate(0.002)

@@ -110,29 +110,7 @@ func BuildDB(d *ssb.Data, compressed bool) *DB {
 		"monthnuminyear", "weeknuminyear", "daynuminweek", "daynuminmonth",
 		"daynuminyear", "dayofweek", "date", "sellingseason"})
 
-	db.dateByKey = make(map[int32]int32, len(d.Date.Key))
-	for i, k := range d.Date.Key {
-		db.dateByKey[k] = int32(i)
-	}
-	if len(d.Date.Key) > 0 {
-		mn, mx := d.Date.Key[0], d.Date.Key[0]
-		for _, k := range d.Date.Key {
-			if k < mn {
-				mn = k
-			}
-			if k > mx {
-				mx = k
-			}
-		}
-		db.dateKeyMin = mn
-		db.datePosDense = make([]int32, int(mx-mn)+1)
-		for i := range db.datePosDense {
-			db.datePosDense[i] = -1
-		}
-		for i, k := range d.Date.Key {
-			db.datePosDense[k-mn] = int32(i)
-		}
-	}
+	db.buildDateIndex(d.Date.Key)
 
 	// Fact table: remap customer/supplier/part FKs to dimension
 	// positions.
@@ -176,6 +154,38 @@ func BuildDB(d *ssb.Data, compressed bool) *DB {
 	addStr("shipmode", d.Line.ShipMode)
 	db.Fact = fact
 	return db
+}
+
+// buildDateIndex derives the date join structures from the date dimension's
+// key column in storage order: the key->position map used by the per-probe
+// path and the dense key->position array the fused pipeline indexes into.
+// Shared by BuildDB (keys from the generator) and OpenSegmentDB (keys
+// decoded from the stored dwdate table).
+func (db *DB) buildDateIndex(keys []int32) {
+	db.dateByKey = make(map[int32]int32, len(keys))
+	for i, k := range keys {
+		db.dateByKey[k] = int32(i)
+	}
+	if len(keys) == 0 {
+		return
+	}
+	mn, mx := keys[0], keys[0]
+	for _, k := range keys {
+		if k < mn {
+			mn = k
+		}
+		if k > mx {
+			mx = k
+		}
+	}
+	db.dateKeyMin = mn
+	db.datePosDense = make([]int32, int(mx-mn)+1)
+	for i := range db.datePosDense {
+		db.datePosDense[i] = -1
+	}
+	for i, k := range keys {
+		db.datePosDense[k-mn] = int32(i)
+	}
 }
 
 // hierarchyPerm returns the permutation (new position -> original row) that

@@ -1,10 +1,12 @@
 package exec
 
 import (
+	"path/filepath"
 	"testing"
 
 	"repro/internal/iosim"
 	"repro/internal/rowexec"
+	"repro/internal/segstore"
 	"repro/internal/sql"
 	"repro/internal/ssb"
 )
@@ -17,17 +19,43 @@ const diffTrials = 220
 // `ssb-fuzz -seed <n> -n 1` or `ssb-query -sql '<printed SQL>' -verify`.
 const diffSeedBase int64 = 2026_0728_0000
 
+// segBackedDB round-trips db through a segment file in a temp dir and opens
+// it behind a buffer pool with the given byte budget.
+func segBackedDB(t *testing.T, db *DB, sf float64, budget int64) (*DB, *segstore.Store) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "diff.seg")
+	if err := SaveSegments(path, sf, db); err != nil {
+		t.Fatalf("SaveSegments: %v", err)
+	}
+	store, err := segstore.Open(path, budget)
+	if err != nil {
+		t.Fatalf("segstore.Open: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+	segDB, err := OpenSegmentDB(store)
+	if err != nil {
+		t.Fatalf("OpenSegmentDB: %v", err)
+	}
+	return segDB, store
+}
+
 // TestDifferential is the cross-engine differential harness: seeded random
 // ad-hoc queries run through the brute-force reference, the per-probe
-// column pipeline, the fused pipeline at 1 and 8 workers, and the row-store
-// engines, and every result must be byte-identical. The fused pipeline must
-// also report identical I/O accounting at every worker count (the morsel
-// merge invariant). Each plan additionally round-trips through the SQL
+// column pipeline, the fused pipeline at 1 and 8 workers, the segment-
+// store-backed engines (same queries over a buffer pool small enough to
+// force eviction churn), and the row-store engines, and every result must
+// be byte-identical. The fused pipeline must also report identical I/O
+// accounting at every worker count (the morsel merge invariant), and the
+// segment-backed fused pipeline must charge exactly the logical I/O the
+// in-memory one does. Each plan additionally round-trips through the SQL
 // frontend, pinning Query.SQL and the parser to the same semantics.
 func TestDifferential(t *testing.T) {
 	data := ssb.Generate(0.01)
 	dbc := BuildDB(data, true)
 	sx := rowexec.Build(data, rowexec.BuildOptions{VP: true, Indexes: true, Bitmaps: true})
+	// A 256 KB budget on a ~1.2 MB compressed dataset keeps the pool under
+	// real eviction pressure for the whole run.
+	segDB, _ := segBackedDB(t, dbc, data.SF, 256<<10)
 
 	for i := 0; i < diffTrials; i++ {
 		seed := diffSeedBase + int64(i)
@@ -63,6 +91,18 @@ func TestDifferential(t *testing.T) {
 		if st1 != st8 {
 			t.Errorf("seed %d (%s): fused I/O accounting depends on worker count: %+v vs %+v\nSQL: %s",
 				seed, q.ID, st1, st8, q.SQL())
+		}
+
+		// Segment-backed engines: per-probe and fused over pool-loaded
+		// blocks, with the fused run's logical I/O matching the
+		// in-memory pipeline byte for byte (pool hits/misses are
+		// physical-side accounting and must not leak into it).
+		var stSeg iosim.Stats
+		check("segstore per-probe", segDB.Run(q, FullOpt, nil))
+		check("segstore fused workers=8", segDB.Run(q, cfg8, &stSeg))
+		if stSeg != st8 {
+			t.Errorf("seed %d (%s): segment-backed fused logical I/O %+v differs from in-memory %+v\nSQL: %s",
+				seed, q.ID, stSeg, st8, q.SQL())
 		}
 
 		// Row store: the traditional design on every trial, the heavier

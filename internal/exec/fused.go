@@ -49,9 +49,10 @@ const fusedWorkerDenseLimit = 1 << 20
 // its compressed representation is cheaper than gathering at the current
 // survivor list: true for run-length and bit-vector blocks, whose Filter
 // is O(runs) / O(distinct values) word-level work rather than O(block
-// length) per-value decode.
-func wholeBlockCheap(blk compress.IntBlock) bool {
-	switch blk.Encoding() {
+// length) per-value decode. It takes the encoding tag (available from the
+// zone map without loading the block) so the decision costs no I/O.
+func wholeBlockCheap(enc compress.Encoding) bool {
+	switch enc {
 	case compress.RLE, compress.BitVec:
 		return true
 	default:
@@ -339,8 +340,10 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 	ws.idx = ws.idx[:0]
 
 	for _, p := range plan.probes {
-		blk := p.col.Block(bi)
-		mn, mx := blk.MinMax()
+		// Zone-map consultation only: the block is not acquired (for
+		// segment-backed columns, not even read from disk) unless the
+		// probe actually has to examine values.
+		mn, mx := p.col.BlockMinMax(bi)
 		if !p.mayMatch(mn, mx) {
 			return // min/max short-circuit: block has no survivors
 		}
@@ -352,13 +355,13 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 			// First narrowing probe: the whole block must be examined,
 			// so run directly on the compressed representation.
 			ws.sel.Reset()
-			applyBlockProbe(p, blk, ws.sel, ws)
+			applyBlockProbe(p, bi, ws.sel, ws)
 			full, onBitmap = false, true
-		case onBitmap && wholeBlockCheap(blk):
+		case onBitmap && wholeBlockCheap(p.col.BlockEncoding(bi)):
 			// Word-level fused selection: filter the compressed block
 			// and AND into the running selection vector.
 			ws.tmp.Reset()
-			applyBlockProbe(p, blk, ws.tmp, ws)
+			applyBlockProbe(p, bi, ws.tmp, ws)
 			ws.sel.And(ws.tmp)
 		default:
 			if onBitmap {
@@ -553,8 +556,12 @@ func fusedAccumulate(plan *fusedPlan, ws *fusedWorker, gidx []int64) {
 }
 
 // applyBlockProbe evaluates one probe over a whole block directly on its
-// compressed representation, charging a full block read.
-func applyBlockProbe(p *factProbe, blk compress.IntBlock, out *bitmap.Bitmap, ws *fusedWorker) {
+// compressed representation, charging a full block read. The block is
+// acquired here — after the caller's zone-map checks — and released before
+// returning, so a segment-backed block is pinned only while its values are
+// being examined.
+func applyBlockProbe(p *factProbe, bi int, out *bitmap.Bitmap, ws *fusedWorker) {
+	blk, release := p.col.AcquireBlock(bi)
 	ws.st.Read(blk.CompressedBytes())
 	switch {
 	case p.isPred:
@@ -571,4 +578,5 @@ func applyBlockProbe(p *factProbe, blk compress.IntBlock, out *bitmap.Bitmap, ws
 			}
 		}
 	}
+	release()
 }

@@ -36,15 +36,16 @@ func parallelFilter(col *colstore.Column, pred compress.Pred, n int, st *iosim.S
 			defer wg.Done()
 			base := 0
 			for bi := 0; bi < nb; bi++ {
-				blk := col.Block(bi)
 				if bi%n == w {
-					mn, mx := blk.MinMax()
+					mn, mx := col.BlockMinMax(bi)
 					if pred.MayMatch(mn, mx) {
+						blk, release := col.AcquireBlock(bi)
 						stats[w].Read(blk.CompressedBytes())
 						blk.Filter(pred, base, out)
+						release()
 					}
 				}
-				base += blk.Len()
+				base += col.BlockLen(bi)
 			}
 		}(w)
 	}
@@ -71,11 +72,12 @@ func parallelProbeSet(p *factProbe, n int, st *iosim.Stats) *vector.Positions {
 			var scratch []int32
 			base := 0
 			for bi := 0; bi < nb; bi++ {
-				blk := col.Block(bi)
 				if bi%n == w {
-					if mn, mx := blk.MinMax(); p.mayMatch(mn, mx) {
+					if mn, mx := col.BlockMinMax(bi); p.mayMatch(mn, mx) {
+						blk, release := col.AcquireBlock(bi)
 						stats[w].Read(blk.CompressedBytes())
 						scratch = blk.AppendTo(scratch[:0])
+						release()
 						for i, v := range scratch {
 							if p.matches(v) {
 								out.Set(base + i)
@@ -83,7 +85,7 @@ func parallelProbeSet(p *factProbe, n int, st *iosim.Stats) *vector.Positions {
 						}
 					}
 				}
-				base += blk.Len()
+				base += col.BlockLen(bi)
 			}
 		}(w)
 	}

@@ -294,9 +294,10 @@ func (db *DB) tupleFilter(col *colstore.Column, pred compress.Pred, cand *vector
 		base := 0
 		var scratch []int32
 		for bi := 0; bi < col.NumBlocks(); bi++ {
-			blk := col.Block(bi)
+			blk, release := col.AcquireBlock(bi)
 			st.Read(blk.CompressedBytes())
 			scratch = blk.AppendTo(scratch[:0])
+			release()
 			it := vector.NewSliceIter(scratch)
 			i := base
 			for {
@@ -309,7 +310,7 @@ func (db *DB) tupleFilter(col *colstore.Column, pred compress.Pred, cand *vector
 				}
 				i++
 			}
-			base += blk.Len()
+			base += len(scratch)
 		}
 		return vector.NewBitmapPositions(out)
 	}
@@ -338,13 +339,16 @@ func (db *DB) probeSet(p *factProbe, cand *vector.Positions, cfg Config, st *ios
 		base := 0
 		var scratch []int32
 		for bi := 0; bi < col.NumBlocks(); bi++ {
-			blk := col.Block(bi)
-			if mn, mx := blk.MinMax(); !p.mayMatch(mn, mx) {
-				base += blk.Len()
+			// Zone-map pruning before the block is acquired: a pruned
+			// segment is never read from disk.
+			if mn, mx := col.BlockMinMax(bi); !p.mayMatch(mn, mx) {
+				base += col.BlockLen(bi)
 				continue
 			}
+			blk, release := col.AcquireBlock(bi)
 			st.Read(blk.CompressedBytes())
 			scratch = blk.AppendTo(scratch[:0])
+			release()
 			if cfg.BlockIter {
 				for i, v := range scratch {
 					if p.matches(v) {
@@ -365,7 +369,7 @@ func (db *DB) probeSet(p *factProbe, cand *vector.Positions, cfg Config, st *ios
 					i++
 				}
 			}
-			base += blk.Len()
+			base += len(scratch)
 		}
 		return vector.NewBitmapPositions(out)
 	}
@@ -383,7 +387,7 @@ func (db *DB) probeSet(p *factProbe, cand *vector.Positions, cfg Config, st *ios
 			j++
 		}
 		i = j
-		if mn, mx := col.Block(bi).MinMax(); !p.mayMatch(mn, mx) {
+		if mn, mx := col.BlockMinMax(bi); !p.mayMatch(mn, mx) {
 			continue
 		}
 		vals = col.GatherBlock(bi, idx, vals[:0], st)

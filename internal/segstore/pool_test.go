@@ -1,0 +1,222 @@
+package segstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// testFetcher serves synthetic 100-byte plain segments and counts fetches.
+type testFetcher struct {
+	mu      sync.Mutex
+	fetches map[SegKey]int
+	fail    map[SegKey]bool
+}
+
+func newTestFetcher() *testFetcher {
+	return &testFetcher{fetches: map[SegKey]int{}, fail: map[SegKey]bool{}}
+}
+
+func (f *testFetcher) fetch(k SegKey) (compress.IntBlock, int64, error) {
+	f.mu.Lock()
+	f.fetches[k]++
+	failing := f.fail[k]
+	f.mu.Unlock()
+	if failing {
+		return nil, 0, fmt.Errorf("synthetic read error for %v", k)
+	}
+	vals := make([]int32, 25) // 100 bytes plain
+	for i := range vals {
+		vals[i] = k.Col*1000 + k.Seg
+	}
+	return compress.NewPlainBlock(vals), 100, nil
+}
+
+// TestPoolHitMiss verifies hit/miss accounting and that a resident segment
+// is served without refetching.
+func TestPoolHitMiss(t *testing.T) {
+	f := newTestFetcher()
+	p := NewPool(0, f.fetch)
+	for i := 0; i < 3; i++ {
+		blk, release, err := p.Acquire(SegKey{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk.Get(0) != 1002 {
+			t.Fatalf("wrong block content %d", blk.Get(0))
+		}
+		release()
+	}
+	st := p.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.BytesRead != 100 {
+		t.Fatalf("stats = %+v, want 1 miss / 2 hits / 100 bytes", st)
+	}
+	if st.IO.BytesRead != 100 || st.IO.Seeks != 1 {
+		t.Fatalf("iosim accounting = %+v, want 100 bytes / 1 seek", st.IO)
+	}
+}
+
+// TestPoolBudgetEviction acquires more segments than the budget holds and
+// checks the clock keeps residency at or under budget, with evictions
+// recorded and re-acquire refetching.
+func TestPoolBudgetEviction(t *testing.T) {
+	f := newTestFetcher()
+	p := NewPool(250, f.fetch) // room for 2 of the 100-byte segments
+	for seg := int32(0); seg < 5; seg++ {
+		_, release, err := p.Acquire(SegKey{0, seg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	st := p.Stats()
+	if st.Resident > 250 {
+		t.Fatalf("resident %d exceeds budget with nothing pinned", st.Resident)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under a 2-segment budget after 5 distinct segments")
+	}
+	if st.Misses != 5 {
+		t.Fatalf("misses = %d want 5", st.Misses)
+	}
+	// Seg 0 was evicted; re-acquiring must refetch.
+	if _, release, err := p.Acquire(SegKey{0, 0}); err != nil {
+		t.Fatal(err)
+	} else {
+		release()
+	}
+	f.mu.Lock()
+	n := f.fetches[SegKey{0, 0}]
+	f.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("seg 0 fetched %d times, want 2 (evicted then refetched)", n)
+	}
+}
+
+// TestPoolPinnedNotEvicted pins segments past the budget: residency may
+// overshoot, but no pinned frame may be dropped.
+func TestPoolPinnedNotEvicted(t *testing.T) {
+	f := newTestFetcher()
+	p := NewPool(150, f.fetch)
+	var releases []func()
+	var blks []compress.IntBlock
+	for seg := int32(0); seg < 4; seg++ {
+		blk, release, err := p.Acquire(SegKey{0, seg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blks = append(blks, blk)
+		releases = append(releases, release)
+	}
+	st := p.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("evicted %d pinned frames", st.Evictions)
+	}
+	if st.Resident != 400 {
+		t.Fatalf("resident = %d want 400 (all pinned, over budget)", st.Resident)
+	}
+	for seg, blk := range blks {
+		if blk.Get(0) != int32(seg) {
+			t.Fatalf("pinned block %d corrupted", seg)
+		}
+	}
+	for _, r := range releases {
+		r()
+	}
+	// Next acquire triggers eviction back under budget.
+	_, release, err := p.Acquire(SegKey{0, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if st := p.Stats(); st.Resident > 150 {
+		t.Fatalf("resident %d after unpinning exceeds budget", st.Resident)
+	}
+}
+
+// TestPoolFetchError propagates errors, leaves no residue, and allows
+// retry.
+func TestPoolFetchError(t *testing.T) {
+	f := newTestFetcher()
+	k := SegKey{3, 4}
+	f.fail[k] = true
+	p := NewPool(0, f.fetch)
+	if _, _, err := p.Acquire(k); err == nil {
+		t.Fatal("fetch error not propagated")
+	}
+	f.mu.Lock()
+	f.fail[k] = false
+	f.mu.Unlock()
+	blk, release, err := p.Acquire(k)
+	if err != nil {
+		t.Fatalf("retry after failed fetch: %v", err)
+	}
+	if blk.Get(0) != 3004 {
+		t.Fatal("retry returned wrong block")
+	}
+	release()
+	if st := p.Stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d want 2 (failed + retry)", st.Misses)
+	}
+}
+
+// TestPoolConcurrent hammers the pool from many goroutines under a tight
+// budget; run with -race. Every acquire must observe its own segment's
+// values.
+func TestPoolConcurrent(t *testing.T) {
+	f := newTestFetcher()
+	p := NewPool(500, f.fetch)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := SegKey{Col: int32(i % 3), Seg: int32((i * 7) % 11)}
+				blk, release, err := p.Acquire(k)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if got := blk.Get(0); got != k.Col*1000+k.Seg {
+					t.Errorf("goroutine %d: block %v holds %d", g, k, got)
+					release()
+					return
+				}
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Hits+st.Misses != 8*300 {
+		t.Fatalf("hits+misses = %d want %d", st.Hits+st.Misses, 8*300)
+	}
+	if st.Resident > 500 {
+		t.Fatalf("resident %d over budget after all releases", st.Resident)
+	}
+}
+
+// TestPoolReset drops unpinned frames and zeroes counters.
+func TestPoolReset(t *testing.T) {
+	f := newTestFetcher()
+	p := NewPool(0, f.fetch)
+	for seg := int32(0); seg < 3; seg++ {
+		_, release, _ := p.Acquire(SegKey{0, seg})
+		release()
+	}
+	p.Reset()
+	if st := p.Stats(); st.Resident != 0 || st.Misses != 0 {
+		t.Fatalf("after reset: %+v", st)
+	}
+	_, release, err := p.Acquire(SegKey{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if st := p.Stats(); st.Misses != 1 {
+		t.Fatalf("post-reset acquire was not a cold miss: %+v", st)
+	}
+}

@@ -1,0 +1,94 @@
+package segstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/colstore"
+	"repro/internal/compress"
+)
+
+// Write serializes tables to w in segment-store format. Table and column
+// order is preserved; each column's blocks are written in their existing
+// encodings (the per-segment scheme compress.Choose picked when the column
+// was built), each with a zone-map footer entry.
+func Write(w io.Writer, sf float64, tables []*colstore.Table) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(sf)); err != nil {
+		return err
+	}
+	off := uint64(len(Magic) + 8)
+
+	var metas []*tableMeta
+	var payload []byte
+	for _, t := range tables {
+		tm := &tableMeta{name: t.Name}
+		for _, colName := range t.ColumnNames() {
+			col := t.MustColumn(colName)
+			cm := &colMeta{table: t.Name, name: colName, sort: col.Sorted, dict: col.Dict}
+			for bi := 0; bi < col.NumBlocks(); bi++ {
+				blk, release := col.AcquireBlock(bi)
+				payload = compress.AppendBlock(blk, payload[:0])
+				mn, mx := blk.MinMax()
+				cm.segs = append(cm.segs, segMeta{
+					off:    off,
+					plen:   uint64(len(payload)),
+					cbytes: uint64(blk.CompressedBytes()),
+					enc:    blk.Encoding(),
+					rows:   uint32(blk.Len()),
+					min:    mn,
+					max:    mx,
+					crc:    crc32.ChecksumIEEE(payload),
+				})
+				release()
+				if _, err := bw.Write(payload); err != nil {
+					return err
+				}
+				off += uint64(len(payload))
+			}
+			tm.cols = append(tm.cols, cm)
+		}
+		metas = append(metas, tm)
+	}
+
+	footer := encodeFooter(metas)
+	if _, err := bw.Write(footer); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(footer)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(footer))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Save writes the tables to path atomically (temp file + rename).
+func Save(path string, sf float64, tables []*colstore.Table) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, sf, tables); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
