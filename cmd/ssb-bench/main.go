@@ -12,8 +12,11 @@
 //	-figure partition  partitioning on/off ablation              (Section 6.1)
 //	-figure fused      fused pipeline vs per-probe extension     (PERFORMANCE.md)
 //	-figure segstore   segment store: cold vs warm + budget sweep (PERFORMANCE.md)
-//	-figure all        everything (except segstore, which needs -data *.seg
-//	                   or generates its own temporary segment file)
+//	-figure serve      serving layer: throughput/latency vs client
+//	                   count at two pool budgets                 (PERFORMANCE.md)
+//	-figure all        everything (except segstore and serve, which need
+//	                   -data *.seg or generate their own temporary segment
+//	                   file)
 //
 // Reported numbers are total simulated seconds: measured CPU time plus the
 // I/O the run performed priced at the paper's 180 MB/s striped-disk model.
@@ -21,15 +24,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/iosim"
 	"repro/internal/rowexec"
+	"repro/internal/server"
 	"repro/internal/ssb"
 )
 
@@ -47,7 +56,7 @@ var (
 
 // segServable marks the figures a segment-store -data file can serve: only
 // the compressed column engines run without the raw dataset.
-var segServable = map[string]bool{"fused": true, "segstore": true}
+var segServable = map[string]bool{"fused": true, "segstore": true, "serve": true}
 
 func main() {
 	flag.Parse()
@@ -109,6 +118,8 @@ func main() {
 			runFigure(db, "Extension: fused morsel-parallel pipeline (see PERFORMANCE.md)", fusedRows(db))
 		case "segstore":
 			runSegstore(db)
+		case "serve":
+			runServe(db)
 		case "all":
 			runFigure(db, "Figure 5: baseline comparison", figure5Rows(db))
 			runFigure(db, "Figure 6: row-store physical designs", figure6Rows(db))
@@ -418,6 +429,127 @@ func budgetLabel(b int64) string {
 		return "unbounded"
 	}
 	return fmt.Sprintf("%.1fMB", float64(b)/1e6)
+}
+
+// runServe produces the serving-layer figure, exiting nonzero on error
+// only after serveFigure's deferred cleanup (temporary segment file,
+// stores) has run.
+func runServe(db *core.DB) {
+	if err := serveFigure(db); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// serveFigure measures sustained throughput and latency of the 13-query
+// SSBM mix as the concurrent client count grows, at a tight pool budget
+// (5% of the decoded dataset — heavy eviction churn) and an unbounded one.
+// The result cache is disabled so every request exercises the engine;
+// admission is set generous so the pool, not the semaphore, is the
+// contended resource being measured.
+func serveFigure(db *core.DB) error {
+	path := ""
+	if st := db.SegmentStore(); st != nil {
+		path = st.Path()
+	} else {
+		tmp, err := os.CreateTemp("", "ssb-*.seg")
+		if err != nil {
+			return err
+		}
+		tmp.Close()
+		defer os.Remove(tmp.Name())
+		fmt.Printf("\n(writing temporary segment file %s)\n", tmp.Name())
+		if err := exec.SaveSegments(tmp.Name(), db.SF, db.ColumnDB(true)); err != nil {
+			return err
+		}
+		path = tmp.Name()
+	}
+
+	probe, err := core.OpenSegmentStore(path, 0)
+	if err != nil {
+		return err
+	}
+	decoded := probe.SegmentStore().RawBytes()
+	probe.SegmentStore().Close()
+
+	const passes = 3
+	queries := ssb.Queries()
+	fmt.Printf("\n## Serving layer: %d-query mix x %d passes per client, cache off (see PERFORMANCE.md)\n",
+		len(queries), passes)
+	fmt.Printf("%-18s%10s%12s%12s%12s%12s%10s\n",
+		"budget", "clients", "qps", "mean ms", "p95 ms", "disk MB", "evict")
+
+	for _, budget := range []int64{int64(float64(decoded) * 0.05), 0} {
+		for _, clients := range []int{1, 2, 4, 8, 16} {
+			sdb, err := core.OpenSegmentStore(path, budget)
+			if err != nil {
+				return err
+			}
+			srv, err := server.New(sdb, server.Options{
+				Workers:      1,
+				CacheEntries: -1,
+				AdmitBytes:   64 << 20,
+			})
+			if err != nil {
+				sdb.SegmentStore().Close()
+				return err
+			}
+
+			var mu sync.Mutex
+			var lats []time.Duration
+			var execErr error
+			var wg sync.WaitGroup
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(c)))
+					local := make([]time.Duration, 0, passes*len(queries))
+					for p := 0; p < passes; p++ {
+						for _, qi := range rng.Perm(len(queries)) {
+							t0 := time.Now()
+							if _, err := srv.Execute(context.Background(), queries[qi]); err != nil {
+								mu.Lock()
+								if execErr == nil {
+									execErr = err
+								}
+								mu.Unlock()
+								return
+							}
+							local = append(local, time.Since(t0))
+						}
+					}
+					mu.Lock()
+					lats = append(lats, local...)
+					mu.Unlock()
+				}(c)
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			srv.Close()
+			ps := sdb.SegmentStore().Pool().Stats()
+			sdb.SegmentStore().Close()
+			if execErr != nil {
+				return execErr
+			}
+
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			var sum time.Duration
+			for _, l := range lats {
+				sum += l
+			}
+			mean := sum / time.Duration(len(lats))
+			p95 := lats[len(lats)*95/100]
+			fmt.Printf("%-18s%10d%12.1f%12.3f%12.3f%12.1f%10d\n",
+				budgetLabel(budget), clients,
+				float64(len(lats))/wall.Seconds(),
+				float64(mean.Microseconds())/1e3, float64(p95.Microseconds())/1e3,
+				float64(ps.BytesRead)/1e6, ps.Evictions)
+		}
+	}
+	fmt.Println("\n(every execution verified bit-identical to serial runs by the server package tests)")
+	return nil
 }
 
 // runPartition reproduces the Section 6.1 partitioning ablation: the

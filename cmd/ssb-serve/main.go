@@ -1,0 +1,255 @@
+// Command ssb-serve exposes one shared, buffer-managed SSBM database to
+// concurrent clients over HTTP JSON.
+//
+// Usage:
+//
+//	ssb-serve -data ssb.seg -mem-budget 2 -addr :8080
+//	ssb-serve -sf 0.05 -workers 4
+//	ssb-serve -data ssb.seg -mem-budget 1 -golden internal/core/testdata/golden_sf001.json -clients 8
+//
+// Endpoints:
+//
+//	GET/POST /query    one of id= (SSBM query id), sql= (SSBM dialect), or
+//	                   seed= (seeded random plan); returns rows + per-query
+//	                   cost (admission wait, CPU, logical I/O, total).
+//	GET      /stats    server counters (cache, admission, logical I/O
+//	                   totals) and buffer-pool state.
+//
+// Every request executes under its own context — a client that disconnects
+// abandons its query at the next 64K-row block boundary, releasing all
+// pinned segments. Admission control bounds the estimated footprint of
+// concurrently executing queries so heavy traffic cannot thrash a small
+// buffer pool into livelock; repeated queries are answered from a
+// normalized-SQL-keyed result cache.
+//
+// -golden runs the self-test used by CI instead of serving: it binds an
+// ephemeral port, fires the 13-query golden suite from -clients parallel
+// HTTP clients, verifies every response against the pinned golden file,
+// checks that shutdown leaves zero pinned frames, and exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/ssb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.1, "SSBM scale factor when generating (no -data)")
+	dataPath := flag.String("data", "", "serve this dataset file (ssb-gen -out format, sniffed)")
+	memBudget := flag.Float64("mem-budget", 0, "buffer-pool budget in MB for segment-store -data files (0 = unbounded)")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "per-query fused worker count")
+	admitMB := flag.Float64("admit-mb", 0, "admission budget in MB (0 = pool budget if bounded, else 256)")
+	cacheEntries := flag.Int("cache", 256, "result cache capacity in entries (negative disables)")
+	golden := flag.String("golden", "", "self-test: run the 13-query golden suite over HTTP against this golden JSON file, then exit")
+	clients := flag.Int("clients", 8, "parallel clients for the -golden self-test")
+	flag.Parse()
+
+	var db *core.DB
+	var err error
+	if *dataPath != "" {
+		db, err = core.OpenFile(*dataPath, int64(*memBudget*1e6))
+	} else {
+		db = core.Open(*sf)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cache := *cacheEntries
+	if *golden != "" {
+		// The self-test exists to exercise the shared engine under
+		// parallel HTTP traffic; a warm cache would answer everything
+		// after the first pass and verify nothing.
+		cache = -1
+	}
+	srv, err := server.New(db, server.Options{
+		Workers:      *workers,
+		AdmitBytes:   int64(*admitMB * 1e6),
+		CacheEntries: cache,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *golden != "" {
+		if err := goldenSelfTest(db, srv, *golden, *clients); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\nshutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+
+	fmt.Printf("ssb-serve: sf=%g engine=%s addr=%s\n", db.SF, srv.Config().Engine(), *addr)
+	if st := db.SegmentStore(); st != nil {
+		fmt.Printf("segment store: %s (%d segments, budget %s)\n",
+			st.Path(), st.NumSegments(), budgetLabel(st.Pool().Budget()))
+	}
+	err = hs.ListenAndServe()
+	if err != nil && err != http.ErrServerClosed {
+		// Startup failure (bad address, port in use): no drain to wait for.
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// ErrServerClosed means the signal goroutine called Shutdown; wait for
+	// it to finish draining in-flight responses before tearing down.
+	<-drained
+	srv.Close() // drain in-flight queries
+	printFinalStats(db, srv)
+}
+
+// budgetLabel renders a pool budget.
+func budgetLabel(b int64) string {
+	if b <= 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%.1fMB", float64(b)/1e6)
+}
+
+// printFinalStats summarizes a serving session on shutdown.
+func printFinalStats(db *core.DB, srv *server.Server) {
+	st := srv.Stats()
+	fmt.Printf("served %d queries (%d errors), cache %d/%d hit/miss, %.1fMB logical read\n",
+		st.Queries, st.Errors, st.CacheHits, st.CacheMisses, float64(st.Logical.BytesRead)/1e6)
+	if seg := db.SegmentStore(); seg != nil {
+		ps := seg.Pool().Stats()
+		fmt.Printf("pool: hits=%d misses=%d evictions=%d disk-read=%.1fMB pinned=%d\n",
+			ps.Hits, ps.Misses, ps.Evictions, float64(ps.BytesRead)/1e6, seg.Pool().PinnedFrames())
+	}
+}
+
+// goldenRow mirrors the golden file's row schema (written by internal/core's
+// golden tests; also read by ssb-query -golden).
+type goldenRow struct {
+	Keys []string `json:"keys,omitempty"`
+	Aggs []int64  `json:"aggs"`
+}
+
+// goldenSelfTest serves on an ephemeral port and drives the golden suite
+// through real HTTP from n parallel clients: gen -> serve -> parallel
+// golden check -> clean shutdown, the CI smoke for the serving layer.
+func goldenSelfTest(db *core.DB, srv *server.Server, goldenPath string, n int) error {
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return fmt.Errorf("reading golden file: %w", err)
+	}
+	var g map[string][]goldenRow
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return fmt.Errorf("golden file corrupt: %w", err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("golden self-test: %d clients x 13 queries against %s\n", n, base)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, q := range ssb.Queries() {
+				want, ok := g[q.ID]
+				if !ok {
+					errs <- fmt.Errorf("golden file has no entry for query %s", q.ID)
+					return
+				}
+				if err := checkOne(base, q.ID, want); err != nil {
+					errs <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	srv.Close()
+
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	if seg := db.SegmentStore(); seg != nil {
+		if p := seg.Pool().PinnedFrames(); p != 0 {
+			return fmt.Errorf("%d frames still pinned after shutdown", p)
+		}
+	}
+	st := srv.Stats()
+	fmt.Printf("golden self-test passed: %d engine executions (cache disabled), clean shutdown, zero pinned frames\n",
+		st.Queries)
+	return nil
+}
+
+// checkOne fetches one query over HTTP and compares rows to the golden.
+func checkOne(base, id string, want []goldenRow) error {
+	resp, err := http.Get(base + "/query?id=" + url.QueryEscape(id))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("Q%s: status %d", id, resp.StatusCode)
+	}
+	// The /query row shape matches the golden row schema, so decode
+	// straight into it.
+	var body struct {
+		Rows []goldenRow `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("Q%s: %w", id, err)
+	}
+	if len(body.Rows) != len(want) {
+		return fmt.Errorf("Q%s: %d rows, golden has %d", id, len(body.Rows), len(want))
+	}
+	for i, w := range want {
+		r := body.Rows[i]
+		if fmt.Sprint(w.Keys) != fmt.Sprint(r.Keys) || fmt.Sprint(w.Aggs) != fmt.Sprint(r.Aggs) {
+			return fmt.Errorf("Q%s row %d: got %v=%v, golden %v=%v", id, i, r.Keys, r.Aggs, w.Keys, w.Aggs)
+		}
+	}
+	return nil
+}

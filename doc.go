@@ -38,6 +38,21 @@
 // a standing cross-engine correctness oracle. PERFORMANCE.md documents the
 // harness, the seed-replay workflow and the pinned golden results.
 //
+// The engine also serves concurrent traffic: internal/server executes
+// queries from any number of clients against one shared DB — one buffer
+// pool, one scratch pool — with results guaranteed bit-identical to serial
+// reference execution. Cancellation is first-class (exec.DB.RunCtx checks
+// the context between 64K-row blocks, so an abandoned query releases every
+// pinned segment within one block), a FIFO byte-budget semaphore sized
+// from exec.DB.EstimateFootprint keeps concurrent queries from thrashing a
+// small buffer pool into livelock, and a normalized-SQL-keyed LRU caches
+// repeated results. cmd/ssb-serve exposes it over HTTP JSON (/query by
+// SSBM id, ad-hoc SQL, or generator seed; /stats for server, cache and
+// pool counters), and ssb-bench -figure serve measures throughput/latency
+// against client count and pool budget. The 16-client x 200-random-plan
+// stress test in internal/server and the pin-leak/golden-equivalence tests
+// in internal/exec pin the concurrency contract under -race.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results.
 package repro

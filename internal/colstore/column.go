@@ -17,6 +17,7 @@
 package colstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -213,6 +214,15 @@ func (c *Column) Encodings() map[compress.Encoding]int {
 // block statistics plus an in-block range probe, reading only the boundary
 // blocks.
 func (c *Column) Filter(p compress.Pred, st *iosim.Stats) *vector.Positions {
+	return c.FilterCtx(context.Background(), p, st)
+}
+
+// FilterCtx is Filter with cancellation: the block loop checks ctx before
+// acquiring each block and stops scanning once it is done (the sorted fast
+// path reads at most two boundary blocks, below any useful cancellation
+// granularity). A canceled scan's positions are a prefix and must be
+// discarded by the caller.
+func (c *Column) FilterCtx(ctx context.Context, p compress.Pred, st *iosim.Stats) *vector.Positions {
 	if c.Sorted == PrimarySort {
 		if pos, ok := c.sortedFilter(p, st); ok {
 			return pos
@@ -221,6 +231,9 @@ func (c *Column) Filter(p compress.Pred, st *iosim.Stats) *vector.Positions {
 	bm := bitmap.New(c.n)
 	base := 0
 	for bi := 0; bi < c.NumBlocks(); bi++ {
+		if ctx.Err() != nil {
+			break
+		}
 		mn, mx := c.BlockMinMax(bi)
 		if p.MayMatch(mn, mx) {
 			blk, release := c.AcquireBlock(bi)
@@ -306,10 +319,15 @@ func blockRange(blk compress.IntBlock, p compress.Pred) (int32, int32) {
 // times the second predicate must be applied"). Only blocks containing
 // candidates are read.
 func (c *Column) FilterAt(p compress.Pred, candidates *vector.Positions, st *iosim.Stats) *vector.Positions {
+	return c.FilterAtCtx(context.Background(), p, candidates, st)
+}
+
+// FilterAtCtx is FilterAt with cancellation, checked per candidate block.
+func (c *Column) FilterAtCtx(ctx context.Context, p compress.Pred, candidates *vector.Positions, st *iosim.Stats) *vector.Positions {
 	out := bitmap.New(c.n)
 	var scratchIdx []int32
 	var scratchVals []int32
-	c.forEachCandidateBlock(candidates, st, func(base int32, blk compress.IntBlock, idx []int32) {
+	c.forEachCandidateBlockCtx(ctx, candidates, st, func(base int32, blk compress.IntBlock, idx []int32) {
 		mn, mx := blk.MinMax()
 		if !p.MayMatch(mn, mx) {
 			return
@@ -362,8 +380,14 @@ func (c *Column) MinMax() (int32, int32) {
 // Gather appends the values at the given positions to dst, reading only the
 // blocks that contain selected positions.
 func (c *Column) Gather(positions *vector.Positions, dst []int32, st *iosim.Stats) []int32 {
+	return c.GatherCtx(context.Background(), positions, dst, st)
+}
+
+// GatherCtx is Gather with cancellation, checked per candidate block. A
+// canceled gather returns a prefix; callers must discard it.
+func (c *Column) GatherCtx(ctx context.Context, positions *vector.Positions, dst []int32, st *iosim.Stats) []int32 {
 	var scratchIdx []int32
-	c.forEachCandidateBlock(positions, st, func(base int32, blk compress.IntBlock, idx []int32) {
+	c.forEachCandidateBlockCtx(ctx, positions, st, func(base int32, blk compress.IntBlock, idx []int32) {
 		dst = blk.Gather(idx, dst)
 	}, &scratchIdx)
 	return dst
@@ -402,6 +426,14 @@ func chargePositional(blk compress.IntBlock, idx []int32, st *iosim.Stats) {
 // I/O for the pages the candidates touch, and invokes fn with block-local
 // indexes. Blocks with no candidates are never acquired.
 func (c *Column) forEachCandidateBlock(candidates *vector.Positions, st *iosim.Stats, fn func(base int32, blk compress.IntBlock, idx []int32), scratch *[]int32) {
+	c.forEachCandidateBlockCtx(context.Background(), candidates, st, fn, scratch)
+}
+
+// forEachCandidateBlockCtx is forEachCandidateBlock with cancellation: once
+// ctx is done, no further block is acquired (the remaining candidate
+// positions are still walked, but only to group them — pure CPU, no pins,
+// no I/O).
+func (c *Column) forEachCandidateBlockCtx(ctx context.Context, candidates *vector.Positions, st *iosim.Stats, fn func(base int32, blk compress.IntBlock, idx []int32), scratch *[]int32) {
 	bi := 0
 	base := int32(0)
 	blkEnd := int32(0)
@@ -411,6 +443,10 @@ func (c *Column) forEachCandidateBlock(candidates *vector.Positions, st *iosim.S
 	idx := (*scratch)[:0]
 	flush := func() {
 		if len(idx) > 0 {
+			if ctx.Err() != nil {
+				idx = idx[:0]
+				return
+			}
 			blk, release := c.AcquireBlock(bi)
 			chargePositional(blk, idx, st)
 			fn(base, blk, idx)

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -339,6 +340,15 @@ func (db *DB) Run(queryID string, cfg Config) (*ssb.Result, RunStats, error) {
 // RunPlan executes an arbitrary logical plan (for example one parsed from
 // SQL by internal/sql) under the given configuration.
 func (db *DB) RunPlan(q *ssb.Query, cfg Config) (*ssb.Result, RunStats, error) {
+	return db.RunPlanCtx(context.Background(), q, cfg)
+}
+
+// RunPlanCtx is RunPlan with cancellation. The column engines check ctx
+// between 64K-row blocks and abandon the query promptly, releasing every
+// pinned segment; the row-oriented engines run to completion and the
+// cancellation is surfaced afterwards. Each call owns its iosim accounting,
+// so concurrent calls on one DB never interleave stats.
+func (db *DB) RunPlanCtx(ctx context.Context, q *ssb.Query, cfg Config) (*ssb.Result, RunStats, error) {
 	if err := db.validate(q, cfg); err != nil {
 		return nil, RunStats{}, err
 	}
@@ -351,11 +361,19 @@ func (db *DB) RunPlan(q *ssb.Query, cfg Config) (*ssb.Result, RunStats, error) {
 		if cfg.UseProjections && cfg.Col.Compression {
 			db.enableProjections()
 			start = time.Now()
-			res, _ = col.RunBest(q, cfg.Col, &st)
+			var err error
+			res, _, err = col.RunBestCtx(ctx, q, cfg.Col, &st)
+			if err != nil {
+				return nil, RunStats{}, err
+			}
 			break
 		}
 		start = time.Now() // exclude lazy build
-		res = col.Run(q, cfg.Col, &st)
+		var err error
+		res, err = col.RunCtx(ctx, q, cfg.Col, &st)
+		if err != nil {
+			return nil, RunStats{}, err
+		}
 	case KindColumnRowMV:
 		mv := db.rowMV(q.Flight)
 		start = time.Now() // exclude lazy MV construction
@@ -374,6 +392,11 @@ func (db *DB) RunPlan(q *ssb.Query, cfg Config) (*ssb.Result, RunStats, error) {
 		d := db.DenormDB(cfg.Denorm)
 		start = time.Now()
 		res = d.Run(q, &st)
+	}
+	if err := ctx.Err(); err != nil {
+		// Row-oriented engines do not observe ctx mid-run; drop their
+		// completed result rather than hand back work the caller abandoned.
+		return nil, RunStats{}, err
 	}
 	wall := time.Since(start)
 	stats := RunStats{Wall: wall, IO: st, IOTime: db.Disk.Time(st)}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"strconv"
 
 	"repro/internal/bitmap"
@@ -132,14 +133,22 @@ func (ex *groupExtractor) render(code int32) string {
 }
 
 // aggregate runs join phase 3 plus aggregation over the final position
-// list.
-func (db *DB) aggregate(q *ssb.Query, cfg Config, pos *vector.Positions, st *iosim.Stats) *ssb.Result {
+// list. Gathers observe ctx per candidate block, so a canceled query stops
+// acquiring fact segments mid-extraction too; the (garbage) partial result
+// is discarded by RunCtx.
+func (db *DB) aggregate(ctx context.Context, q *ssb.Query, cfg Config, pos *vector.Positions, st *iosim.Stats) *ssb.Result {
 	// Gather aggregate input measures at qualifying positions only, then
 	// evaluate every aggregate expression into a per-row value column.
 	specs := q.AggSpecs()
 	n := pos.Len()
 	values := evalAggValues(specs, cfg.BlockIter, n, func(name string) []int32 {
-		return db.Fact.MustColumn(name).Gather(pos, nil, st)
+		vals := db.Fact.MustColumn(name).GatherCtx(ctx, pos, nil, st)
+		if len(vals) < n {
+			// Canceled mid-gather: pad so downstream indexing stays in
+			// bounds until RunCtx discards the result.
+			vals = append(vals, make([]int32, n-len(vals))...)
+		}
+		return vals
 	})
 
 	if len(q.GroupBy) == 0 {
@@ -157,12 +166,19 @@ func (db *DB) aggregate(q *ssb.Query, cfg Config, pos *vector.Positions, st *ios
 		return ssb.NewResult(q.ID, []ssb.ResultRow{ssb.MakeRow(nil, ssb.FinalizeCells(specs, cells, int64(n)))})
 	}
 
-	// Group extraction.
+	// Group extraction. A cancellation observed here returns the empty
+	// shape immediately — the FK gathers below are full fact-column walks.
 	exs := make([]*groupExtractor, len(q.GroupBy))
 	codes := make([][]int32, len(q.GroupBy))
 	for i, g := range q.GroupBy {
+		if ctx.Err() != nil {
+			return emptyResult(q)
+		}
 		exs[i] = db.newGroupExtractor(g, cfg, st)
-		fkVals := exs[i].fkCol.Gather(pos, nil, st)
+		fkVals := exs[i].fkCol.GatherCtx(ctx, pos, nil, st)
+		if len(fkVals) < n {
+			fkVals = append(fkVals, make([]int32, n-len(fkVals))...)
+		}
 		codes[i] = exs[i].extract(db, fkVals, cfg, nil)
 	}
 

@@ -50,6 +50,18 @@ type DB struct {
 	// returning, so a pooled worker's arrays are always all-zero. A
 	// pointer so projection clones (withFact) share one pool.
 	fusedPool *sync.Pool
+
+	// footCache memoizes per-column maximum block bytes for
+	// EstimateFootprint (footprint.go); a pointer so projection clones
+	// share it, keyed by column pointer so same-named projection columns
+	// stay distinct.
+	footCache *footprintCache
+}
+
+// footprintCache is the concurrency-safe per-column max-block-bytes memo.
+type footprintCache struct {
+	mu  sync.Mutex
+	max map[*colstore.Column]int64
 }
 
 // NumRows returns the fact cardinality.
@@ -67,6 +79,7 @@ func BuildDB(d *ssb.Data, compressed bool) *DB {
 		Dims:       map[ssb.Dim]*colstore.Table{},
 		numRows:    d.NumLineorders(),
 		fusedPool:  &sync.Pool{},
+		footCache:  &footprintCache{max: map[*colstore.Column]int64{}},
 	}
 
 	custPerm := hierarchyPerm(len(d.Customer.Key), d.Customer.Region, d.Customer.Nation, d.Customer.City)

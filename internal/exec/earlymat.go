@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"repro/internal/iosim"
 	"repro/internal/ssb"
 )
@@ -12,11 +14,14 @@ import (
 // over a column-sourced materialized view. The paper removes late
 // materialization last because early materialization forces decompression
 // during tuple construction and precludes the invisible join.
-func (db *DB) runEarlyMat(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
+func (db *DB) runEarlyMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
 	needed := q.NeededFactColumns()
 	colIdx := make(map[string]int, len(needed))
 	cols := make([][]int32, len(needed))
 	for i, name := range needed {
+		if ctx.Err() != nil {
+			return emptyResult(q)
+		}
 		colIdx[name] = i
 		cols[i] = db.Fact.MustColumn(name).DecodeAll(nil, st)
 	}
@@ -25,9 +30,14 @@ func (db *DB) runEarlyMat(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result
 	// Tuple construction: one allocation per row, before any predicate
 	// runs. This is deliberately the expensive step ("the more selective
 	// the predicate, the more wasteful it is to construct tuples at the
-	// start of a query plan").
+	// start of a query plan"). Cancellation is observed at the same 64K
+	// granularity as the block pipelines — this loop is where an abandoned
+	// early-mat query burns its time.
 	rows := make([][]int32, n)
 	for r := 0; r < n; r++ {
+		if r&0xFFFF == 0 && ctx.Err() != nil {
+			return emptyResult(q)
+		}
 		tup := make([]int32, len(cols))
 		for c := range cols {
 			tup[c] = cols[c][r]
@@ -131,6 +141,11 @@ func (db *DB) runEarlyMat(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result
 
 rowLoop:
 	for r := 0; r < n; r++ {
+		// One cancellation check per 64K rows — the same granularity as
+		// the block-iterated pipelines.
+		if r&0xFFFF == 0 && ctx.Err() != nil {
+			return emptyResult(q)
+		}
 		tup := rows[r]
 		for _, fp := range factPreds {
 			if !fp.pred(tup[fp.col]) {

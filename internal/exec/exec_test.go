@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/compress"
@@ -189,7 +191,7 @@ func TestDateBetweenRewriting(t *testing.T) {
 	}
 	// Applying it must produce a contiguous position range.
 	var st iosim.Stats
-	pos := probe.apply(testDBC, nil, FullOpt, &st)
+	pos := probe.apply(context.Background(), testDBC, nil, FullOpt, &st)
 	if pos.Kind != vector.PosRange {
 		t.Fatalf("sorted probe produced %v, want range", pos.Kind)
 	}

@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"repro/internal/colstore"
+	"repro/internal/ssb"
+)
+
+// EstimateFootprint bounds the transient memory one execution of q under cfg
+// needs from shared resources, in bytes, using catalog metadata only (zone
+// maps, dictionary sizes, worker plan) — no I/O is charged and no segment is
+// read. The serving layer's admission controller sizes its byte-budget
+// semaphore with this estimate so that the queries it lets run concurrently
+// cannot collectively pin (or churn) more buffer-pool space than exists.
+//
+// The estimate mirrors the executor's actual dispatch (Run/runFused),
+// including the fused pipeline's fallback to the per-probe path when the
+// composite group space exceeds denseLimit, and is deliberately a worst
+// case, not an average:
+//
+//   - Pinned segments: every worker pins at most one block per needed fact
+//     column at a time (AcquireBlock is scoped to one block operation), so
+//     the bound is workers x sum over needed columns of that column's
+//     largest block. Per-column maxima are immutable and memoized on the
+//     DB, so a served query's admission costs O(columns), not a zone-map
+//     walk.
+//   - Dense aggregation: the fused pipeline gives each worker a private
+//     fusedGroupSpace x nAggs array of int64 cells (degrading to one worker
+//     above fusedWorkerDenseLimit, which fusedWorkersFor accounts for); the
+//     per-probe pipeline allocates one such array total, or a hash table
+//     bounded by the dense limit above it.
+//   - Group extraction: each GROUP BY column decodes its dimension
+//     attribute column (4 bytes per dimension row).
+//   - Per-probe position lists: the non-fused late-materialized path
+//     materializes a full-fact bitmap per live selection (charged twice:
+//     output plus the pipelined candidate list).
+//   - Early materialization constructs every needed column and the full
+//     tuple array up front: two decoded copies of the needed columns.
+func (db *DB) EstimateFootprint(q *ssb.Query, cfg Config) int64 {
+	space := db.fusedGroupSpace(q)
+	// The fused pipeline only runs when the group space fits the dense
+	// limit; past it runFused re-dispatches to the per-probe path with the
+	// caller's worker count (parallel full-column scans).
+	fusedPath := cfg.FusedActive() && space <= denseLimit
+	workers := 1
+	if fusedPath {
+		nb := (db.numRows + colstore.BlockSize - 1) / colstore.BlockSize
+		workers = fusedWorkersFor(cfg.Workers, space, nb)
+	} else if cfg.LateMat && cfg.BlockIter && cfg.Workers > 1 {
+		workers = cfg.Workers
+	}
+
+	needed := q.NeededFactColumns()
+	var perBlock int64
+	for _, name := range needed {
+		perBlock += db.maxBlockBytes(db.Fact.MustColumn(name))
+	}
+	foot := perBlock * int64(workers)
+
+	nAggs := int64(len(q.AggSpecs()))
+	if len(q.GroupBy) > 0 {
+		cells := space
+		if cells > denseLimit {
+			// Hash-aggregation fallback: footprint tracks the group count
+			// actually seen; bound it by the dense limit rather than the
+			// raw (possibly astronomically overestimated) space.
+			cells = denseLimit
+		}
+		arrays := int64(1)
+		if fusedPath && space <= fusedWorkerDenseLimit {
+			arrays = int64(workers)
+		}
+		foot += cells * nAggs * 8 * arrays
+		for _, g := range q.GroupBy {
+			foot += int64(db.Dims[g.Dim].NumRows()) * 4
+		}
+	}
+
+	switch {
+	case !cfg.LateMat:
+		// Early materialization: decoded needed columns + constructed
+		// tuples, each 4 bytes/value.
+		foot += int64(db.numRows) * 4 * int64(len(needed)) * 2
+	case !fusedPath:
+		foot += int64(db.numRows/8) * 2
+	}
+	return foot
+}
+
+// maxBlockBytes returns (memoizing) the largest on-disk block of col, from
+// zone-map metadata only. Columns are immutable once built, so the memo
+// never invalidates.
+func (db *DB) maxBlockBytes(col *colstore.Column) int64 {
+	c := db.footCache
+	c.mu.Lock()
+	if mx, ok := c.max[col]; ok {
+		c.mu.Unlock()
+		return mx
+	}
+	c.mu.Unlock()
+	var mx int64
+	for i := 0; i < col.NumBlocks(); i++ {
+		if b := col.BlockBytes(i); b > mx {
+			mx = b
+		}
+	}
+	c.mu.Lock()
+	c.max[col] = mx
+	c.mu.Unlock()
+	return mx
+}

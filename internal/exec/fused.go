@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/bitmap"
@@ -230,14 +231,14 @@ func (db *DB) putFusedWorker(ws *fusedWorker) {
 }
 
 // runFused executes the late-materialized plan as one fused scan.
-func (db *DB) runFused(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
+func (db *DB) runFused(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
 	space := db.fusedGroupSpace(q)
 	if space > denseLimit {
 		// Huge composite group spaces use the per-probe pipeline's hash
 		// aggregation fallback.
 		plain := cfg
 		plain.Fused = false
-		return db.runLateMat(q, plain, st)
+		return db.runLateMat(ctx, q, plain, st)
 	}
 
 	plan := &fusedPlan{
@@ -277,11 +278,27 @@ func (db *DB) runFused(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
 		go func(w int, ws *fusedWorker) {
 			defer wg.Done()
 			for bi := w; bi < nb; bi += workers {
+				// Cancellation is checked between blocks: a block never
+				// holds a pin across the check, so an abandoned query
+				// leaves zero pinned frames behind.
+				if ctx.Err() != nil {
+					return
+				}
 				fusedBlock(bi, plan, ws)
 			}
 		}(w, ws)
 	}
 	wg.Wait()
+
+	if ctx.Err() != nil {
+		// Abandoned mid-scan: recycle the workers (the scrub only touches
+		// cells their seen bitmaps mark, partial or not) and let RunCtx
+		// surface ctx.Err; the partial aggregates are never merged.
+		for _, ws := range states {
+			db.putFusedWorker(ws)
+		}
+		return emptyResult(q)
+	}
 
 	if !plan.grouped {
 		cells := make([]int64, plan.nAggs)

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/compress"
@@ -177,7 +179,7 @@ func TestProbeSetMinMaxPruning(t *testing.T) {
 		setMax: key,
 	}
 	var st iosim.Stats
-	pos := testDBC.probeSet(probe, nil, FullOpt, &st)
+	pos := testDBC.probeSet(context.Background(), probe, nil, FullOpt, &st)
 	if pos.Len() == 0 {
 		t.Fatal("probe found no rows for an existing datekey")
 	}
@@ -186,7 +188,7 @@ func TestProbeSetMinMaxPruning(t *testing.T) {
 	}
 	// Parallel path prunes identically.
 	var stPar iosim.Stats
-	posPar := parallelProbeSet(probe, 4, &stPar)
+	posPar := parallelProbeSet(context.Background(), probe, 4, &stPar)
 	if posPar.Len() != pos.Len() || stPar.BytesRead != st.BytesRead {
 		t.Fatalf("parallel pruning diverges: len %d vs %d, io %d vs %d",
 			posPar.Len(), pos.Len(), stPar.BytesRead, st.BytesRead)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/bitmap"
@@ -25,7 +26,7 @@ import (
 // parallelFilter applies pred over all blocks of col using n workers,
 // returning the matching positions. I/O accounting is accumulated per
 // worker and merged, keeping Stats mutation single-threaded per worker.
-func parallelFilter(col *colstore.Column, pred compress.Pred, n int, st *iosim.Stats) *vector.Positions {
+func parallelFilter(ctx context.Context, col *colstore.Column, pred compress.Pred, n int, st *iosim.Stats) *vector.Positions {
 	out := bitmap.New(col.NumRows())
 	nb := col.NumBlocks()
 	var wg sync.WaitGroup
@@ -36,6 +37,9 @@ func parallelFilter(col *colstore.Column, pred compress.Pred, n int, st *iosim.S
 			defer wg.Done()
 			base := 0
 			for bi := 0; bi < nb; bi++ {
+				if ctx.Err() != nil {
+					return
+				}
 				if bi%n == w {
 					mn, mx := col.BlockMinMax(bi)
 					if pred.MayMatch(mn, mx) {
@@ -59,7 +63,7 @@ func parallelFilter(col *colstore.Column, pred compress.Pred, n int, st *iosim.S
 // parallelProbeSet is the membership analogue of parallelFilter. Blocks
 // whose min/max range cannot intersect the probe's key range are skipped
 // before charging I/O or decoding, mirroring probeSet.
-func parallelProbeSet(p *factProbe, n int, st *iosim.Stats) *vector.Positions {
+func parallelProbeSet(ctx context.Context, p *factProbe, n int, st *iosim.Stats) *vector.Positions {
 	col := p.col
 	out := bitmap.New(col.NumRows())
 	nb := col.NumBlocks()
@@ -72,6 +76,9 @@ func parallelProbeSet(p *factProbe, n int, st *iosim.Stats) *vector.Positions {
 			var scratch []int32
 			base := 0
 			for bi := 0; bi < nb; bi++ {
+				if ctx.Err() != nil {
+					return
+				}
 				if bi%n == w {
 					if mn, mx := col.BlockMinMax(bi); p.mayMatch(mn, mx) {
 						blk, release := col.AcquireBlock(bi)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -166,6 +167,15 @@ func (db *DB) projectionScore(q *ssb.Query, cfg Config, sortCol string) float64 
 // the base orderdate-sorted table), returning the chosen table name along
 // with the result.
 func (db *DB) RunBest(q *ssb.Query, cfg Config, st *iosim.Stats) (*ssb.Result, string) {
+	res, name, _ := db.RunBestCtx(context.Background(), q, cfg, st)
+	return res, name
+}
+
+// RunBestCtx is RunBest with cancellation, observed by the chosen clone's
+// pipelines exactly as in RunCtx (projection choice itself is metadata-only
+// and not worth a check).
+func (db *DB) RunBestCtx(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) (*ssb.Result, string, error) {
 	chosen := db.chooseProjection(q, cfg)
-	return chosen.Run(q, cfg, st), chosen.Fact.Name
+	res, err := chosen.RunCtx(ctx, q, cfg, st)
+	return res, chosen.Fact.Name, err
 }

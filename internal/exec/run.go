@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"repro/internal/bitmap"
 	"repro/internal/colstore"
 	"repro/internal/compress"
@@ -11,27 +13,53 @@ import (
 
 // Run executes an SSBM query under the given configuration. The DB's
 // storage must agree with cfg.Compression (BuildDB's compressed flag).
+//
+// Run is safe to call concurrently from multiple goroutines on one shared
+// DB as long as every call owns its st: all plan, probe, scratch and
+// aggregation state is per-call (pooled fused workers are scrubbed on
+// release), and segment-backed columns acquire blocks through the
+// concurrency-safe buffer pool. iosim.Stats itself is single-owner — two
+// concurrent calls must not share one st.
 func (db *DB) Run(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
+	res, _ := db.RunCtx(context.Background(), q, cfg, st)
+	return res
+}
+
+// RunCtx is Run with cancellation: the block loops of every pipeline check
+// ctx between blocks, so an abandoned query stops acquiring segments within
+// one 64K-row block of the cancellation and releases everything it pinned
+// (blocks are only ever pinned for the duration of one block operation).
+// When ctx is canceled the partial result is discarded and ctx.Err() is
+// returned; st may have recorded a prefix of the query's I/O.
+func (db *DB) RunCtx(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) (*ssb.Result, error) {
+	var res *ssb.Result
 	if !cfg.LateMat {
-		return db.runEarlyMat(q, cfg, st)
+		res = db.runEarlyMat(ctx, q, cfg, st)
+	} else if cfg.FusedActive() {
+		res = db.runFused(ctx, q, cfg, st)
+	} else {
+		res = db.runLateMat(ctx, q, cfg, st)
 	}
-	if cfg.FusedActive() {
-		return db.runFused(q, cfg, st)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return db.runLateMat(q, cfg, st)
+	return res, nil
 }
 
 // runLateMat is the late-materialized pipeline: predicates produce position
 // lists over the fact table; values are fetched only at qualifying
 // positions (paper Section 5.2), and joins are executed as predicates on
 // fact foreign-key columns (Section 5.4).
-func (db *DB) runLateMat(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
+func (db *DB) runLateMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
 	probes := db.planProbes(q, cfg, st)
 
 	// Phase 2: apply each fact-side predicate, pipelining candidates.
 	var pos *vector.Positions
 	for _, p := range probes {
-		pos = p.apply(db, pos, cfg, st)
+		if ctx.Err() != nil {
+			return emptyResult(q)
+		}
+		pos = p.apply(ctx, db, pos, cfg, st)
 		if pos.Len() == 0 {
 			break
 		}
@@ -39,13 +67,13 @@ func (db *DB) runLateMat(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result 
 	if pos == nil {
 		pos = vector.NewRangePositions(0, int32(db.numRows))
 	}
-	if pos.Len() == 0 {
+	if pos.Len() == 0 || ctx.Err() != nil {
 		return emptyResult(q)
 	}
 
 	// Phase 3: extract group-by attributes and aggregate inputs at the
 	// final position list only.
-	return db.aggregate(q, cfg, pos, st)
+	return db.aggregate(ctx, q, cfg, pos, st)
 }
 
 // factProbe is one predicate to apply against a fact column: either a
@@ -248,23 +276,23 @@ func dimFilterPred(col *colstore.Column, f ssb.DimFilter) compress.Pred {
 
 // apply runs the probe against the fact table, restricted to candidate
 // positions when cand is non-nil.
-func (p *factProbe) apply(db *DB, cand *vector.Positions, cfg Config, st *iosim.Stats) *vector.Positions {
+func (p *factProbe) apply(ctx context.Context, db *DB, cand *vector.Positions, cfg Config, st *iosim.Stats) *vector.Positions {
 	if p.isPred {
 		if cfg.BlockIter {
 			if cand == nil {
 				if cfg.Workers > 1 && !sortedFastPathApplies(p.col, p.pred) {
-					return parallelFilter(p.col, p.pred, cfg.Workers, st)
+					return parallelFilter(ctx, p.col, p.pred, cfg.Workers, st)
 				}
-				return p.col.Filter(p.pred, st)
+				return p.col.FilterCtx(ctx, p.pred, st)
 			}
-			return p.col.FilterAt(p.pred, cand, st)
+			return p.col.FilterAtCtx(ctx, p.pred, cand, st)
 		}
-		return db.tupleFilter(p.col, p.pred, cand, st)
+		return db.tupleFilter(ctx, p.col, p.pred, cand, st)
 	}
 	if cand == nil && cfg.Workers > 1 && cfg.BlockIter {
-		return parallelProbeSet(p, cfg.Workers, st)
+		return parallelProbeSet(ctx, p, cfg.Workers, st)
 	}
-	return db.probeSet(p, cand, cfg, st)
+	return db.probeSet(ctx, p, cand, cfg, st)
 }
 
 // sortedFastPathApplies reports whether Column.Filter would answer pred via
@@ -282,7 +310,7 @@ func sortedFastPathApplies(col *colstore.Column, pred compress.Pred) bool {
 // "we wrote alternative versions that use getNext"). The sorted-column fast
 // path is retained — it is a property of the storage sort order, not of the
 // iteration interface.
-func (db *DB) tupleFilter(col *colstore.Column, pred compress.Pred, cand *vector.Positions, st *iosim.Stats) *vector.Positions {
+func (db *DB) tupleFilter(ctx context.Context, col *colstore.Column, pred compress.Pred, cand *vector.Positions, st *iosim.Stats) *vector.Positions {
 	if col.Sorted == colstore.PrimarySort && cand == nil {
 		if _, _, ok := pred.Bounds(); ok {
 			return col.Filter(pred, st)
@@ -294,6 +322,9 @@ func (db *DB) tupleFilter(col *colstore.Column, pred compress.Pred, cand *vector
 		base := 0
 		var scratch []int32
 		for bi := 0; bi < col.NumBlocks(); bi++ {
+			if ctx.Err() != nil {
+				break
+			}
 			blk, release := col.AcquireBlock(bi)
 			st.Read(blk.CompressedBytes())
 			scratch = blk.AppendTo(scratch[:0])
@@ -331,7 +362,7 @@ func (db *DB) tupleFilter(col *colstore.Column, pred compress.Pred, cand *vector
 // cannot intersect the probe's key range are skipped before any I/O is
 // charged or values decoded, on both the full-scan and the pipelined
 // candidate path.
-func (db *DB) probeSet(p *factProbe, cand *vector.Positions, cfg Config, st *iosim.Stats) *vector.Positions {
+func (db *DB) probeSet(ctx context.Context, p *factProbe, cand *vector.Positions, cfg Config, st *iosim.Stats) *vector.Positions {
 	col := p.col
 	n := col.NumRows()
 	out := bitmap.New(n)
@@ -339,6 +370,9 @@ func (db *DB) probeSet(p *factProbe, cand *vector.Positions, cfg Config, st *ios
 		base := 0
 		var scratch []int32
 		for bi := 0; bi < col.NumBlocks(); bi++ {
+			if ctx.Err() != nil {
+				break
+			}
 			// Zone-map pruning before the block is acquired: a pruned
 			// segment is never read from disk.
 			if mn, mx := col.BlockMinMax(bi); !p.mayMatch(mn, mx) {
@@ -378,6 +412,9 @@ func (db *DB) probeSet(p *factProbe, cand *vector.Positions, cfg Config, st *ios
 	posList := cand.ToSlice(nil)
 	var idx, vals []int32
 	for i := 0; i < len(posList); {
+		if ctx.Err() != nil {
+			break
+		}
 		bi := int(posList[i]) / colstore.BlockSize
 		base := int32(bi) * colstore.BlockSize
 		idx = idx[:0]

@@ -48,6 +48,7 @@ func OpenSegmentDB(store *segstore.Store) (*DB, error) {
 		Compressed: true,
 		Dims:       map[ssb.Dim]*colstore.Table{},
 		fusedPool:  &sync.Pool{},
+		footCache:  &footprintCache{max: map[*colstore.Column]int64{}},
 	}
 	fact, err := store.Table(segFactName)
 	if err != nil {

@@ -13,10 +13,20 @@
 // operating on compressed data) come from real measured execution.
 package iosim
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Stats accumulates simulated I/O performed by a query. Methods are safe on
 // a nil receiver so executors can run without accounting.
+//
+// A Stats value is single-owner: it is mutated without synchronization, so
+// exactly one query execution may write to it at a time. Parallel executors
+// give each worker a private Stats and merge with Add after the workers
+// join; a serving layer running queries from many goroutines must allocate
+// one Stats per query and fold finished queries' stats into an Atomic (or
+// behind its own lock), never hand two in-flight queries the same pointer.
 type Stats struct {
 	// BytesRead is the total bytes transferred from "disk".
 	BytesRead int64
@@ -62,6 +72,35 @@ func (s *Stats) Add(o Stats) {
 func (s *Stats) Reset() {
 	if s != nil {
 		*s = Stats{}
+	}
+}
+
+// Atomic accumulates Stats from many goroutines without locking: the
+// shared, cross-query side of the accounting split. Per-query Stats stay
+// plain and single-owner (the executors mutate them with no
+// synchronization); a server folds each finished query's Stats in with
+// AddStats and reads running totals with Snapshot.
+type Atomic struct {
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	seeks        atomic.Int64
+}
+
+// AddStats folds one finished query's stats into the shared totals.
+func (a *Atomic) AddStats(s Stats) {
+	a.bytesRead.Add(s.BytesRead)
+	a.bytesWritten.Add(s.BytesWritten)
+	a.seeks.Add(s.Seeks)
+}
+
+// Snapshot returns the accumulated totals as a plain Stats value. Each
+// counter is read atomically; the triple is not a single linearization
+// point, which is fine for monitoring totals.
+func (a *Atomic) Snapshot() Stats {
+	return Stats{
+		BytesRead:    a.bytesRead.Load(),
+		BytesWritten: a.bytesWritten.Load(),
+		Seeks:        a.seeks.Load(),
 	}
 }
 

@@ -103,12 +103,19 @@ func (p *Pool) Acquire(k SegKey) (compress.IntBlock, func(), error) {
 	f := &frame{key: k, pins: 1, ready: make(chan struct{})}
 	p.frames[k] = f
 	p.ring = append(p.ring, f)
-	p.stats.Misses++
 	p.mu.Unlock()
 
 	blk, bytes, err := p.fetch(k)
 
+	// The whole stats entry for a miss (the miss count, its payload bytes
+	// and its priced physical I/O) commits under one lock hold at fetch
+	// completion, not at registration: a Reset that lands mid-fetch then
+	// sees either none of the miss or all of it, never a Misses tick whose
+	// BytesRead was zeroed away (or vice versa). A fetch in flight across a
+	// Reset is charged to the epoch in which it completes — the epoch its
+	// frame is resident in.
 	p.mu.Lock()
+	p.stats.Misses++
 	if err != nil {
 		// Drop the frame so a later Acquire can retry; waiters observe
 		// the error through the frame they already hold.
@@ -206,9 +213,27 @@ func (p *Pool) Stats() PoolStats {
 	return s
 }
 
+// PinnedFrames returns the number of frames with a nonzero pin count. A
+// quiesced pool (no query in flight) must report zero — every executor path
+// releases each block it acquires before moving on, and the leak-check
+// tests assert this after every full query run.
+func (p *Pool) PinnedFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.ring {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // Reset drops every unpinned frame and zeroes the counters, so a following
 // run measures a cold cache. Pinned frames (a concurrent query in flight)
-// survive with their bytes still counted.
+// survive with their bytes still counted, and a fetch in flight at reset
+// time commits its miss/bytes entry to the new epoch when it completes
+// (see Acquire) — the counters stay internally consistent either way.
 func (p *Pool) Reset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()

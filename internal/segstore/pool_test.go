@@ -199,6 +199,82 @@ func TestPoolConcurrent(t *testing.T) {
 	}
 }
 
+// TestPoolAcquireResetStatsRace hammers Acquire, Reset and Stats from many
+// goroutines at once under a budget tight enough to keep the clock hand
+// moving; run with -race. It pins the invariants concurrency must not bend:
+// every acquire observes its own segment's values, every Stats snapshot is
+// internally consistent (bytes read implies at least one miss in the same
+// epoch), and after the storm quiesces nothing is pinned and one final
+// Reset leaves residency at exactly zero.
+func TestPoolAcquireResetStatsRace(t *testing.T) {
+	f := newTestFetcher()
+	p := NewPool(400, f.fetch)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := SegKey{Col: int32((g + i) % 4), Seg: int32((i * 13) % 9)}
+				blk, release, err := p.Acquire(k)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if got := blk.Get(0); got != k.Col*1000+k.Seg {
+					t.Errorf("goroutine %d: block %v holds %d", g, k, got)
+				}
+				release()
+			}
+		}(g)
+	}
+	var bg sync.WaitGroup
+	bg.Add(2)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Reset()
+			}
+		}
+	}()
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st := p.Stats()
+				if st.BytesRead > 0 && st.Misses == 0 {
+					t.Error("stats epoch split: bytes read with zero misses")
+					return
+				}
+				if st.Resident < 0 {
+					t.Errorf("negative residency %d", st.Resident)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	bg.Wait()
+	if n := p.PinnedFrames(); n != 0 {
+		t.Fatalf("%d frames still pinned after all acquirers released", n)
+	}
+	p.Reset()
+	if st := p.Stats(); st.Resident != 0 {
+		t.Fatalf("resident %d after final reset with nothing pinned", st.Resident)
+	}
+}
+
 // TestPoolReset drops unpinned frames and zeroes counters.
 func TestPoolReset(t *testing.T) {
 	f := newTestFetcher()

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// byteSem is the admission-control semaphore: a FIFO weighted semaphore
+// over estimated query footprint bytes. Admitting queries in arrival order
+// (a waiting head blocks everything behind it) is what prevents the
+// livelock a tight buffer pool invites — with free-for-all admission, many
+// mid-weight queries can perpetually leapfrog a heavy one while
+// collectively thrashing the pool; FIFO guarantees every query's turn
+// comes, and the byte cap guarantees the admitted set fits.
+type byteSem struct {
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	waiters []*semWaiter
+}
+
+// semWaiter is one queued acquire; ready is closed when the grant happens.
+type semWaiter struct {
+	n     int64
+	ready chan struct{}
+}
+
+func newByteSem(cap int64) *byteSem {
+	return &byteSem{cap: cap}
+}
+
+// acquire blocks until n bytes are granted or ctx is done. n is clamped to
+// the semaphore's capacity, so a query whose estimate exceeds the whole
+// budget still runs — alone.
+func (s *byteSem) acquire(ctx context.Context, n int64) (int64, error) {
+	if n > s.cap {
+		n = s.cap
+	}
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	if len(s.waiters) == 0 && s.used+n <= s.cap {
+		s.used += n
+		s.mu.Unlock()
+		return n, nil
+	}
+	w := &semWaiter{n: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return n, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with cancellation: give the grant back
+			// and pass it down the queue.
+			s.used -= n
+			s.grantLocked()
+		default:
+			for i, q := range s.waiters {
+				if q == w {
+					s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+					break
+				}
+			}
+			// A canceled head may have been the only thing blocking
+			// smaller waiters behind it; re-run the grant sweep so they
+			// don't stall until the next unrelated release.
+			s.grantLocked()
+		}
+		s.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// release returns n bytes and wakes whatever prefix of the queue now fits.
+func (s *byteSem) release(n int64) {
+	s.mu.Lock()
+	s.used -= n
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// grantLocked admits waiters in FIFO order while they fit. An idle
+// semaphore always grants its head (clamping makes n <= cap, so this is
+// the used == 0 case), guaranteeing progress.
+func (s *byteSem) grantLocked() {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if s.used > 0 && s.used+w.n > s.cap {
+			return
+		}
+		s.waiters = s.waiters[1:]
+		s.used += w.n
+		close(w.ready)
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ssb"
+)
+
+// resultCache is an LRU over canonical query keys. The stored data the
+// server runs on is immutable (a generated dataset or a read-only segment
+// file), so entries never need invalidation: a key's result is the result.
+// Cached *ssb.Result values are shared between responses and must be
+// treated as read-only by everyone downstream.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses int64
+}
+
+// cacheEntry is one cached result plus the stats of the run that produced
+// it (a cache hit reports the original run's cost alongside zero cost of
+// its own).
+type cacheEntry struct {
+	key   string
+	res   *ssb.Result
+	stats core.RunStats
+}
+
+// newResultCache returns a cache holding at most cap entries; cap <= 0
+// disables caching (every lookup misses, stores are dropped).
+func newResultCache(cap int) *resultCache {
+	return &resultCache{cap: cap, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// enabled reports whether the cache stores anything, so callers can skip
+// building keys for a disabled cache.
+func (c *resultCache) enabled() bool { return c.cap > 0 }
+
+// cacheKey renders the canonical identity of one execution: the normalized
+// SQL of the plan (Query.SQL is deterministic for equivalent plans — it is
+// the same text TestDifferential round-trips through the parser) plus the
+// engine configuration knobs that could change the rows.
+func cacheKey(q *ssb.Query, cfg core.Config) string {
+	code := cfg.Col.Code()
+	if cfg.Col.Fused {
+		code += "+f"
+	}
+	return q.SQL() + "\x00" + code
+}
+
+// get returns the cached entry for key, promoting it to most recent.
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return nil, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put stores a result, evicting the least recently used entry past cap.
+func (c *resultCache) put(key string, res *ssb.Result, stats core.RunStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, stats: stats})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// counters returns hit/miss totals and the current entry count.
+func (c *resultCache) counters() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/sql"
+	"repro/internal/ssb"
+)
+
+// queryRequest is the POST body of /query. Exactly one of ID, SQL or Seed
+// selects the plan.
+type queryRequest struct {
+	// ID names one of the thirteen fixed SSBM queries ("1.1" .. "4.3").
+	ID string `json:"id,omitempty"`
+	// SQL is an ad-hoc query in the SSBM dialect.
+	SQL string `json:"sql,omitempty"`
+	// Seed runs the seeded random plan ssb.RandQuery(*Seed) — the same
+	// plan space the fuzz and stress harnesses draw from. A pointer so
+	// seed 0 is expressible.
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// queryResponse is the JSON shape of one served query.
+type queryResponse struct {
+	ID     string     `json:"id"`
+	SQL    string     `json:"sql"`
+	Rows   []queryRow `json:"rows"`
+	Cached bool       `json:"cached"`
+	// WaitNs is admission queueing, CPUNs measured execution, IOBytes /
+	// IOSeeks the logical I/O, TotalNs the paper-comparable total (CPU +
+	// modeled disk time).
+	WaitNs  int64 `json:"wait_ns"`
+	CPUNs   int64 `json:"cpu_ns"`
+	IOBytes int64 `json:"io_bytes"`
+	IOSeeks int64 `json:"io_seeks"`
+	TotalNs int64 `json:"total_ns"`
+}
+
+// queryRow mirrors ssb.ResultRow with the aggregate list always explicit.
+type queryRow struct {
+	Keys []string `json:"keys,omitempty"`
+	Aggs []int64  `json:"aggs"`
+}
+
+// statsResponse is the JSON shape of /stats.
+type statsResponse struct {
+	Server Stats      `json:"server"`
+	Pool   *poolStats `json:"pool,omitempty"`
+}
+
+// poolStats is the segment-store buffer pool's view (absent for in-memory
+// stores).
+type poolStats struct {
+	Budget    int64 `json:"budget"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	BytesRead int64 `json:"bytes_read"`
+	Resident  int64 `json:"resident"`
+	Peak      int64 `json:"peak"`
+	Pinned    int   `json:"pinned_frames"`
+}
+
+// Handler returns the HTTP API: POST or GET /query (id= | sql= | seed=)
+// and GET /stats. Request contexts propagate into execution, so a client
+// that disconnects cancels its query at the next block boundary.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// handleQuery parses the plan selector, executes, and renders the result.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.ID = r.URL.Query().Get("id")
+		req.SQL = r.URL.Query().Get("sql")
+		if v := r.URL.Query().Get("seed"); v != "" {
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad seed: "+err.Error())
+				return
+			}
+			req.Seed = &seed
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+
+	q, err := req.plan()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	resp, err := s.Execute(r.Context(), q)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone or out of time; the query was abandoned at a
+		// block boundary. 504 for the (rare) reader still listening.
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	default:
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	out := queryResponse{
+		ID:      q.ID,
+		SQL:     q.SQL(),
+		Rows:    make([]queryRow, 0, len(resp.Result.Rows)),
+		Cached:  resp.Cached,
+		WaitNs:  int64(resp.Wait),
+		CPUNs:   int64(resp.Stats.Wall),
+		IOBytes: resp.Stats.IO.BytesRead,
+		IOSeeks: resp.Stats.IO.Seeks,
+		TotalNs: int64(resp.Stats.Total),
+	}
+	for _, row := range resp.Result.Rows {
+		out.Rows = append(out.Rows, queryRow{Keys: row.Keys, Aggs: row.AggValues()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// plan resolves the request's selector to a logical plan.
+func (r *queryRequest) plan() (*ssb.Query, error) {
+	selectors := 0
+	for _, set := range []bool{r.ID != "", r.SQL != "", r.Seed != nil} {
+		if set {
+			selectors++
+		}
+	}
+	if selectors != 1 {
+		return nil, errors.New("specify exactly one of id, sql, seed")
+	}
+	switch {
+	case r.ID != "":
+		q := ssb.QueryByID(r.ID)
+		if q == nil {
+			return nil, errors.New("unknown SSBM query id " + r.ID)
+		}
+		return q, nil
+	case r.Seed != nil:
+		return ssb.RandQuery(*r.Seed), nil
+	default:
+		return sql.Parse("http", r.SQL)
+	}
+}
+
+// handleStats renders server counters plus pool state for segment-backed
+// stores.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := statsResponse{Server: s.Stats()}
+	if st := s.db.SegmentStore(); st != nil {
+		ps := st.Pool().Stats()
+		out.Pool = &poolStats{
+			Budget:    st.Pool().Budget(),
+			Hits:      ps.Hits,
+			Misses:    ps.Misses,
+			Evictions: ps.Evictions,
+			BytesRead: ps.BytesRead,
+			Resident:  ps.Resident,
+			Peak:      ps.Peak,
+			Pinned:    st.Pool().PinnedFrames(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// httpError writes a JSON error envelope.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// writeJSON renders v with the status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,243 @@
+// Package server is the concurrent query-serving layer: many clients
+// execute generalized ssb.Query plans against one shared, buffer-managed
+// column store at once, with the three controls single-query execution
+// never needed:
+//
+//   - Admission control. A FIFO byte-budget semaphore (admit.go) bounds the
+//     estimated transient footprint (exec.DB.EstimateFootprint: pinned
+//     segments + dense aggregation arrays + position lists) of the queries
+//     executing at any instant, so concurrent traffic cannot thrash a small
+//     segstore.Pool into fetch-evict-refetch livelock.
+//   - Cancellation. Every query runs under its caller's context (for HTTP,
+//     the request context — a disconnected client is a canceled query), and
+//     the executors' block loops observe it, so abandoned queries stop
+//     acquiring segments within one block and leave zero pinned frames.
+//   - Isolation. Each query owns its iosim.Stats and its fused-worker
+//     scratch for the whole run; finished stats fold into shared
+//     iosim.Atomic totals. Results are bit-identical to serial reference
+//     execution no matter how queries interleave — the stress tests pin
+//     exactly that.
+//
+// A normalized-SQL-keyed LRU (cache.go) short-circuits repeated queries;
+// the backing data is immutable so entries never go stale.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/iosim"
+	"repro/internal/ssb"
+)
+
+// ErrClosed is returned by Execute after Close has begun.
+var ErrClosed = errors.New("server: closed")
+
+// defaultAdmitBytes bounds concurrent query footprint when neither the
+// options nor a bounded pool budget say otherwise.
+const defaultAdmitBytes = 256 << 20
+
+// Options configures a Server. The zero value serves the fused pipeline
+// single-threaded with a 256-entry result cache and a footprint budget
+// derived from the store.
+type Options struct {
+	// Exec is the column configuration queries run under; zero means
+	// exec.FusedOpt.
+	Exec exec.Config
+	// Workers is the per-query worker count applied to Exec.
+	Workers int
+	// AdmitBytes is the admission semaphore's byte capacity: the total
+	// estimated footprint allowed to execute concurrently. 0 derives it
+	// from the segment store's pool budget when bounded, else 256 MB.
+	AdmitBytes int64
+	// CacheEntries caps the result cache (entries, not bytes); 0 means
+	// 256, negative disables caching.
+	CacheEntries int
+}
+
+// Server executes queries from many goroutines against one shared DB.
+type Server struct {
+	db      *core.DB
+	col     *exec.DB
+	coreCfg core.Config
+	sem     *byteSem
+	cache   *resultCache
+
+	logical iosim.Atomic
+
+	queries  atomic.Int64
+	errors   atomic.Int64
+	waits    atomic.Int64 // queries that blocked in admission
+	waitNs   atomic.Int64
+	inFlight atomic.Int64
+
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New builds a serving layer over db. db must serve the compressed column
+// engines (any in-memory build, or a segment store); the column DB is
+// materialized eagerly so the first request doesn't pay the build.
+func New(db *core.DB, opts Options) (*Server, error) {
+	cfg := opts.Exec
+	if cfg == (exec.Config{}) {
+		cfg = exec.FusedOpt
+	}
+	if !cfg.Compression && db.Data == nil {
+		return nil, fmt.Errorf("server: plain-storage configurations need the raw dataset")
+	}
+	if opts.Workers > 0 {
+		cfg.Workers = opts.Workers
+	}
+	admit := opts.AdmitBytes
+	if admit <= 0 {
+		admit = defaultAdmitBytes
+		if st := db.SegmentStore(); st != nil && st.Pool().Budget() > 0 {
+			admit = st.Pool().Budget()
+		}
+	}
+	entries := opts.CacheEntries
+	if entries == 0 {
+		entries = 256
+	}
+	s := &Server{
+		db:      db,
+		col:     db.ColumnDB(cfg.Compression),
+		coreCfg: core.ColumnStore(cfg),
+		sem:     newByteSem(admit),
+		cache:   newResultCache(entries),
+	}
+	return s, nil
+}
+
+// Config returns the column configuration queries execute under.
+func (s *Server) Config() core.Config { return s.coreCfg }
+
+// DB returns the shared database.
+func (s *Server) DB() *core.DB { return s.db }
+
+// Response is one served query: the canonical result plus what it cost.
+type Response struct {
+	Result *ssb.Result
+	// Stats is the run's cost. For a cache hit it is the cost of the run
+	// that populated the entry; Cached distinguishes the two.
+	Stats  core.RunStats
+	Cached bool
+	// Wait is the time spent blocked in admission (zero for cache hits).
+	Wait time.Duration
+}
+
+// Execute runs one query plan. It is safe for any number of concurrent
+// callers; each call owns its stats and scratch end to end. Cancellation
+// of ctx abandons the query at the next block boundary (releasing all
+// pinned segments) or, while still queued for admission, immediately.
+func (s *Server) Execute(ctx context.Context, q *ssb.Query) (*Response, error) {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	s.wg.Add(1)
+	s.closeMu.RUnlock()
+	defer s.wg.Done()
+
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	s.queries.Add(1)
+
+	var key string
+	if s.cache.enabled() {
+		key = cacheKey(q, s.coreCfg)
+		if e, ok := s.cache.get(key); ok {
+			return &Response{Result: e.res, Stats: e.stats, Cached: true}, nil
+		}
+	}
+
+	weight := s.col.EstimateFootprint(q, s.coreCfg.Col)
+	admitStart := time.Now()
+	granted, err := s.sem.acquire(ctx, weight)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	wait := time.Since(admitStart)
+	if wait > time.Millisecond {
+		s.waits.Add(1)
+	}
+	s.waitNs.Add(int64(wait))
+	defer s.sem.release(granted)
+
+	res, stats, err := s.db.RunPlanCtx(ctx, q, s.coreCfg)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	s.logical.AddStats(stats.IO)
+	if key != "" {
+		s.cache.put(key, res, stats)
+	}
+	return &Response{Result: res, Stats: stats, Wait: wait}, nil
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	// Queries counts Execute calls accepted (including cache hits and
+	// failed runs); Errors the subset that returned an error.
+	Queries int64 `json:"queries"`
+	Errors  int64 `json:"errors"`
+	// InFlight is the number of queries currently executing or queued.
+	InFlight int64 `json:"in_flight"`
+	// CacheHits/CacheMisses/CacheEntries describe the result cache.
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	// AdmitWaits counts queries that blocked >1ms in admission;
+	// AdmitWaitNs is total time all queries spent queued.
+	AdmitWaits  int64 `json:"admit_waits"`
+	AdmitWaitNs int64 `json:"admit_wait_ns"`
+	// AdmitBytes is the admission budget.
+	AdmitBytes int64 `json:"admit_bytes"`
+	// Logical is the summed per-query logical I/O of completed queries.
+	Logical iosim.Stats `json:"logical_io"`
+}
+
+// Stats returns the current counters.
+func (s *Server) Stats() Stats {
+	hits, misses, entries := s.cache.counters()
+	return Stats{
+		Queries:      s.queries.Load(),
+		Errors:       s.errors.Load(),
+		InFlight:     s.inFlight.Load(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheEntries: entries,
+		AdmitWaits:   s.waits.Load(),
+		AdmitWaitNs:  s.waitNs.Load(),
+		AdmitBytes:   s.sem.cap,
+		Logical:      s.logical.Snapshot(),
+	}
+}
+
+// Close stops accepting queries and waits for every in-flight one (queued
+// or executing) to finish, so a caller that also cancels outstanding
+// contexts gets a prompt, leak-free shutdown: zero pinned frames, zero
+// executor goroutines.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	already := s.closed
+	s.closed = true
+	s.closeMu.Unlock()
+	if already {
+		return nil
+	}
+	s.wg.Wait()
+	return nil
+}
