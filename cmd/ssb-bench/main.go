@@ -14,6 +14,8 @@
 //	-figure segstore   segment store: cold vs warm + budget sweep (PERFORMANCE.md)
 //	-figure serve      serving layer: throughput/latency vs client
 //	                   count at two pool budgets                 (PERFORMANCE.md)
+//	-figure ingest     query latency under concurrent insert streams
+//	                   + compaction throughput                   (PERFORMANCE.md)
 //	-figure all        everything (except segstore and serve, which need
 //	                   -data *.seg or generate their own temporary segment
 //	                   file)
@@ -56,7 +58,7 @@ var (
 
 // segServable marks the figures a segment-store -data file can serve: only
 // the compressed column engines run without the raw dataset.
-var segServable = map[string]bool{"fused": true, "segstore": true, "serve": true}
+var segServable = map[string]bool{"fused": true, "segstore": true, "serve": true, "ingest": true}
 
 func main() {
 	flag.Parse()
@@ -120,6 +122,8 @@ func main() {
 			runSegstore(db)
 		case "serve":
 			runServe(db)
+		case "ingest":
+			runIngest(db)
 		case "all":
 			runFigure(db, "Figure 5: baseline comparison", figure5Rows(db))
 			runFigure(db, "Figure 6: row-store physical designs", figure6Rows(db))
@@ -576,4 +580,186 @@ func runPartition(db *core.DB) {
 		fmt.Printf("%-10s %12.3f %12.3f %8.2f\n", q.ID, p, np, np/p)
 	}
 	fmt.Printf("%-10s %12.3f %12.3f %8.2f\n", "AVG", sumP/13, sumN/13, sumN/sumP)
+}
+
+// runIngest wraps ingestFigure with the figure harness's exit convention.
+func runIngest(db *core.DB) {
+	if err := ingestFigure(db); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// copyFileTmp copies src to a fresh temp file and returns its path.
+func copyFileTmp(src string) (string, error) {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp("", "ssb-ingest-*.seg")
+	if err != nil {
+		return "", err
+	}
+	path := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(path)
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(path)
+		return "", err
+	}
+	return path, nil
+}
+
+// ingestFigure measures the cost of the WS/RS split under live writes: the
+// 13-query mix's latency with 0, 1 and 4 concurrent insert streams hammering
+// the same store, plus what the tuple mover did meanwhile (sealed rows,
+// compaction passes, bytes appended to the file) and the final flush cost.
+// Each cell runs against a fresh copy of the segment file so cells do not
+// see each other's appended rows (and a user's -data file is never
+// mutated).
+func ingestFigure(db *core.DB) error {
+	var srcPath string
+	if st := db.SegmentStore(); st != nil {
+		srcPath = st.Path()
+	} else {
+		tmp, err := os.CreateTemp("", "ssb-*.seg")
+		if err != nil {
+			return err
+		}
+		tmp.Close()
+		defer os.Remove(tmp.Name())
+		fmt.Printf("\n(writing temporary segment file %s)\n", tmp.Name())
+		if err := exec.SaveSegments(tmp.Name(), db.SF, db.ColumnDB(true)); err != nil {
+			return err
+		}
+		srcPath = tmp.Name()
+	}
+
+	const passes = 3
+	const batchRows = 4096
+	queries := ssb.Queries()
+	cfg := core.ColumnStore(exec.FusedOpt)
+	cfg.Col.Workers = 4
+	fmt.Printf("\n## Ingest: %d-query mix x %d passes vs concurrent insert streams (batch %d rows)\n",
+		len(queries), passes, batchRows)
+	fmt.Printf("%-10s%12s%12s%14s%12s%14s%12s\n",
+		"streams", "mean ms", "p95 ms", "ins rows/s", "compacts", "appended MB", "flush ms")
+
+	for _, streams := range []int{0, 1, 4} {
+		if err := ingestCell(streams, srcPath); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\n(cross-engine correctness under concurrent inserts is pinned by TestIngestDifferential and the server race stress)")
+	return nil
+}
+
+// ingestCell runs one row of the ingest figure against a private copy of
+// the segment file; the copy and the store are released on every path.
+func ingestCell(streams int, srcPath string) error {
+	const passes = 3
+	const batchRows = 4096
+	queries := ssb.Queries()
+	cfg := core.ColumnStore(exec.FusedOpt)
+	cfg.Col.Workers = 4
+
+	path, err := copyFileTmp(srcPath)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(path)
+	sdb, err := core.OpenSegmentStore(path, 0)
+	if err != nil {
+		return err
+	}
+	defer sdb.SegmentStore().Close()
+	defer sdb.CloseIngest()
+	if err := sdb.EnableIngest(true, 0); err != nil {
+		return err
+	}
+	shape, err := sdb.IngestShape()
+	if err != nil {
+		return err
+	}
+
+	stop := make(chan struct{})
+	var inserted int64
+	var insMu sync.Mutex
+	var iwg sync.WaitGroup
+	// Stop and join the inserters on every exit path (a mid-measurement
+	// query error must not leave them hammering a store being torn down).
+	stopped := false
+	stopInserters := func() {
+		if !stopped {
+			stopped = true
+			close(stop)
+			iwg.Wait()
+		}
+	}
+	defer stopInserters()
+	for s := 0; s < streams; s++ {
+		iwg.Add(1)
+		go func(id int) {
+			defer iwg.Done()
+			seed := int64(id+1) * 1_000_003
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b, err := ssb.RandBatch(seed, batchRows, shape)
+				seed++
+				if err != nil {
+					return
+				}
+				if _, err := sdb.Insert(b); err != nil {
+					return
+				}
+				insMu.Lock()
+				inserted += int64(batchRows)
+				insMu.Unlock()
+			}
+		}(s)
+	}
+
+	var lats []time.Duration
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		for _, q := range queries {
+			t0 := time.Now()
+			if _, _, err := sdb.RunPlan(q, cfg); err != nil {
+				return err
+			}
+			lats = append(lats, time.Since(t0))
+		}
+	}
+	stopInserters()
+	elapsed := time.Since(start)
+
+	flushStart := time.Now()
+	if err := sdb.FlushIngest(); err != nil {
+		return err
+	}
+	flushDur := time.Since(flushStart)
+	ds := sdb.IngestStats()
+	ps := sdb.SegmentStore().Pool().Stats()
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	mean := sum / time.Duration(len(lats))
+	p95 := lats[len(lats)*95/100]
+	fmt.Printf("%-10d%12.3f%12.3f%14.0f%12d%14.2f%12.1f\n",
+		streams,
+		float64(mean.Microseconds())/1e3, float64(p95.Microseconds())/1e3,
+		float64(inserted)/elapsed.Seconds(),
+		ds.Compactions, float64(ps.AppendedBytes)/1e6,
+		float64(flushDur.Microseconds())/1e3)
+	return nil
 }

@@ -7,6 +7,9 @@
 //	ssb-gen [-sf 0.1] [-verify] [-encodings]
 //	ssb-gen -sf 1 -out ssb_sf1.seg     # compressed segment store
 //	ssb-gen -sf 1 -out ssb_sf1.dat     # v1 raw columnar dump
+//	ssb-gen -append 100000 -seed 7 -out ssb_sf1.seg  # append seeded rows
+//	                                   # to an existing segment store via
+//	                                   # the write path (WS -> compaction)
 //
 // -out writes one of two formats, chosen by extension (override with
 // -format): files ending in .seg get the segment-store format — the
@@ -22,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/datafile"
 	"repro/internal/exec"
 	"repro/internal/rowexec"
@@ -34,7 +38,17 @@ func main() {
 	format := flag.String("format", "", "force the -out format: v1 or seg (default: by file extension)")
 	verify := flag.Bool("verify", false, "check measured selectivities against the paper's published values")
 	encodings := flag.Bool("encodings", false, "print per-column encodings of the compressed column store")
+	appendRows := flag.Int("append", 0, "append this many seeded fact rows to the existing -out .seg file via the write path (no regeneration)")
+	appendSeed := flag.Int64("seed", 1, "seed for -append row generation")
 	flag.Parse()
+
+	if *appendRows > 0 {
+		if err := appendToSeg(*out, *appendRows, *appendSeed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Printf("Generating SSBM at SF=%g ...\n", *sf)
 	d := ssb.Generate(*sf)
@@ -97,6 +111,51 @@ func main() {
 }
 
 func mb(b int64) float64 { return float64(b) / 1e6 }
+
+// appendToSeg exercises the full write path from the CLI: open an existing
+// segment file, push a seeded batch through the write store, and flush so
+// the tuple mover compacts everything — full 64K-row blocks plus a final
+// partial tail — back into the file.
+func appendToSeg(path string, rows int, seed int64) error {
+	if path == "" {
+		return fmt.Errorf("ssb-gen: -append needs -out pointing at an existing .seg file")
+	}
+	db, err := core.OpenFile(path, 0)
+	if err != nil {
+		return err
+	}
+	st := db.SegmentStore()
+	if st == nil {
+		return fmt.Errorf("ssb-gen: -append works on segment stores only; %s is a v1 raw dump", path)
+	}
+	before := db.ColumnDB(true).NumRows()
+	if err := db.EnableIngest(false, 0); err != nil {
+		return err
+	}
+	shape, err := db.IngestShape()
+	if err != nil {
+		return err
+	}
+	batch, err := ssb.RandBatch(seed, rows, shape)
+	if err != nil {
+		return err
+	}
+	if _, err := db.Insert(batch); err != nil {
+		return err
+	}
+	if err := db.FlushIngest(); err != nil {
+		return err
+	}
+	ds := db.IngestStats()
+	ps := st.Pool().Stats()
+	fmt.Printf("appended %d rows (seed %d) to %s: %d -> %d rows, %d compaction passes, %.2f MB written, %d live segments\n",
+		rows, seed, path, before, db.ColumnDB(true).NumRows(), ds.Compactions,
+		float64(ps.AppendedBytes)/1e6, st.NumSegments())
+	if fi, err := os.Stat(path); err == nil {
+		fmt.Printf("file is now %.1f MB\n", float64(fi.Size())/1e6)
+	}
+	return st.Close()
+}
 
 // save writes the dataset in the requested format: "seg" builds the
 // compressed physical column store and persists it as a zone-mapped segment

@@ -38,6 +38,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -57,6 +58,8 @@ func main() {
 	cacheEntries := flag.Int("cache", 256, "result cache capacity in entries (negative disables)")
 	golden := flag.String("golden", "", "self-test: run the 13-query golden suite over HTTP against this golden JSON file, then exit")
 	clients := flag.Int("clients", 8, "parallel clients for the -golden self-test")
+	ingest := flag.Bool("ingest", false, "enable the write path: POST /insert, snapshot-isolated queries, background compaction into the segment store")
+	ingestMB := flag.Float64("ingest-mb", 0, "write-store memory cap in MB (0 = 256 MB default; inserts past it get 503 backpressure)")
 	flag.Parse()
 
 	var db *core.DB
@@ -79,9 +82,11 @@ func main() {
 		cache = -1
 	}
 	srv, err := server.New(db, server.Options{
-		Workers:      *workers,
-		AdmitBytes:   int64(*admitMB * 1e6),
-		CacheEntries: cache,
+		Workers:        *workers,
+		AdmitBytes:     int64(*admitMB * 1e6),
+		CacheEntries:   cache,
+		Ingest:         *ingest,
+		IngestMaxBytes: int64(*ingestMB * 1e6),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -89,7 +94,7 @@ func main() {
 	}
 
 	if *golden != "" {
-		if err := goldenSelfTest(db, srv, *golden, *clients); err != nil {
+		if err := goldenSelfTest(db, srv, *golden, *clients, *ingest, *dataPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -123,7 +128,18 @@ func main() {
 	// ErrServerClosed means the signal goroutine called Shutdown; wait for
 	// it to finish draining in-flight responses before tearing down.
 	<-drained
-	srv.Close() // drain in-flight queries
+	// Close drains in-flight queries, then (with -ingest) stops the tuple
+	// mover and flushes every pending delta row into the store — the
+	// zero-unflushed-loss guarantee of a clean SIGTERM.
+	pending := srv.DB().IngestStats().PendingRows
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "flush on shutdown failed: %v\n", err)
+		os.Exit(1)
+	}
+	if *ingest {
+		fmt.Printf("write store drained: %d pending rows flushed, %d total inserted\n",
+			pending, srv.DB().Epoch())
+	}
 	printFinalStats(db, srv)
 }
 
@@ -156,8 +172,13 @@ type goldenRow struct {
 
 // goldenSelfTest serves on an ephemeral port and drives the golden suite
 // through real HTTP from n parallel clients: gen -> serve -> parallel
-// golden check -> clean shutdown, the CI smoke for the serving layer.
-func goldenSelfTest(db *core.DB, srv *server.Server, goldenPath string, n int) error {
+// golden check -> clean shutdown, the CI smoke for the serving layer. With
+// ingest enabled it then runs the write-path phase: concurrent /insert
+// batches racing count(*) readers (each observed count must be a whole
+// number of batches and monotone — the epoch snapshot guarantee over real
+// HTTP), a drain that flushes every pending row, and a cold reopen of the
+// data file proving zero unflushed-delta loss.
+func goldenSelfTest(db *core.DB, srv *server.Server, goldenPath string, n int, ingest bool, dataPath string) error {
 	raw, err := os.ReadFile(goldenPath)
 	if err != nil {
 		return fmt.Errorf("reading golden file: %w", err)
@@ -198,6 +219,19 @@ func goldenSelfTest(db *core.DB, srv *server.Server, goldenPath string, n int) e
 	}
 	wg.Wait()
 
+	var inserted int64
+	if ingest {
+		select {
+		case err := <-errs:
+			return err
+		default:
+		}
+		var err error
+		if inserted, err = ingestSelfTest(base, n); err != nil {
+			return fmt.Errorf("ingest phase: %w", err)
+		}
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
@@ -206,7 +240,9 @@ func goldenSelfTest(db *core.DB, srv *server.Server, goldenPath string, n int) e
 	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
 		return err
 	}
-	srv.Close()
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("drain/flush: %w", err)
+	}
 
 	select {
 	case err := <-errs:
@@ -218,10 +254,141 @@ func goldenSelfTest(db *core.DB, srv *server.Server, goldenPath string, n int) e
 			return fmt.Errorf("%d frames still pinned after shutdown", p)
 		}
 	}
+	if ingest {
+		if ds := srv.DB().IngestStats(); ds.PendingRows != 0 {
+			return fmt.Errorf("%d delta rows still unflushed after drain", ds.PendingRows)
+		}
+		// Cold reopen: every inserted row must be in the file.
+		if dataPath != "" && db.SegmentStore() != nil {
+			cold, err := core.OpenFile(dataPath, 0)
+			if err != nil {
+				return fmt.Errorf("reopening %s after drain: %w", dataPath, err)
+			}
+			got := cold.ColumnDB(true).NumRows()
+			want := int(srv.DB().IngestStats().TotalRows)
+			cold.SegmentStore().Close()
+			if got != want {
+				return fmt.Errorf("cold reopen of %s has %d rows, want %d (unflushed-delta loss)", dataPath, got, want)
+			}
+			fmt.Printf("cold reopen: %s holds all %d rows (%d inserted this run)\n", dataPath, got, inserted)
+		}
+	}
 	st := srv.Stats()
 	fmt.Printf("golden self-test passed: %d engine executions (cache disabled), clean shutdown, zero pinned frames\n",
 		st.Queries)
 	return nil
+}
+
+// countStar fetches select count(*) over HTTP.
+func countStar(base string) (int64, error) {
+	resp, err := http.Get(base + "/query?sql=" + url.QueryEscape("select count(*) from lineorder"))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("count(*): status %d", resp.StatusCode)
+	}
+	var body struct {
+		Rows []goldenRow `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, err
+	}
+	if len(body.Rows) != 1 || len(body.Rows[0].Aggs) != 1 {
+		return 0, fmt.Errorf("count(*): unexpected shape %+v", body.Rows)
+	}
+	return body.Rows[0].Aggs[0], nil
+}
+
+// ingestSelfTest drives the write path over real HTTP: inserters posting
+// equal-size seeded batches race count(*) readers; every observed count
+// must be the base plus a whole number of batches (insert atomicity +
+// snapshot isolation) and monotone per reader. Returns the rows inserted.
+func ingestSelfTest(base string, n int) (int64, error) {
+	const batchRows = 6000
+	const batchesPerStream = 3
+	streams := n
+	if streams > 4 {
+		streams = 4
+	}
+	count0, err := countStar(base)
+	if err != nil {
+		return 0, err
+	}
+	total := int64(streams * batchesPerStream * batchRows)
+	fmt.Printf("ingest phase: %d insert streams x %d batches x %d rows racing %d count(*) readers (base %d rows)\n",
+		streams, batchesPerStream, batchRows, streams, count0)
+
+	stop := make(chan struct{})
+	errs := make(chan error, 2*streams)
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for b := 0; b < batchesPerStream; b++ {
+				body := fmt.Sprintf(`{"seed":%d,"count":%d}`, int64(s)*1000+int64(b), batchRows)
+				resp, err := http.Post(base+"/insert", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				ok := resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+				if !ok {
+					errs <- fmt.Errorf("insert stream %d: status %d", s, resp.StatusCode)
+					return
+				}
+			}
+		}(s)
+	}
+	var rwg sync.WaitGroup
+	for r := 0; r < streams; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			last := count0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := countStar(base)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				if c < last {
+					errs <- fmt.Errorf("reader %d: count went backwards (%d -> %d)", r, last, c)
+					return
+				}
+				if (c-count0)%batchRows != 0 {
+					errs <- fmt.Errorf("reader %d: count %d is not base+k*%d — a query observed a torn insert", r, c, batchRows)
+					return
+				}
+				last = c
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	final, err := countStar(base)
+	if err != nil {
+		return 0, err
+	}
+	if final != count0+total {
+		return 0, fmt.Errorf("final count %d, want %d (base %d + %d inserted)", final, count0+total, count0, total)
+	}
+	fmt.Printf("ingest phase passed: count(*) reached %d, all observations batch-aligned and monotone\n", final)
+	return total, nil
 }
 
 // checkOne fetches one query over HTTP and compares rows to the golden.

@@ -38,6 +38,27 @@
 // a standing cross-engine correctness oracle. PERFORMANCE.md documents the
 // harness, the seed-replay workflow and the pinned golden results.
 //
+// The store takes writes through the paper's WS/RS split: a
+// write-optimized store (internal/delta) absorbs insert batches in memory
+// as columnar row batches with per-column running min/max (zone-map
+// pruning works on unflushed data), while the read-optimized compressed
+// store keeps serving scans, and a tuple mover (the compactor in
+// internal/exec) freezes block-aligned delta prefixes into
+// compress.Choose-encoded 64K-row segments appended atomically to the
+// segment file — new payloads, a fresh CRC-checked footer and a new
+// trailer land strictly after the old trailer before the in-memory
+// directory swaps, so concurrent readers keep their snapshot and a crash
+// mid-append costs only the interrupted batch: open recovers the previous
+// trailer by backward scan. Every query
+// resolves one consistent (sealed segments, delta watermark) pair at
+// start: each engine scans the sealed store unchanged and unions the
+// write-store partial, so a query started before an insert never observes
+// it and one started after always does. exec.DB.Insert validates and
+// remaps logical rows (foreign keys to dimension positions, strings to
+// frozen dictionary codes); ssb-gen -append drives the same path from the
+// CLI, and TestIngestDifferential pins every engine against a
+// rebuilt-from-scratch reference at every epoch.
+//
 // The engine also serves concurrent traffic: internal/server executes
 // queries from any number of clients against one shared DB — one buffer
 // pool, one scratch pool — with results guaranteed bit-identical to serial
@@ -45,10 +66,12 @@
 // the context between 64K-row blocks, so an abandoned query releases every
 // pinned segment within one block), a FIFO byte-budget semaphore sized
 // from exec.DB.EstimateFootprint keeps concurrent queries from thrashing a
-// small buffer pool into livelock, and a normalized-SQL-keyed LRU caches
-// repeated results. cmd/ssb-serve exposes it over HTTP JSON (/query by
-// SSBM id, ad-hoc SQL, or generator seed; /stats for server, cache and
-// pool counters), and ssb-bench -figure serve measures throughput/latency
+// small buffer pool into livelock, and an epoch-keyed (SQL + data
+// version) LRU caches repeated results — an insert bumps the epoch, so
+// stale entries stop being addressable. cmd/ssb-serve exposes it over
+// HTTP JSON (/query by SSBM id, ad-hoc SQL, or generator seed; /insert
+// for row batches; /stats for server, cache, write-store and pool
+// counters), and ssb-bench -figure serve measures throughput/latency
 // against client count and pool budget. The 16-client x 200-random-plan
 // stress test in internal/server and the pin-leak/golden-equivalence tests
 // in internal/exec pin the concurrency contract under -race.

@@ -1,0 +1,76 @@
+package colstore
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+)
+
+// AppendedColumn returns a new resident column holding c's values followed
+// by vals. The original column is untouched — snapshots that still hold it
+// keep scanning exactly what they saw — and the shared block prefix is
+// reused: only the old partial tail block (if any) is re-encoded, merged
+// with the new values and re-chunked so that every block except the last
+// stays exactly BlockSize rows (the invariant positional addressing relies
+// on). The sort property is re-derived by appendSortKind, since appended
+// rows generally break the frozen physical sort order.
+func AppendedColumn(c *Column, vals []int32, compressed bool) *Column {
+	if c.src != nil {
+		panic(fmt.Sprintf("colstore: AppendedColumn on sourced column %q (segment stores append through segstore)", c.Name))
+	}
+	keep := c.blocks
+	var tail []int32
+	if nb := len(c.blocks); nb > 0 && c.blocks[nb-1].Len() < BlockSize {
+		tail = c.blocks[nb-1].AppendTo(nil)
+		keep = c.blocks[:nb-1]
+	}
+	prevMax, hasPrev := int32(0), false
+	if len(keep) > 0 {
+		_, prevMax = keep[len(keep)-1].MinMax()
+		hasPrev = true
+	}
+	all := append(tail, vals...)
+	blocks := make([]compress.IntBlock, 0, len(keep)+len(all)/BlockSize+1)
+	blocks = append(blocks, keep...)
+	for off := 0; off < len(all); off += BlockSize {
+		end := off + BlockSize
+		if end > len(all) {
+			end = len(all)
+		}
+		if compressed {
+			blocks = append(blocks, compress.Choose(all[off:end]))
+		} else {
+			blocks = append(blocks, compress.NewPlainBlock(all[off:end]))
+		}
+	}
+	return &Column{
+		Name:   c.Name,
+		Sorted: AppendSortKind(c.Sorted, hasPrev, prevMax, all),
+		Dict:   c.Dict,
+		blocks: blocks,
+		n:      c.n + len(vals),
+	}
+}
+
+// AppendSortKind decides the sort property of a column after an append: a
+// primary sort survives only if the appended run is itself ascending and
+// starts at or above the retained prefix's maximum (provable from the data
+// in hand); a secondary sort is within-run ordering that cannot be verified
+// from one column alone, so it conservatively demotes to Unsorted. Old
+// snapshots keep their original (still correct) sort kinds.
+func AppendSortKind(old SortKind, hasPrev bool, prevMax int32, appended []int32) SortKind {
+	if old != PrimarySort {
+		return Unsorted
+	}
+	last := prevMax
+	if !hasPrev && len(appended) > 0 {
+		last = appended[0]
+	}
+	for _, v := range appended {
+		if v < last {
+			return Unsorted
+		}
+		last = v
+	}
+	return PrimarySort
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/datafile"
@@ -174,6 +175,11 @@ type DB struct {
 	// seg is the open segment store for file-backed DBs (nil otherwise).
 	seg *segstore.Store
 
+	// ingestOn marks that the compressed column store carries a write
+	// store (EnableIngest); validate then restricts configurations that
+	// cannot observe it once rows have actually been inserted.
+	ingestOn atomic.Bool
+
 	colC      *exec.DB
 	colPlain  *exec.DB
 	sx        *rowexec.SystemX
@@ -327,6 +333,78 @@ func (db *DB) DenormDB(m exec.DenormMode) *exec.DenormDB {
 	return d
 }
 
+// EnableIngest attaches the write-optimized store to the compressed column
+// engine: inserts land in an in-memory delta that every compressed
+// column-store query unions with the sealed data, and the tuple mover
+// freezes full 64K-row prefixes into the segment store (on disk for
+// file-backed DBs). background starts the compactor goroutine; tests that
+// need deterministic epochs leave it off and call exec's CompactNow.
+// maxWSBytes caps delta memory (0 = unbounded); past it Insert returns
+// exec.ErrWriteStoreFull as backpressure.
+func (db *DB) EnableIngest(background bool, maxWSBytes int64) error {
+	col := db.ColumnDB(true)
+	if err := col.EnableDelta(maxWSBytes); err != nil {
+		return err
+	}
+	if background {
+		col.StartCompactor()
+	}
+	db.ingestOn.Store(true)
+	return nil
+}
+
+// Insert appends logical lineorder rows to the write store, returning the
+// new epoch. EnableIngest must have been called.
+func (db *DB) Insert(b *ssb.Lineorders) (int64, error) {
+	if !db.ingestOn.Load() {
+		return 0, fmt.Errorf("core: ingest is not enabled on this DB")
+	}
+	return db.colC.Insert(b)
+}
+
+// FlushIngest seals every pending delta row into the read-optimized store
+// (the zero-loss shutdown path for file-backed DBs). No-op when ingest is
+// off.
+func (db *DB) FlushIngest() error {
+	if !db.ingestOn.Load() {
+		return nil
+	}
+	return db.colC.FlushDelta()
+}
+
+// CloseIngest stops the background compactor and waits for any in-flight
+// tuple-mover pass. It does not flush.
+func (db *DB) CloseIngest() {
+	if db.ingestOn.Load() {
+		db.colC.CloseDelta()
+	}
+}
+
+// Epoch is the data version: rows ever inserted (0 for frozen DBs).
+func (db *DB) Epoch() int64 {
+	if !db.ingestOn.Load() {
+		return 0
+	}
+	return db.colC.Epoch()
+}
+
+// IngestStats returns the write store's counters (zero value when off).
+func (db *DB) IngestStats() exec.DeltaStats {
+	if !db.ingestOn.Load() {
+		return exec.DeltaStats{}
+	}
+	return db.colC.DeltaStats()
+}
+
+// IngestShape returns the dimension space seeded insert generators must
+// draw from to produce valid rows for this DB.
+func (db *DB) IngestShape() (ssb.BatchShape, error) {
+	if !db.ingestOn.Load() {
+		return ssb.BatchShape{}, fmt.Errorf("core: ingest is not enabled on this DB")
+	}
+	return db.colC.BatchShape()
+}
+
 // Run executes the named SSBM query under the given configuration,
 // returning the canonical result and cost statistics.
 func (db *DB) Run(queryID string, cfg Config) (*ssb.Result, RunStats, error) {
@@ -415,6 +493,15 @@ func (db *DB) validate(q *ssb.Query, cfg Config) error {
 		}
 		if !cfg.Col.Compression {
 			return fmt.Errorf("core: segment stores hold the compressed physical design; %s needs a plain-storage build from the raw dataset", cfg.Label())
+		}
+	}
+	if db.ingestOn.Load() && db.colC.Epoch() > 0 {
+		// Once rows have been inserted, only the compressed column store
+		// (the engine carrying the write store) answers correctly; every
+		// other physical design was built from the frozen base and would
+		// silently miss the inserted rows.
+		if cfg.Kind != KindColumn || !cfg.Col.Compression {
+			return fmt.Errorf("core: %s serves the frozen base only; after inserts, use a compressed column-store configuration (it unions the write store)", cfg.Label())
 		}
 	}
 	switch cfg.Kind {

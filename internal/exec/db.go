@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/colstore"
 	"repro/internal/compress"
+	"repro/internal/segstore"
 	"repro/internal/ssb"
 )
 
@@ -32,6 +33,9 @@ type DB struct {
 
 	// dateByKey maps yyyymmdd datekey -> position in the date dimension.
 	dateByKey map[int32]int32
+	// dateKeys holds the datekeys in storage (chronological) order — the
+	// valid orderdate domain insert batches must draw from.
+	dateKeys []int32
 	// datePosDense is the dense form of dateByKey, anchored at dateKeyMin:
 	// datePosDense[k-dateKeyMin] is the position for datekey k, -1 in the
 	// yyyymmdd gaps. The fused pipeline resolves date joins with one array
@@ -56,6 +60,14 @@ type DB struct {
 	// share it, keyed by column pointer so same-named projection columns
 	// stay distinct.
 	footCache *footprintCache
+
+	// seg is the backing segment store for file-backed DBs (nil for
+	// in-memory builds); the tuple mover appends frozen delta blocks to it.
+	seg *segstore.Store
+	// ingest is the write half of the WS/RS split (nil for read-only DBs):
+	// the delta store, the current sealed snapshot, and the tuple mover.
+	// See ingest.go.
+	ingest *ingestState
 }
 
 // footprintCache is the concurrency-safe per-column max-block-bytes memo.
@@ -64,8 +76,17 @@ type footprintCache struct {
 	max map[*colstore.Column]int64
 }
 
-// NumRows returns the fact cardinality.
-func (db *DB) NumRows() int { return db.numRows }
+// NumRows returns the fact cardinality a query starting now would see:
+// sealed rows plus the live write-store delta.
+func (db *DB) NumRows() int {
+	ig := db.ingest
+	if ig == nil {
+		return db.numRows
+	}
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	return ig.sealed.numRows + int(ig.ws.Pending())
+}
 
 // DatePos returns the date-dimension position for a datekey.
 func (db *DB) DatePos(key int32) int32 { return db.dateByKey[key] }
@@ -125,6 +146,22 @@ func BuildDB(d *ssb.Data, compressed bool) *DB {
 
 	db.buildDateIndex(d.Date.Key)
 
+	// Store each position-keyed dimension's logical key alongside its
+	// hierarchy attributes (the catalog's c_custkey/s_suppkey/p_partkey).
+	// The write path needs it to remap inserted foreign keys to physical
+	// positions — including after a round-trip through a segment file,
+	// where the build-time permutations are long gone.
+	addDimKey := func(dim ssb.Dim, perm []int32, keys []int32) {
+		vals := make([]int32, len(perm))
+		for p, orig := range perm {
+			vals[p] = keys[orig]
+		}
+		db.Dims[dim].AddColumn(colstore.NewColumn(dim.FactFK(), vals, nil, colstore.Unsorted, compressed))
+	}
+	addDimKey(ssb.DimCustomer, custPerm, d.Customer.Key)
+	addDimKey(ssb.DimSupplier, suppPerm, d.Supplier.Key)
+	addDimKey(ssb.DimPart, partPerm, d.Part.Key)
+
 	// Fact table: remap customer/supplier/part FKs to dimension
 	// positions.
 	custPos := invertKeyPerm(custPerm)
@@ -175,6 +212,7 @@ func BuildDB(d *ssb.Data, compressed bool) *DB {
 // Shared by BuildDB (keys from the generator) and OpenSegmentDB (keys
 // decoded from the stored dwdate table).
 func (db *DB) buildDateIndex(keys []int32) {
+	db.dateKeys = append([]int32(nil), keys...)
 	db.dateByKey = make(map[int32]int32, len(keys))
 	for i, k := range keys {
 		db.dateByKey[k] = int32(i)

@@ -36,6 +36,18 @@ import (
 //   - Early materialization constructs every needed column and the full
 //     tuple array up front: two decoded copies of the needed columns.
 func (db *DB) EstimateFootprint(q *ssb.Query, cfg Config) int64 {
+	sdb, view := db.snapshotForRead()
+	foot := sdb.estimateFrozen(q, cfg)
+	if view != nil {
+		// The write-store scan walks the live delta batches; charge their
+		// resident bytes so admission accounts for WS memory pressure too.
+		foot += view.Bytes()
+	}
+	return foot
+}
+
+// estimateFrozen bounds the sealed-store scan of q under cfg.
+func (db *DB) estimateFrozen(q *ssb.Query, cfg Config) int64 {
 	space := db.fusedGroupSpace(q)
 	// The fused pipeline only runs when the group space fits the dense
 	// limit; past it runFused re-dispatches to the per-probe path with the

@@ -1,0 +1,461 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/colstore"
+	"repro/internal/delta"
+	"repro/internal/segstore"
+	"repro/internal/ssb"
+)
+
+// This file is the write path of the C-Store WS/RS split (paper Section 2:
+// "C-Store [has] a write-optimized store absorbing inserts and a tuple
+// mover migrating batches into the read-optimized store"):
+//
+//   - Insert translates logical lineorder rows into the physical fact
+//     representation (foreign keys remapped to dimension positions, strings
+//     to dictionary codes) and appends them to an in-memory delta.Store.
+//   - The tuple mover (compactOnce) freezes block-aligned prefixes of the
+//     delta into compress.Choose-encoded 64K-row segments and lands them on
+//     the read-optimized store: segstore.Append for file-backed DBs,
+//     colstore.AppendedColumn for in-memory ones. Each pass publishes a new
+//     immutable sealed *DB; the previous one keeps serving queries that
+//     already snapshotted it.
+//   - Every query resolves one consistent (sealed DB, delta view) pair at
+//     start (snapshotForRead): the frontier flip in compactOnce happens
+//     under the same lock, so a row is visible from exactly one side, and a
+//     query started before an insert can never observe it while one started
+//     after always does.
+
+// ErrWriteStoreFull is returned by Insert when the write store holds more
+// resident bytes than the configured cap; callers should retry after the
+// tuple mover catches up (the serving layer surfaces it as backpressure).
+var ErrWriteStoreFull = errors.New("exec: write store is over its memory cap; retry after compaction")
+
+// ingestState is the write half of a DB: the delta store, the current
+// sealed snapshot, and the tuple-mover machinery.
+type ingestState struct {
+	// mu guards the (sealed, ws watermark) frontier: snapshotForRead reads
+	// both and compactOnce flips both under it.
+	mu     sync.Mutex
+	sealed *DB
+	ws     *delta.Store
+
+	maxBytes int64
+	// keyPos maps each position-keyed dimension's logical key (1-based,
+	// minus one) to its physical dimension position.
+	keyPos map[ssb.Dim][]int32
+
+	// compactMu serializes tuple-mover passes (background loop, CompactNow,
+	// Flush).
+	compactMu   sync.Mutex
+	compactions atomic.Int64
+	lastErr     atomic.Value // error
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	kick      chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// errBox wraps an error for atomic.Value (which cannot store a bare nil).
+type errBox struct{ err error }
+
+// setErr records a tuple-mover failure for Flush/DeltaStats to surface.
+func (ig *ingestState) setErr(err error) { ig.lastErr.Store(errBox{err}) }
+
+// clearErr forgets a recorded failure (a later full flush succeeded, so
+// nothing is stranded anymore).
+func (ig *ingestState) clearErr() { ig.lastErr.Store(errBox{}) }
+
+// err returns the recorded tuple-mover failure, if any.
+func (ig *ingestState) err() error {
+	if v := ig.lastErr.Load(); v != nil {
+		return v.(errBox).err
+	}
+	return nil
+}
+
+// EnableDelta attaches a write-optimized store to the DB. maxWSBytes caps
+// the delta's resident memory (0 = unbounded): past it Insert returns
+// ErrWriteStoreFull until compaction drains the backlog. The dimension
+// tables must carry their key columns (custkey/suppkey/partkey) so logical
+// foreign keys can be remapped to physical positions — BuildDB always
+// stores them; segment files written before the write path existed lack
+// them and are rejected with a regeneration hint. Call before serving
+// queries; enabling is not synchronized against concurrent reads.
+func (db *DB) EnableDelta(maxWSBytes int64) error {
+	if db.ingest != nil {
+		return nil
+	}
+	keyPos := map[ssb.Dim][]int32{}
+	for _, dim := range []ssb.Dim{ssb.DimCustomer, ssb.DimSupplier, ssb.DimPart} {
+		keyCol, err := db.Dims[dim].Column(dim.FactFK())
+		if err != nil {
+			return fmt.Errorf("exec: %v table has no %s column; this store predates the write path — regenerate it with ssb-gen", dim, dim.FactFK())
+		}
+		keys := keyCol.DecodeAll(nil, nil)
+		pos := make([]int32, len(keys))
+		for i := range pos {
+			pos[i] = -1
+		}
+		for p, k := range keys {
+			if k < 1 || int(k) > len(keys) || pos[k-1] >= 0 {
+				return fmt.Errorf("exec: %v key column is not a dense 1..%d permutation (key %d at position %d)", dim, len(keys), k, p)
+			}
+			pos[k-1] = int32(p)
+		}
+		keyPos[dim] = pos
+	}
+	db.ingest = &ingestState{
+		sealed:   db,
+		ws:       delta.NewStore(),
+		maxBytes: maxWSBytes,
+		keyPos:   keyPos,
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	return nil
+}
+
+// snapshotForRead resolves the epoch a query executes against: the sealed
+// DB and the live delta view form one consistent frontier. Returns (db,
+// nil) for DBs without a write store.
+func (db *DB) snapshotForRead() (*DB, *delta.View) {
+	ig := db.ingest
+	if ig == nil {
+		return db, nil
+	}
+	ig.mu.Lock()
+	sdb := ig.sealed
+	view := ig.ws.Snapshot()
+	ig.mu.Unlock()
+	return sdb, view
+}
+
+// Epoch versions the visible data: the number of rows ever inserted. It
+// bumps on every accepted insert (compaction moves rows between stores
+// without changing what queries see, so it does not bump). Zero for
+// read-only DBs — and forever zero when no insert ever lands, keeping
+// epoch-keyed result caches exact on frozen data.
+func (db *DB) Epoch() int64 {
+	if db.ingest == nil {
+		return 0
+	}
+	return db.ingest.ws.Total()
+}
+
+// Insert validates, translates and appends a batch of logical lineorder
+// rows to the write store, returning the new epoch. Foreign keys must
+// reference existing dimension rows; the two string attributes must use
+// values already in the frozen dictionaries (the write store never grows a
+// dictionary). Safe for concurrent use with queries and other inserters.
+func (db *DB) Insert(b *ssb.Lineorders) (int64, error) {
+	ig := db.ingest
+	if ig == nil {
+		return 0, fmt.Errorf("exec: DB has no write store (EnableDelta first)")
+	}
+	if err := b.CheckLens(); err != nil {
+		return 0, err
+	}
+	n := b.Len()
+	if n == 0 {
+		return ig.ws.Total(), nil
+	}
+	if ig.maxBytes > 0 && ig.ws.Bytes() > ig.maxBytes {
+		return 0, ErrWriteStoreFull
+	}
+
+	custPos := ig.keyPos[ssb.DimCustomer]
+	suppPos := ig.keyPos[ssb.DimSupplier]
+	partPos := ig.keyPos[ssb.DimPart]
+	prioDict := db.Fact.MustColumn("ordpriority").Dict
+	shipDict := db.Fact.MustColumn("shipmode").Dict
+
+	ck := make([]int32, n)
+	sk := make([]int32, n)
+	pk := make([]int32, n)
+	prio := make([]int32, n)
+	ship := make([]int32, n)
+	for i := 0; i < n; i++ {
+		k := b.CustKey[i]
+		if k < 1 || int(k) > len(custPos) {
+			return 0, fmt.Errorf("exec: insert row %d: custkey %d outside [1,%d]", i, k, len(custPos))
+		}
+		ck[i] = custPos[k-1]
+		k = b.SuppKey[i]
+		if k < 1 || int(k) > len(suppPos) {
+			return 0, fmt.Errorf("exec: insert row %d: suppkey %d outside [1,%d]", i, k, len(suppPos))
+		}
+		sk[i] = suppPos[k-1]
+		k = b.PartKey[i]
+		if k < 1 || int(k) > len(partPos) {
+			return 0, fmt.Errorf("exec: insert row %d: partkey %d outside [1,%d]", i, k, len(partPos))
+		}
+		pk[i] = partPos[k-1]
+		if _, ok := db.dateByKey[b.OrderDate[i]]; !ok {
+			return 0, fmt.Errorf("exec: insert row %d: orderdate %d is not a datekey of the date dimension", i, b.OrderDate[i])
+		}
+		code, ok := prioDict.Code(b.OrdPriority[i])
+		if !ok {
+			return 0, fmt.Errorf("exec: insert row %d: ordpriority %q not in the frozen dictionary", i, b.OrdPriority[i])
+		}
+		prio[i] = code
+		code, ok = shipDict.Code(b.ShipMode[i])
+		if !ok {
+			return 0, fmt.Errorf("exec: insert row %d: shipmode %q not in the frozen dictionary", i, b.ShipMode[i])
+		}
+		ship[i] = code
+	}
+
+	batch, err := delta.NewBatch([]delta.Column{
+		{Name: "orderkey", Vals: append([]int32(nil), b.OrderKey...)},
+		{Name: "linenumber", Vals: append([]int32(nil), b.LineNumber...)},
+		{Name: "custkey", Vals: ck},
+		{Name: "partkey", Vals: pk},
+		{Name: "suppkey", Vals: sk},
+		{Name: "orderdate", Vals: append([]int32(nil), b.OrderDate...)},
+		{Name: "ordpriority", Vals: prio},
+		{Name: "shippriority", Vals: append([]int32(nil), b.ShipPriority...)},
+		{Name: "quantity", Vals: append([]int32(nil), b.Quantity...)},
+		{Name: "extendedprice", Vals: append([]int32(nil), b.ExtendedPrice...)},
+		{Name: "ordtotalprice", Vals: append([]int32(nil), b.OrdTotalPrice...)},
+		{Name: "discount", Vals: append([]int32(nil), b.Discount...)},
+		{Name: "revenue", Vals: append([]int32(nil), b.Revenue...)},
+		{Name: "supplycost", Vals: append([]int32(nil), b.SupplyCost...)},
+		{Name: "tax", Vals: append([]int32(nil), b.Tax...)},
+		{Name: "commitdate", Vals: append([]int32(nil), b.CommitDate...)},
+		{Name: "shipmode", Vals: ship},
+	})
+	if err != nil {
+		return 0, err
+	}
+	ig.mu.Lock()
+	total := ig.ws.Append(batch)
+	ig.mu.Unlock()
+	if ig.ws.Pending() >= int64(colstore.BlockSize) {
+		select {
+		case ig.kick <- struct{}{}:
+		default:
+		}
+	}
+	return total, nil
+}
+
+// CompactNow runs one tuple-mover pass, freezing the block-aligned prefix
+// of the delta (first topping the sealed store's partial tail block up to
+// 64K rows, then whole 64K blocks) into encoded segments. Returns the rows
+// sealed; zero when fewer than BlockSize rows are pending.
+func (db *DB) CompactNow() (int64, error) { return db.compactOnce(false) }
+
+// FlushDelta seals every pending delta row — including a final partial
+// block — into the read-optimized store: the shutdown path that guarantees
+// zero unflushed-delta loss for file-backed stores. A successful full
+// flush clears any earlier background-compaction failure (a transient disk
+// error that killed the background mover strands nothing once the flush
+// lands every row); only a flush that itself fails reports an error.
+func (db *DB) FlushDelta() error {
+	ig := db.ingest
+	if ig == nil {
+		return nil
+	}
+	if _, err := db.compactOnce(true); err != nil {
+		return err
+	}
+	ig.clearErr()
+	return nil
+}
+
+// compactOnce is the tuple mover: gather the prefix, encode and land it on
+// the read store, then flip the frontier. Queries snapshotted before the
+// flip keep their sealed DB and their delta view (the view retains the
+// batches); queries after see the grown sealed store and the trimmed delta.
+func (db *DB) compactOnce(all bool) (int64, error) {
+	ig := db.ingest
+	if ig == nil {
+		return 0, nil
+	}
+	ig.compactMu.Lock()
+	defer ig.compactMu.Unlock()
+
+	ig.mu.Lock()
+	sdb := ig.sealed
+	view := ig.ws.Snapshot()
+	ig.mu.Unlock()
+
+	pending := view.Len()
+	if pending == 0 {
+		return 0, nil
+	}
+	gap := int64((colstore.BlockSize - sdb.numRows%colstore.BlockSize) % colstore.BlockSize)
+	var sealN int64
+	if all {
+		sealN = pending
+	} else {
+		if pending < int64(colstore.BlockSize) {
+			return 0, nil
+		}
+		sealN = gap + (pending-gap)/int64(colstore.BlockSize)*int64(colstore.BlockSize)
+	}
+
+	names := sdb.Fact.ColumnNames()
+	gathered := make([][]int32, len(names))
+	for i, name := range names {
+		gathered[i] = view.Gather(name, sealN, nil)
+	}
+
+	var newFact *colstore.Table
+	if db.seg != nil {
+		cols := make([]segstore.AppendColumn, len(names))
+		for i, name := range names {
+			cols[i] = segstore.AppendColumn{Name: name, Vals: gathered[i]}
+		}
+		if err := db.seg.Append(segFactName, cols); err != nil {
+			ig.setErr(err)
+			return 0, err
+		}
+		t, err := db.seg.Table(segFactName)
+		if err != nil {
+			ig.setErr(err)
+			return 0, err
+		}
+		newFact = t
+	} else {
+		newFact = colstore.NewTable(sdb.Fact.Name)
+		for i, name := range names {
+			newFact.AddColumn(colstore.AppendedColumn(sdb.Fact.MustColumn(name), gathered[i], db.Compressed))
+		}
+	}
+
+	nd := *sdb
+	nd.Fact = newFact
+	nd.numRows = sdb.numRows + int(sealN)
+	nd.ingest = nil
+	// Projections index the pre-append row space and the footprint memo is
+	// keyed by column pointers that just changed; both rebuild from scratch
+	// on the new sealed DB.
+	nd.projections = nil
+	nd.footCache = &footprintCache{max: map[*colstore.Column]int64{}}
+
+	ig.mu.Lock()
+	ig.sealed = &nd
+	ig.ws.Seal(sealN)
+	ig.mu.Unlock()
+	ig.compactions.Add(1)
+	return sealN, nil
+}
+
+// StartCompactor launches the background tuple mover: it wakes when a full
+// block of delta rows is pending (Insert kicks it) and seals everything
+// block-aligned. Idempotent. Stop with CloseDelta.
+func (db *DB) StartCompactor() {
+	ig := db.ingest
+	if ig == nil {
+		return
+	}
+	ig.startOnce.Do(func() {
+		ig.wg.Add(1)
+		go func() {
+			defer ig.wg.Done()
+			for {
+				select {
+				case <-ig.done:
+					return
+				case <-ig.kick:
+					for {
+						n, err := db.compactOnce(false)
+						if err != nil {
+							// Recorded by compactOnce; stop moving tuples.
+							// Queries keep serving from WS + the last good
+							// sealed store, and Flush surfaces the error.
+							return
+						}
+						if n == 0 {
+							break
+						}
+					}
+				}
+			}
+		}()
+	})
+}
+
+// CloseDelta stops the background compactor (if running) and waits for any
+// in-flight pass. It does not flush; call FlushDelta first when the
+// remaining rows must land on disk.
+func (db *DB) CloseDelta() {
+	ig := db.ingest
+	if ig == nil {
+		return
+	}
+	ig.stopOnce.Do(func() { close(ig.done) })
+	ig.wg.Wait()
+}
+
+// DeltaStats describes the write store's state.
+type DeltaStats struct {
+	// Enabled reports whether the DB has a write store at all.
+	Enabled bool `json:"enabled"`
+	// Epoch is the rows ever inserted (the data version).
+	Epoch int64 `json:"epoch"`
+	// PendingRows/PendingBytes are the live, unsealed delta.
+	PendingRows  int64 `json:"pending_rows"`
+	PendingBytes int64 `json:"pending_bytes"`
+	// SealedRows counts delta rows the tuple mover has migrated;
+	// Compactions the mover passes that did it.
+	SealedRows  int64 `json:"sealed_rows"`
+	Compactions int64 `json:"compactions"`
+	// TotalRows is the row count a query starting now would see.
+	TotalRows int64 `json:"total_rows"`
+	// Err is the last tuple-mover failure ("" when healthy).
+	Err string `json:"err,omitempty"`
+}
+
+// DeltaStats returns the write store's counters (zero value when disabled).
+func (db *DB) DeltaStats() DeltaStats {
+	ig := db.ingest
+	if ig == nil {
+		return DeltaStats{}
+	}
+	// Everything derived from the frontier is read under ig.mu — the same
+	// lock compactOnce flips (sealed, watermark) under — so TotalRows can
+	// never transiently drop by a compaction's worth of rows mid-read.
+	ig.mu.Lock()
+	st := DeltaStats{
+		Enabled:      true,
+		Epoch:        ig.ws.Total(),
+		PendingRows:  ig.ws.Pending(),
+		PendingBytes: ig.ws.Bytes(),
+		SealedRows:   ig.ws.Sealed(),
+		TotalRows:    int64(ig.sealed.numRows) + ig.ws.Pending(),
+	}
+	ig.mu.Unlock()
+	st.Compactions = ig.compactions.Load()
+	if err := ig.err(); err != nil {
+		st.Err = err.Error()
+	}
+	return st
+}
+
+// BatchShape returns the dimension space insert batches against this DB
+// must draw from (seeded generators use it to produce valid rows).
+func (db *DB) BatchShape() (ssb.BatchShape, error) {
+	sh := ssb.BatchShape{
+		Customers: db.Dims[ssb.DimCustomer].NumRows(),
+		Suppliers: db.Dims[ssb.DimSupplier].NumRows(),
+		Parts:     db.Dims[ssb.DimPart].NumRows(),
+		DateKeys:  db.dateKeys,
+	}
+	if d := db.Fact.MustColumn("ordpriority").Dict; d != nil {
+		sh.OrdPriorities = d.Values()
+	}
+	if d := db.Fact.MustColumn("shipmode").Dict; d != nil {
+		sh.ShipModes = d.Values()
+	}
+	return sh, sh.Validate()
+}

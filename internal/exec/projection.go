@@ -175,6 +175,12 @@ func (db *DB) RunBest(q *ssb.Query, cfg Config, st *iosim.Stats) (*ssb.Result, s
 // pipelines exactly as in RunCtx (projection choice itself is metadata-only
 // and not worth a check).
 func (db *DB) RunBestCtx(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) (*ssb.Result, string, error) {
+	if db.ingest != nil {
+		// Projections index the frozen base row space only; a DB taking
+		// writes answers from the base table plus the write store.
+		res, err := db.RunCtx(ctx, q, cfg, st)
+		return res, db.Fact.Name, err
+	}
 	chosen := db.chooseProjection(q, cfg)
 	res, err := chosen.RunCtx(ctx, q, cfg, st)
 	return res, chosen.Fact.Name, err

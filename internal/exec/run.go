@@ -31,7 +31,41 @@ func (db *DB) Run(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
 // (blocks are only ever pinned for the duration of one block operation).
 // When ctx is canceled the partial result is discarded and ctx.Err() is
 // returned; st may have recorded a prefix of the query's I/O.
+//
+// For a DB with a write store (EnableDelta), RunCtx first resolves the
+// query's snapshot: one consistent (sealed store, delta view) frontier.
+// The chosen engine scans the sealed store exactly as it would a frozen DB,
+// the write store is scanned separately (wsscan.go), and the partials merge
+// — so inserts accepted after the snapshot are invisible to this query and
+// inserts accepted before are always included, for every engine.
 func (db *DB) RunCtx(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) (*ssb.Result, error) {
+	sdb, view := db.snapshotForRead()
+	if view == nil || view.Len() == 0 {
+		return sdb.runFrozen(ctx, q, cfg, st)
+	}
+	specs := q.AggSpecs()
+	runQ := q
+	if len(q.GroupBy) == 0 {
+		// Hidden qualifying-row count so the merge can tell an empty sealed
+		// side from real zeros (see mergeWS). COUNT has no input column, so
+		// the engine's scan work and I/O accounting are unchanged.
+		cp := *q
+		cp.Aggs = append(append([]ssb.AggSpec(nil), specs...), ssb.AggSpec{Func: ssb.FuncCount})
+		runQ = &cp
+	}
+	sealedRes, err := sdb.runFrozen(ctx, runQ, cfg, st)
+	if err != nil {
+		return nil, err
+	}
+	ws := sdb.scanWS(ctx, view, q, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return mergeWS(q, specs, sealedRes, ws), nil
+}
+
+// runFrozen dispatches one engine over this DB's (immutable) storage.
+func (db *DB) runFrozen(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) (*ssb.Result, error) {
 	var res *ssb.Result
 	if !cfg.LateMat {
 		res = db.runEarlyMat(ctx, q, cfg, st)

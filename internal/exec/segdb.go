@@ -49,6 +49,7 @@ func OpenSegmentDB(store *segstore.Store) (*DB, error) {
 		Dims:       map[ssb.Dim]*colstore.Table{},
 		fusedPool:  &sync.Pool{},
 		footCache:  &footprintCache{max: map[*colstore.Column]int64{}},
+		seg:        store,
 	}
 	fact, err := store.Table(segFactName)
 	if err != nil {

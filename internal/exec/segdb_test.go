@@ -55,7 +55,11 @@ func TestSegmentZoneMapPruningSSBM(t *testing.T) {
 func TestSegmentDBAllFlights(t *testing.T) {
 	data := ssb.Generate(0.01)
 	dbc := BuildDB(data, true)
-	segDB, store := segBackedDB(t, dbc, data.SF, 128<<10)
+	// The tightest budget Open accepts: it must at least fit the largest
+	// single segment (~148KB at this SF) — anything smaller is rejected as
+	// a guaranteed eviction livelock — while staying far below the ~1.4MB
+	// working set so the pool churns for the whole run.
+	segDB, store := segBackedDB(t, dbc, data.SF, 160<<10)
 
 	for _, q := range ssb.Queries() {
 		want := ssb.Reference(data, q)

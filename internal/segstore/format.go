@@ -28,6 +28,15 @@
 // their attribute hierarchies, fact foreign keys rewritten to dimension
 // positions, strings dictionary-encoded — so opening a file yields tables
 // the column executor can run against directly, with no rebuild pass.
+//
+// Files grow in place: the tuple mover appends frozen write-store blocks
+// through Store.Append (append.go), which writes new segment payloads, a
+// fresh footer and a new trailer strictly after the current trailer —
+// nothing earlier is ever overwritten, at the cost of one superseded
+// directory left behind as dead bytes per append. Directory snapshots
+// taken before an append keep scanning exactly what they saw, and a torn
+// append is recovered at open by scanning backward to the previous valid
+// trailer (locateFooter) instead of losing the file.
 package segstore
 
 import (
@@ -56,6 +65,13 @@ type segMeta struct {
 	min    int32
 	max    int32
 	crc    uint32
+	// pid is the segment's buffer-pool frame id within its column — the
+	// key the pool caches decoded blocks under. It is runtime-only (never
+	// persisted): base segments get their footer index at open, appended
+	// and tail-replacement segments get fresh ids, so a store snapshot
+	// taken before an append can never collide in the pool with the
+	// different segment that now occupies the same live index.
+	pid int32
 }
 
 // colMeta is one column's footer entry.

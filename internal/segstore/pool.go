@@ -7,8 +7,12 @@ import (
 	"repro/internal/iosim"
 )
 
-// SegKey identifies one segment in a store: the column's global ordinal in
-// the file footer and the segment index within the column.
+// SegKey identifies one physical segment in a store: the column's global
+// ordinal in the file footer and the segment's physical frame id within the
+// column (segMeta.pid). For a freshly opened file frame ids coincide with
+// segment indexes; appends assign fresh ids, so a directory snapshot from
+// before an append and the post-append directory can both cache their
+// (different) tail segments without colliding.
 type SegKey struct {
 	Col int32
 	Seg int32
@@ -30,6 +34,11 @@ type PoolStats struct {
 	// mark (may exceed the budget when every frame is pinned).
 	Resident int64
 	Peak     int64
+	// Appends counts Store.Append calls (tuple-mover compactions landing
+	// on this file); AppendedBytes their total payload bytes. Reset zeroes
+	// them with the rest of the epoch's counters.
+	Appends       int64
+	AppendedBytes int64
 	// IO prices the pool's physical storage traffic in the simulated-disk
 	// model: payload bytes plus one seek per miss (segments are fetched by
 	// random offset, not sequentially). This is the *physical* side of the
@@ -211,6 +220,15 @@ func (p *Pool) Stats() PoolStats {
 	s := p.stats
 	s.Resident = p.used
 	return s
+}
+
+// noteAppend records one append pass's payload bytes landing on the
+// backing file.
+func (p *Pool) noteAppend(bytes int64) {
+	p.mu.Lock()
+	p.stats.Appends++
+	p.stats.AppendedBytes += bytes
+	p.mu.Unlock()
 }
 
 // PinnedFrames returns the number of frames with a nonzero pin count. A

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"math"
 	"os"
+	"sync"
 
 	"repro/internal/colstore"
 	"repro/internal/compress"
@@ -16,33 +17,73 @@ import (
 // directory without I/O; values are read (and CRC-verified, and decoded)
 // only when a segment is first acquired, and stay resident until the pool
 // evicts them.
+//
+// A store is no longer immutable after open: Append (append.go) grows
+// tables with new segments under mu. Readers that materialized tables
+// before an append keep their snapshot — their column sources hold the
+// pre-append metadata, whose payload bytes are never overwritten — while
+// Table calls after the append see the grown directory.
 type Store struct {
-	f      *os.File
-	path   string
-	sf     float64
+	f        *os.File
+	path     string
+	sf       float64
+	writable bool
+	// recovered marks that Open found a torn/corrupt tail and fell back to
+	// the previous valid trailer (rows past it were discarded).
+	recovered bool
+
+	// mu guards the live directory (tables, cols, phys, payloadEnd).
+	// Snapshots handed out by Table hold their own colMeta pointers and
+	// are unaffected by later directory swaps.
+	mu     sync.RWMutex
 	tables map[string]*tableMeta
 	order  []string
 	cols   []*colMeta // by global ordinal, the pool key namespace
-	pool   *Pool
+	// phys holds every physical segment ever written, per column ordinal,
+	// indexed by pool frame id (segMeta.pid). Append-only: replaced tail
+	// segments stay addressable for snapshots that still reference them.
+	phys [][]segMeta
+	// writeEnd is the offset just past the current trailer — where the
+	// next append writes. Appends never overwrite earlier bytes (payloads,
+	// superseded footers, the live footer): the previous trailer stays
+	// durable until the new one is, which is what makes a torn append
+	// recoverable.
+	writeEnd int64
+	// appendMu serializes appends; separate from mu so readers are never
+	// blocked behind append file I/O.
+	appendMu sync.Mutex
+
+	pool *Pool
 }
 
 // Open opens a segment file, validates its framing and footer checksum, and
 // attaches a buffer pool with the given resident-byte budget (<= 0 for
-// unbounded).
+// unbounded). The file is opened read-write when the filesystem allows, so
+// the append path (Append) works; a read-only file still opens, with
+// appends rejected. A bounded budget smaller than the largest single
+// segment is rejected outright: the pool could never make such a segment
+// resident without exceeding the budget, and a scan touching it would churn
+// every other frame out on each fetch.
 func Open(path string, memBudget int64) (*Store, error) {
-	f, err := os.Open(path)
+	writable := true
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
-		return nil, err
+		writable = false
+		f, err = os.Open(path)
+		if err != nil {
+			return nil, err
+		}
 	}
-	s, err := open(f, path, memBudget)
+	s, err := open(f, path, memBudget, writable)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
+	s.writable = writable
 	return s, nil
 }
 
-func open(f *os.File, path string, memBudget int64) (*Store, error) {
+func open(f *os.File, path string, memBudget int64, writable bool) (*Store, error) {
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, err
@@ -62,25 +103,23 @@ func open(f *os.File, path string, memBudget int64) (*Store, error) {
 	}
 	sf := math.Float64frombits(binary.LittleEndian.Uint64(head[len(Magic):]))
 
-	tail := make([]byte, 4+8+len(Magic))
-	if _, err := f.ReadAt(tail, size-int64(len(tail))); err != nil {
-		return nil, fmt.Errorf("segstore: %s: reading trailer: %w", path, err)
+	footer, contentEnd, recovered, err := locateFooter(f, path, size, int64(len(head)))
+	if err != nil {
+		return nil, err
 	}
-	if string(tail[12:]) != Magic {
-		return nil, fmt.Errorf("segstore: %s: bad trailing magic (file truncated or not a segment store)", path)
-	}
-	footerCRC := binary.LittleEndian.Uint32(tail[0:4])
-	footerLen := binary.LittleEndian.Uint64(tail[4:12])
-	footerEnd := size - int64(len(tail))
-	if footerLen > uint64(footerEnd-int64(len(head))) {
-		return nil, fmt.Errorf("segstore: %s: footer length %d exceeds file size", path, footerLen)
-	}
-	footer := make([]byte, footerLen)
-	if _, err := f.ReadAt(footer, footerEnd-int64(footerLen)); err != nil {
-		return nil, fmt.Errorf("segstore: %s: reading footer: %w", path, err)
-	}
-	if crc := crc32.ChecksumIEEE(footer); crc != footerCRC {
-		return nil, fmt.Errorf("segstore: %s: footer checksum mismatch (file corrupt): got %08x want %08x", path, crc, footerCRC)
+	if recovered {
+		// Recovery must be loud: the discarded tail is either a torn
+		// append (rows of one interrupted tuple-mover pass) or trailing
+		// corruption of a committed one — either way the operator should
+		// know rows past the recovered trailer are gone.
+		fmt.Fprintf(os.Stderr, "segstore: %s: invalid trailer at EOF; recovered the previous valid directory (%d trailing bytes discarded — a torn or corrupted append)\n", path, size-contentEnd)
+		if writable {
+			// Self-heal: drop the torn tail so the valid trailer sits at
+			// EOF again and future appends start from a clean state.
+			if err := f.Truncate(contentEnd); err != nil {
+				return nil, fmt.Errorf("segstore: %s: trimming torn append tail: %w", path, err)
+			}
+		}
 	}
 	metas, err := decodeFooter(footer)
 	if err != nil {
@@ -88,6 +127,10 @@ func open(f *os.File, path string, memBudget int64) (*Store, error) {
 	}
 
 	s := &Store{f: f, path: path, sf: sf, tables: map[string]*tableMeta{}}
+	s.writeEnd = contentEnd
+	s.recovered = recovered
+	payloadRegionEnd := contentEnd - int64(4+8+len(Magic)) - int64(len(footer))
+	var maxPlen int64
 	for _, t := range metas {
 		if _, dup := s.tables[t.name]; dup {
 			return nil, fmt.Errorf("segstore: %s: duplicate table %q in footer", path, t.name)
@@ -99,16 +142,102 @@ func open(f *os.File, path string, memBudget int64) (*Store, error) {
 			// Segment payloads must lie inside the payload region. The
 			// footer is untrusted input: check length before offset+length
 			// so a crafted plen cannot wrap the sum past the bound.
-			payloadEnd := uint64(footerEnd - int64(footerLen))
-			for i, seg := range c.segs {
+			payloadEnd := uint64(payloadRegionEnd)
+			for i := range c.segs {
+				seg := &c.segs[i]
 				if seg.plen > payloadEnd || seg.off < uint64(len(head)) || seg.off > payloadEnd-seg.plen {
 					return nil, fmt.Errorf("segstore: table %q column %q segment %d: payload [%d,+%d) outside file payload region", c.table, c.name, i, seg.off, seg.plen)
 				}
+				seg.pid = int32(i)
+				if int64(seg.plen) > maxPlen {
+					maxPlen = int64(seg.plen)
+				}
 			}
+			s.phys = append(s.phys, append([]segMeta(nil), c.segs...))
 		}
+	}
+	if memBudget > 0 && memBudget < maxPlen {
+		return nil, fmt.Errorf("segstore: %s: memory budget %d B is smaller than the largest segment (%d B); the pool could never hold it without evicting everything else on each fetch — raise the budget to at least %d B", path, memBudget, maxPlen, maxPlen)
 	}
 	s.pool = NewPool(memBudget, s.loadSegment)
 	return s, nil
+}
+
+// locateFooter finds the newest valid footer: normally the trailer at EOF,
+// but after a torn append (crash between the payload write starting and
+// the new trailer landing) the tail is garbage while every earlier byte —
+// including the previous footer and trailer, which appends never overwrite
+// — is intact. The backward scan finds that previous trailer, so a crash
+// costs only the rows of the interrupted append, never the file. Returns
+// the footer bytes, the offset just past its trailing magic, and whether
+// recovery ran.
+func locateFooter(f *os.File, path string, size, headLen int64) ([]byte, int64, bool, error) {
+	trailerLen := int64(4 + 8 + len(Magic))
+	readAt := func(end int64) ([]byte, error) {
+		tail := make([]byte, trailerLen)
+		if _, err := f.ReadAt(tail, end-trailerLen); err != nil {
+			return nil, fmt.Errorf("segstore: %s: reading trailer: %w", path, err)
+		}
+		if string(tail[12:]) != Magic {
+			return nil, fmt.Errorf("segstore: %s: bad trailing magic (file truncated or not a segment store)", path)
+		}
+		footerCRC := binary.LittleEndian.Uint32(tail[0:4])
+		footerLen := binary.LittleEndian.Uint64(tail[4:12])
+		footerEnd := end - trailerLen
+		if footerLen > uint64(footerEnd-headLen) {
+			return nil, fmt.Errorf("segstore: %s: footer length %d exceeds file size", path, footerLen)
+		}
+		footer := make([]byte, footerLen)
+		if _, err := f.ReadAt(footer, footerEnd-int64(footerLen)); err != nil {
+			return nil, fmt.Errorf("segstore: %s: reading footer: %w", path, err)
+		}
+		if crc := crc32.ChecksumIEEE(footer); crc != footerCRC {
+			return nil, fmt.Errorf("segstore: %s: footer checksum mismatch (file corrupt): got %08x want %08x", path, crc, footerCRC)
+		}
+		return footer, nil
+	}
+
+	footer, eofErr := readAt(size)
+	if eofErr == nil {
+		return footer, size, false, nil
+	}
+	// Scan backward for the most recent earlier trailer. Candidates are
+	// occurrences of the magic whose preceding CRC+length validate a
+	// footer; a chance byte collision inside payload data is rejected by
+	// the checksum.
+	const chunk = 1 << 20
+	for hi := size - 1; hi > headLen+trailerLen; {
+		lo := hi - chunk
+		if lo < headLen {
+			lo = headLen
+		}
+		buf := make([]byte, hi-lo+int64(len(Magic)))
+		if _, err := f.ReadAt(buf[:hi-lo], lo); err != nil {
+			break
+		}
+		if hi < size {
+			// Overlap so a magic spanning the chunk boundary is seen.
+			if _, err := f.ReadAt(buf[hi-lo:], hi); err != nil {
+				buf = buf[:hi-lo]
+			}
+		} else {
+			buf = buf[:hi-lo]
+		}
+		for off := int64(len(buf)) - int64(len(Magic)); off >= 0; off-- {
+			if string(buf[off:off+int64(len(Magic))]) != Magic {
+				continue
+			}
+			end := lo + off + int64(len(Magic))
+			if end >= size || end < headLen+trailerLen {
+				continue // the EOF trailer already failed; need an earlier one
+			}
+			if footer, err := readAt(end); err == nil {
+				return footer, end, true, nil
+			}
+		}
+		hi = lo
+	}
+	return nil, 0, false, eofErr
 }
 
 // SF returns the scale factor recorded by the writer.
@@ -117,11 +246,25 @@ func (s *Store) SF() float64 { return s.sf }
 // Path returns the file path the store was opened from.
 func (s *Store) Path() string { return s.path }
 
-// TableNames returns the stored table names in file order.
-func (s *Store) TableNames() []string { return s.order }
+// Writable reports whether the file was opened read-write (the append path
+// requires it).
+func (s *Store) Writable() bool { return s.writable }
 
-// NumSegments returns the total segment count across all columns.
+// Recovered reports whether Open had to discard a torn or corrupted tail
+// and fall back to the previous valid directory.
+func (s *Store) Recovered() bool { return s.recovered }
+
+// TableNames returns the stored table names in file order.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}
+
+// NumSegments returns the total live segment count across all columns.
 func (s *Store) NumSegments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := 0
 	for _, c := range s.cols {
 		n += len(c.segs)
@@ -129,8 +272,10 @@ func (s *Store) NumSegments() int {
 	return n
 }
 
-// TableSegments returns the segment count of one table (0 when absent).
+// TableSegments returns the live segment count of one table (0 when absent).
 func (s *Store) TableSegments(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, ok := s.tables[name]
 	if !ok {
 		return 0
@@ -142,8 +287,10 @@ func (s *Store) TableSegments(name string) int {
 	return n
 }
 
-// CompressedBytes returns the total on-disk payload bytes.
+// CompressedBytes returns the total live on-disk payload bytes.
 func (s *Store) CompressedBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var n int64
 	for _, c := range s.cols {
 		for _, seg := range c.segs {
@@ -157,6 +304,8 @@ func (s *Store) CompressedBytes() int64 {
 // the memory a wholesale load would need, and the yardstick -mem-budget is
 // judged against.
 func (s *Store) RawBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var n int64
 	for _, c := range s.cols {
 		for _, seg := range c.segs {
@@ -174,46 +323,75 @@ func (s *Store) Pool() *Pool { return s.pool }
 func (s *Store) Close() error { return s.f.Close() }
 
 // Table materializes the named table as colstore columns backed by the
-// store's buffer pool.
+// store's buffer pool. The returned table is a snapshot of the directory at
+// call time: appends that land later do not grow it (re-materialize to see
+// them).
 func (s *Store) Table(name string) (*colstore.Table, error) {
+	s.mu.RLock()
 	tm, ok := s.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("segstore: %s has no table %q (tables: %v)", s.path, name, s.order)
+		order := append([]string(nil), s.order...)
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("segstore: %s has no table %q (tables: %v)", s.path, name, order)
 	}
+	cols := append([]*colMeta(nil), tm.cols...)
+	s.mu.RUnlock()
 	t := colstore.NewTable(name)
-	for _, cm := range tm.cols {
+	for _, cm := range cols {
 		t.AddColumn(colstore.NewSourcedColumn(cm.name, cm.dict, cm.sort, &colSource{store: s, meta: cm}))
 	}
 	return t, nil
 }
 
+// physSeg resolves one physical segment by (column ordinal, pool frame id).
+func (s *Store) physSeg(col, pid int32) (segMeta, string, string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(col) >= len(s.cols) {
+		return segMeta{}, "", "", fmt.Errorf("segstore: column ordinal %d out of range", col)
+	}
+	cm := s.cols[col]
+	if int(pid) >= len(s.phys[col]) {
+		return segMeta{}, "", "", fmt.Errorf("segstore: table %q column %q: segment frame %d out of range", cm.table, cm.name, pid)
+	}
+	return s.phys[col][pid], cm.table, cm.name, nil
+}
+
 // loadSegment is the pool's fetch function: read the payload, verify its
-// CRC, decode the block.
+// CRC, decode the block. The key's Seg component is the physical frame id,
+// so segments from superseded directory snapshots (a replaced partial tail)
+// remain loadable for readers that still hold them.
 func (s *Store) loadSegment(k SegKey) (compress.IntBlock, int64, error) {
-	if int(k.Col) >= len(s.cols) {
-		return nil, 0, fmt.Errorf("segstore: column ordinal %d out of range", k.Col)
-	}
-	cm := s.cols[k.Col]
-	if int(k.Seg) >= len(cm.segs) {
-		return nil, 0, fmt.Errorf("segstore: table %q column %q: segment %d out of range", cm.table, cm.name, k.Seg)
-	}
-	seg := cm.segs[k.Seg]
-	payload := make([]byte, seg.plen)
-	if _, err := s.f.ReadAt(payload, int64(seg.off)); err != nil {
-		return nil, 0, fmt.Errorf("segstore: table %q column %q segment %d: reading payload: %w", cm.table, cm.name, k.Seg, err)
-	}
-	if crc := crc32.ChecksumIEEE(payload); crc != seg.crc {
-		return nil, 0, fmt.Errorf("segstore: table %q column %q segment %d: checksum mismatch (file corrupt): got %08x want %08x", cm.table, cm.name, k.Seg, crc, seg.crc)
-	}
-	blk, err := compress.DecodeBlock(seg.enc, int(seg.rows), payload)
+	seg, table, name, err := s.physSeg(k.Col, k.Seg)
 	if err != nil {
-		return nil, 0, fmt.Errorf("segstore: table %q column %q segment %d: %w", cm.table, cm.name, k.Seg, err)
+		return nil, 0, err
+	}
+	blk, err := s.readSeg(seg, table, name)
+	if err != nil {
+		return nil, 0, err
 	}
 	return blk, int64(seg.plen), nil
 }
 
+// readSeg reads and decodes one physical segment directly from the file.
+func (s *Store) readSeg(seg segMeta, table, name string) (compress.IntBlock, error) {
+	payload := make([]byte, seg.plen)
+	if _, err := s.f.ReadAt(payload, int64(seg.off)); err != nil {
+		return nil, fmt.Errorf("segstore: table %q column %q segment %d: reading payload: %w", table, name, seg.pid, err)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != seg.crc {
+		return nil, fmt.Errorf("segstore: table %q column %q segment %d: checksum mismatch (file corrupt): got %08x want %08x", table, name, seg.pid, crc, seg.crc)
+	}
+	blk, err := compress.DecodeBlock(seg.enc, int(seg.rows), payload)
+	if err != nil {
+		return nil, fmt.Errorf("segstore: table %q column %q segment %d: %w", table, name, seg.pid, err)
+	}
+	return blk, nil
+}
+
 // colSource adapts one column's footer metadata plus the shared pool to
-// colstore.ColumnSource.
+// colstore.ColumnSource. The meta pointer is a directory snapshot:
+// immutable, unaffected by appends that happen after it was taken.
 type colSource struct {
 	store *Store
 	meta  *colMeta
@@ -236,9 +414,10 @@ func (c *colSource) SegEncoding(i int) compress.Encoding { return c.meta.segs[i]
 // SegBytes implements colstore.ColumnSource.
 func (c *colSource) SegBytes(i int) int64 { return int64(c.meta.segs[i].cbytes) }
 
-// Acquire implements colstore.ColumnSource through the buffer pool.
+// Acquire implements colstore.ColumnSource through the buffer pool, keyed
+// by the segment's physical frame id.
 func (c *colSource) Acquire(i int) (compress.IntBlock, func(), error) {
-	return c.store.pool.Acquire(SegKey{Col: c.meta.ord, Seg: int32(i)})
+	return c.store.pool.Acquire(SegKey{Col: c.meta.ord, Seg: c.meta.segs[i].pid})
 }
 
 // IsSegmentFile reports whether the file at path starts with the segment

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
@@ -43,14 +44,18 @@ func (c *resultCache) enabled() bool { return c.cap > 0 }
 
 // cacheKey renders the canonical identity of one execution: the normalized
 // SQL of the plan (Query.SQL is deterministic for equivalent plans — it is
-// the same text TestDifferential round-trips through the parser) plus the
-// engine configuration knobs that could change the rows.
-func cacheKey(q *ssb.Query, cfg core.Config) string {
+// the same text TestDifferential round-trips through the parser), the
+// engine configuration knobs that could change the rows, and the data
+// epoch. The epoch bumps on every accepted insert, so an entry computed
+// before a write can never answer a query issued after it — stale entries
+// simply stop being addressable and age out of the LRU. On a frozen DB the
+// epoch is constantly zero and keys reduce to the old scheme.
+func cacheKey(q *ssb.Query, cfg core.Config, epoch int64) string {
 	code := cfg.Col.Code()
 	if cfg.Col.Fused {
 		code += "+f"
 	}
-	return q.SQL() + "\x00" + code
+	return q.SQL() + "\x00" + code + "\x00" + strconv.FormatInt(epoch, 10)
 }
 
 // get returns the cached entry for key, promoting it to most recent.

@@ -4,9 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
+	"repro/internal/exec"
 	"repro/internal/sql"
 	"repro/internal/ssb"
 )
@@ -46,6 +48,52 @@ type queryRow struct {
 	Aggs []int64  `json:"aggs"`
 }
 
+// insertRequest is the POST body of /insert: either explicit rows or a
+// seeded server-side batch (seed + count), which is how the bench and CI
+// harnesses drive insert load without shipping row payloads.
+type insertRequest struct {
+	Seed  *int64      `json:"seed,omitempty"`
+	Count int         `json:"count,omitempty"`
+	Rows  []insertRow `json:"rows,omitempty"`
+}
+
+// insertRow is one logical lineorder row. Foreign keys are logical
+// (custkey/suppkey/partkey as generated, orderdate as yyyymmdd datekey);
+// empty string attributes default to the first dictionary value.
+type insertRow struct {
+	OrderKey      int32  `json:"orderkey"`
+	LineNumber    int32  `json:"linenumber"`
+	CustKey       int32  `json:"custkey"`
+	PartKey       int32  `json:"partkey"`
+	SuppKey       int32  `json:"suppkey"`
+	OrderDate     int32  `json:"orderdate"`
+	OrdPriority   string `json:"ordpriority,omitempty"`
+	ShipPriority  int32  `json:"shippriority"`
+	Quantity      int32  `json:"quantity"`
+	ExtendedPrice int32  `json:"extendedprice"`
+	OrdTotalPrice int32  `json:"ordtotalprice"`
+	Discount      int32  `json:"discount"`
+	Revenue       int32  `json:"revenue"`
+	SupplyCost    int32  `json:"supplycost"`
+	Tax           int32  `json:"tax"`
+	CommitDate    int32  `json:"commitdate"`
+	ShipMode      string `json:"shipmode,omitempty"`
+}
+
+// maxInsertBodyBytes bounds one /insert request body (~64 MB comfortably
+// fits the seeded path's row cap; explicit-row batches larger than this
+// should be split).
+const maxInsertBodyBytes = 64 << 20
+
+// insertResponse reports one accepted batch.
+type insertResponse struct {
+	Inserted int   `json:"inserted"`
+	Epoch    int64 `json:"epoch"`
+	// PendingRows/PendingBytes describe the write store after the batch.
+	PendingRows  int64 `json:"pending_rows"`
+	PendingBytes int64 `json:"pending_bytes"`
+}
+
 // statsResponse is the JSON shape of /stats.
 type statsResponse struct {
 	Server Stats      `json:"server"`
@@ -63,6 +111,10 @@ type poolStats struct {
 	Resident  int64 `json:"resident"`
 	Peak      int64 `json:"peak"`
 	Pinned    int   `json:"pinned_frames"`
+	// Appends/AppendedBytes count tuple-mover compactions landing on the
+	// backing file and their payload bytes.
+	Appends       int64 `json:"appends"`
+	AppendedBytes int64 `json:"appended_bytes"`
 }
 
 // Handler returns the HTTP API: POST or GET /query (id= | sql= | seed=)
@@ -71,8 +123,109 @@ type poolStats struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
+}
+
+// handleInsert accepts one batch of rows (explicit or seeded) and appends
+// it to the write store.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if !s.ingest {
+		httpError(w, http.StatusNotImplemented, "ingest is disabled; start the server with ingest enabled")
+		return
+	}
+	var req insertRequest
+	// The explicit-rows path must be bounded like the seeded path is (its
+	// row cap): without a body limit one request could materialize
+	// arbitrarily much JSON in memory before validation runs.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInsertBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	batch, err := req.batch(s)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	epoch, err := s.Insert(batch)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, exec.ErrWriteStoreFull):
+		// Backpressure: the tuple mover is behind; the client should retry.
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	delta := s.db.IngestStats()
+	writeJSON(w, http.StatusOK, insertResponse{
+		Inserted:     batch.Len(),
+		Epoch:        epoch,
+		PendingRows:  delta.PendingRows,
+		PendingBytes: delta.PendingBytes,
+	})
+}
+
+// batch resolves the request to a logical row batch.
+func (r *insertRequest) batch(s *Server) (*ssb.Lineorders, error) {
+	if (r.Seed != nil) == (len(r.Rows) > 0) {
+		return nil, errors.New("specify exactly one of rows or seed(+count)")
+	}
+	if r.Seed != nil {
+		n := r.Count
+		if n <= 0 {
+			n = 1000
+		}
+		if n > 1<<22 {
+			return nil, fmt.Errorf("count %d too large (max %d rows per batch)", n, 1<<22)
+		}
+		shape, err := s.db.IngestShape()
+		if err != nil {
+			return nil, err
+		}
+		return ssb.RandBatch(*r.Seed, n, shape)
+	}
+	shape, err := s.db.IngestShape()
+	if err != nil {
+		return nil, err
+	}
+	b := &ssb.Lineorders{}
+	for _, row := range r.Rows {
+		prio, ship := row.OrdPriority, row.ShipMode
+		if prio == "" {
+			prio = shape.OrdPriorities[0]
+		}
+		if ship == "" {
+			ship = shape.ShipModes[0]
+		}
+		b.OrderKey = append(b.OrderKey, row.OrderKey)
+		b.LineNumber = append(b.LineNumber, row.LineNumber)
+		b.CustKey = append(b.CustKey, row.CustKey)
+		b.PartKey = append(b.PartKey, row.PartKey)
+		b.SuppKey = append(b.SuppKey, row.SuppKey)
+		b.OrderDate = append(b.OrderDate, row.OrderDate)
+		b.OrdPriority = append(b.OrdPriority, prio)
+		b.ShipPriority = append(b.ShipPriority, row.ShipPriority)
+		b.Quantity = append(b.Quantity, row.Quantity)
+		b.ExtendedPrice = append(b.ExtendedPrice, row.ExtendedPrice)
+		b.OrdTotalPrice = append(b.OrdTotalPrice, row.OrdTotalPrice)
+		b.Discount = append(b.Discount, row.Discount)
+		b.Revenue = append(b.Revenue, row.Revenue)
+		b.SupplyCost = append(b.SupplyCost, row.SupplyCost)
+		b.Tax = append(b.Tax, row.Tax)
+		b.CommitDate = append(b.CommitDate, row.CommitDate)
+		b.ShipMode = append(b.ShipMode, ship)
+	}
+	return b, nil
 }
 
 // handleQuery parses the plan selector, executes, and renders the result.
@@ -171,14 +324,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if st := s.db.SegmentStore(); st != nil {
 		ps := st.Pool().Stats()
 		out.Pool = &poolStats{
-			Budget:    st.Pool().Budget(),
-			Hits:      ps.Hits,
-			Misses:    ps.Misses,
-			Evictions: ps.Evictions,
-			BytesRead: ps.BytesRead,
-			Resident:  ps.Resident,
-			Peak:      ps.Peak,
-			Pinned:    st.Pool().PinnedFrames(),
+			Budget:        st.Pool().Budget(),
+			Hits:          ps.Hits,
+			Misses:        ps.Misses,
+			Evictions:     ps.Evictions,
+			BytesRead:     ps.BytesRead,
+			Resident:      ps.Resident,
+			Peak:          ps.Peak,
+			Pinned:        st.Pool().PinnedFrames(),
+			Appends:       ps.Appends,
+			AppendedBytes: ps.AppendedBytes,
 		}
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/ssb"
+)
+
+// countQ is the count(*) probe the ingest tests observe epochs through.
+var countQ = &ssb.Query{ID: "count", Aggs: []ssb.AggSpec{{Func: ssb.FuncCount}}}
+
+// newIngestServer builds a segment-backed server with the write path on.
+func newIngestServer(t *testing.T, opts Options) (*Server, *ssb.Data) {
+	t.Helper()
+	opts.Ingest = true
+	srv, data, _ := openSegServer(t, 0, opts)
+	return srv, data
+}
+
+// TestInsertVisibilityAndCacheEpoch pins the serving-layer write-path
+// contract: a query after an insert sees it, the result cache never serves
+// a pre-insert entry for a post-insert query (epoch keying), and repeated
+// queries within one epoch still hit.
+func TestInsertVisibilityAndCacheEpoch(t *testing.T) {
+	srv, data := newIngestServer(t, Options{CacheEntries: 32})
+	defer srv.Close()
+	base := int64(data.NumLineorders())
+	ctx := context.Background()
+
+	r1, err := srv.Execute(ctx, countQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Result.Rows[0].Agg != base || r1.Cached {
+		t.Fatalf("first count: agg=%d cached=%v, want %d/false", r1.Result.Rows[0].Agg, r1.Cached, base)
+	}
+	r2, err := srv.Execute(ctx, countQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("same-epoch repeat was not served from cache")
+	}
+
+	shape, err := srv.DB().IngestShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ssb.RandBatch(3, 2500, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Insert(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	r3, err := srv.Execute(ctx, countQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cached {
+		t.Fatal("post-insert query served from the pre-insert cache entry — epoch keying broken")
+	}
+	if got := r3.Result.Rows[0].Agg; got != base+2500 {
+		t.Fatalf("post-insert count %d, want %d", got, base+2500)
+	}
+	st := srv.Stats()
+	if st.Inserts != 1 || st.InsertedRows != 2500 || !st.Delta.Enabled || st.Delta.Epoch != 2500 {
+		t.Fatalf("stats after insert: %+v", st)
+	}
+}
+
+// TestInsertHTTP drives the write path through the real HTTP surface:
+// seeded batches, explicit rows, validation failures, and /stats shape.
+func TestInsertHTTP(t *testing.T) {
+	srv, data := newIngestServer(t, Options{CacheEntries: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	base := data.NumLineorders()
+
+	post := func(body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/insert", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	if code, out := post(`{"seed":9,"count":1500}`); code != http.StatusOK || out["inserted"].(float64) != 1500 {
+		t.Fatalf("seeded insert: code=%d out=%v", code, out)
+	}
+	row := `{"rows":[{"custkey":1,"suppkey":1,"partkey":1,"orderdate":19940105,"quantity":9,"extendedprice":5000,"discount":2,"revenue":4900,"supplycost":3000}]}`
+	if code, out := post(row); code != http.StatusOK || out["inserted"].(float64) != 1 {
+		t.Fatalf("row insert: code=%d out=%v", code, out)
+	}
+	if code, out := post(`{"rows":[{"custkey":999999999,"suppkey":1,"partkey":1,"orderdate":19940105}]}`); code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad custkey accepted: code=%d out=%v", code, out)
+	}
+	if code, _ := post(`{"seed":1,"rows":[{"custkey":1}]}`); code != http.StatusBadRequest {
+		t.Fatalf("ambiguous selector accepted: code=%d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/query?sql=select+count(*)+from+lineorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Rows []struct {
+			Aggs []int64 `json:"aggs"`
+		} `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got, want := body.Rows[0].Aggs[0], int64(base+1501); got != want {
+		t.Fatalf("HTTP count after inserts = %d, want %d", got, want)
+	}
+
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Server struct {
+			Inserts int64 `json:"inserts"`
+			Delta   struct {
+				Enabled     bool  `json:"enabled"`
+				PendingRows int64 `json:"pending_rows"`
+			} `json:"delta"`
+		} `json:"server"`
+		Pool struct {
+			Appends int64 `json:"appends"`
+		} `json:"pool"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Server.Inserts != 2 || !stats.Server.Delta.Enabled || stats.Server.Delta.PendingRows != 1501 {
+		t.Fatalf("/stats shape: %+v", stats.Server)
+	}
+}
+
+// TestIngestDisabled pins the 501 for /insert on a read-only server.
+func TestIngestDisabled(t *testing.T) {
+	srv, _, _ := openSegServer(t, 0, Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/insert", "application/json", bytes.NewBufferString(`{"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("insert on read-only server: %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestConcurrentInsertQueryStress races inserters against query clients on
+// one shared server (run with -race in CI): every count observation must be
+// batch-aligned and monotone, the final state must account for every row,
+// and Close must flush the remainder with zero pinned frames.
+func TestConcurrentInsertQueryStress(t *testing.T) {
+	srv, data := newIngestServer(t, Options{Workers: 2, CacheEntries: 64})
+	base := int64(data.NumLineorders())
+	shape, err := srv.DB().IngestShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inserters = 3
+	const batches = 6
+	const batchRows = 4000
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, inserters+4)
+	for i := 0; i < inserters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				batch, err := ssb.RandBatch(int64(i*100+b), batchRows, shape)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := srv.Insert(batch); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		qwg.Add(1)
+		go func(c int) {
+			defer qwg.Done()
+			last := base
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var q *ssb.Query = countQ
+				if c%2 == 1 {
+					q = ssb.RandQuery(int64(c) * 31)
+				}
+				resp, err := srv.Execute(ctx, q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if q == countQ {
+					got := resp.Result.Rows[0].Agg
+					if got < last || (got-base)%batchRows != 0 {
+						errCh <- fmt.Errorf("count invariant violated: got %d after %d (base %d)", got, last, base)
+						return
+					}
+					last = got
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close (drain+flush): %v", err)
+	}
+	ds := srv.DB().IngestStats()
+	want := int64(inserters * batches * batchRows)
+	if ds.Epoch != want || ds.PendingRows != 0 {
+		t.Fatalf("after close: epoch=%d pending=%d, want %d/0", ds.Epoch, ds.PendingRows, want)
+	}
+	if seg := srv.DB().SegmentStore(); seg != nil {
+		if p := seg.Pool().PinnedFrames(); p != 0 {
+			t.Errorf("%d frames pinned after close", p)
+		}
+	}
+}

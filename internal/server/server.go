@@ -18,8 +18,12 @@
 //     execution no matter how queries interleave — the stress tests pin
 //     exactly that.
 //
-// A normalized-SQL-keyed LRU (cache.go) short-circuits repeated queries;
-// the backing data is immutable so entries never go stale.
+// An LRU keyed by normalized SQL plus the data epoch (cache.go)
+// short-circuits repeated queries. On a frozen store the epoch never moves
+// and entries live forever; with ingest enabled (Options.Ingest) every
+// accepted insert bumps the epoch, so entries computed before a write stop
+// being addressable and age out — queries after an insert always reach the
+// engine and see the write store.
 package server
 
 import (
@@ -60,6 +64,14 @@ type Options struct {
 	// CacheEntries caps the result cache (entries, not bytes); 0 means
 	// 256, negative disables caching.
 	CacheEntries int
+	// Ingest enables the write path: /insert accepts row batches, queries
+	// snapshot a consistent (sealed, delta) frontier, and a background
+	// tuple mover compacts full 64K-row deltas into the segment store.
+	Ingest bool
+	// IngestMaxBytes caps write-store memory (0 means 256 MB; negative
+	// unbounded). Inserts past the cap get backpressure (ErrWriteStoreFull
+	// -> 503) until compaction drains.
+	IngestMaxBytes int64
 }
 
 // Server executes queries from many goroutines against one shared DB.
@@ -77,6 +89,10 @@ type Server struct {
 	waits    atomic.Int64 // queries that blocked in admission
 	waitNs   atomic.Int64
 	inFlight atomic.Int64
+
+	ingest       bool
+	inserts      atomic.Int64
+	insertedRows atomic.Int64
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -115,7 +131,48 @@ func New(db *core.DB, opts Options) (*Server, error) {
 		sem:     newByteSem(admit),
 		cache:   newResultCache(entries),
 	}
+	if opts.Ingest {
+		if !cfg.Compression {
+			return nil, fmt.Errorf("server: ingest requires the compressed column engine (it carries the write store)")
+		}
+		maxWS := opts.IngestMaxBytes
+		if maxWS == 0 {
+			maxWS = 256 << 20
+		}
+		if maxWS < 0 {
+			maxWS = 0
+		}
+		if err := db.EnableIngest(true, maxWS); err != nil {
+			return nil, err
+		}
+		s.ingest = true
+	}
 	return s, nil
+}
+
+// Insert appends a batch of logical lineorder rows to the write store,
+// returning the new epoch. Concurrent with queries and other inserters; a
+// query started before this call never observes the batch, one started
+// after always does.
+func (s *Server) Insert(b *ssb.Lineorders) (int64, error) {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return 0, ErrClosed
+	}
+	s.wg.Add(1)
+	s.closeMu.RUnlock()
+	defer s.wg.Done()
+	if !s.ingest {
+		return 0, fmt.Errorf("server: ingest is disabled (start with Options.Ingest)")
+	}
+	epoch, err := s.db.Insert(b)
+	if err != nil {
+		return 0, err
+	}
+	s.inserts.Add(1)
+	s.insertedRows.Add(int64(b.Len()))
+	return epoch, nil
 }
 
 // Config returns the column configuration queries execute under.
@@ -155,7 +212,11 @@ func (s *Server) Execute(ctx context.Context, q *ssb.Query) (*Response, error) {
 
 	var key string
 	if s.cache.enabled() {
-		key = cacheKey(q, s.coreCfg)
+		// The key carries the epoch observed *before* execution: an insert
+		// landing mid-query may store a result one epoch fresher than its
+		// label, which is indistinguishable from the query having run an
+		// instant later; an entry is never served for a newer epoch.
+		key = cacheKey(q, s.coreCfg, s.db.Epoch())
 		if e, ok := s.cache.get(key); ok {
 			return &Response{Result: e.res, Stats: e.stats, Cached: true}, nil
 		}
@@ -207,6 +268,11 @@ type Stats struct {
 	AdmitBytes int64 `json:"admit_bytes"`
 	// Logical is the summed per-query logical I/O of completed queries.
 	Logical iosim.Stats `json:"logical_io"`
+	// Inserts/InsertedRows count accepted insert batches and their rows;
+	// Delta is the write store's state (zero value when ingest is off).
+	Inserts      int64           `json:"inserts"`
+	InsertedRows int64           `json:"inserted_rows"`
+	Delta        exec.DeltaStats `json:"delta"`
 }
 
 // Stats returns the current counters.
@@ -223,13 +289,18 @@ func (s *Server) Stats() Stats {
 		AdmitWaitNs:  s.waitNs.Load(),
 		AdmitBytes:   s.sem.cap,
 		Logical:      s.logical.Snapshot(),
+		Inserts:      s.inserts.Load(),
+		InsertedRows: s.insertedRows.Load(),
+		Delta:        s.db.IngestStats(),
 	}
 }
 
-// Close stops accepting queries and waits for every in-flight one (queued
-// or executing) to finish, so a caller that also cancels outstanding
-// contexts gets a prompt, leak-free shutdown: zero pinned frames, zero
-// executor goroutines.
+// Close stops accepting queries and inserts, waits for every in-flight one
+// (queued or executing) to finish, then — when the server owns a write
+// store — stops the tuple mover and flushes every pending delta row into
+// the read-optimized store, so a clean shutdown loses nothing: zero pinned
+// frames, zero executor goroutines, zero unflushed delta. A caller that
+// also cancels outstanding contexts gets the shutdown promptly.
 func (s *Server) Close() error {
 	s.closeMu.Lock()
 	already := s.closed
@@ -239,5 +310,9 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.wg.Wait()
+	if s.ingest {
+		s.db.CloseIngest()
+		return s.db.FlushIngest()
+	}
 	return nil
 }
