@@ -30,6 +30,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/rowexec"
 	"repro/internal/ssb"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -40,10 +41,11 @@ func main() {
 	encodings := flag.Bool("encodings", false, "print per-column encodings of the compressed column store")
 	appendRows := flag.Int("append", 0, "append this many seeded fact rows to the existing -out .seg file via the write path (no regeneration)")
 	appendSeed := flag.Int64("seed", 1, "seed for -append row generation")
+	walPath := flag.String("wal", "", "with -append: route the batch through a write-ahead log at this path (durable ingest; replays any leftover log first)")
 	flag.Parse()
 
 	if *appendRows > 0 {
-		if err := appendToSeg(*out, *appendRows, *appendSeed); err != nil {
+		if err := appendToSeg(*out, *appendRows, *appendSeed, *walPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -115,8 +117,10 @@ func mb(b int64) float64 { return float64(b) / 1e6 }
 // appendToSeg exercises the full write path from the CLI: open an existing
 // segment file, push a seeded batch through the write store, and flush so
 // the tuple mover compacts everything — full 64K-row blocks plus a final
-// partial tail — back into the file.
-func appendToSeg(path string, rows int, seed int64) error {
+// partial tail — back into the file. With walPath set the batch is logged
+// and group-committed before it is acked, and a leftover log from a crashed
+// earlier run is replayed into the write store before the new rows land.
+func appendToSeg(path string, rows int, seed int64, walPath string) error {
 	if path == "" {
 		return fmt.Errorf("ssb-gen: -append needs -out pointing at an existing .seg file")
 	}
@@ -129,7 +133,7 @@ func appendToSeg(path string, rows int, seed int64) error {
 		return fmt.Errorf("ssb-gen: -append works on segment stores only; %s is a v1 raw dump", path)
 	}
 	before := db.ColumnDB(true).NumRows()
-	if err := db.EnableIngest(false, 0); err != nil {
+	if err := db.EnableIngestWAL(false, 0, walPath, wal.Options{}); err != nil {
 		return err
 	}
 	shape, err := db.IngestShape()
@@ -151,6 +155,14 @@ func appendToSeg(path string, rows int, seed int64) error {
 	fmt.Printf("appended %d rows (seed %d) to %s: %d -> %d rows, %d compaction passes, %.2f MB written, %d live segments\n",
 		rows, seed, path, before, db.ColumnDB(true).NumRows(), ds.Compactions,
 		float64(ps.AppendedBytes)/1e6, st.NumSegments())
+	if walPath != "" {
+		ws := db.WALStats()
+		fmt.Printf("wal: %d appends, %d fsyncs, %d replayed, %d bytes\n",
+			ws.Appends, ws.Syncs, ws.Replayed, ws.Bytes)
+		if err := db.CloseWAL(); err != nil {
+			return err
+		}
+	}
 	if fi, err := os.Stat(path); err == nil {
 		fmt.Printf("file is now %.1f MB\n", float64(fi.Size())/1e6)
 	}

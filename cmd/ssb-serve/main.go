@@ -60,7 +60,13 @@ func main() {
 	clients := flag.Int("clients", 8, "parallel clients for the -golden self-test")
 	ingest := flag.Bool("ingest", false, "enable the write path: POST /insert, snapshot-isolated queries, background compaction into the segment store")
 	ingestMB := flag.Float64("ingest-mb", 0, "write-store memory cap in MB (0 = 256 MB default; inserts past it get 503 backpressure)")
+	walPath := flag.String("wal", "", "write-ahead log path (requires -ingest): inserts and deletes are durable before they are acked, and replayed on restart")
+	walWindowMS := flag.Float64("wal-window-ms", 1, "group-commit window in milliseconds (0 = fsync per commit)")
 	flag.Parse()
+	if *walPath != "" && !*ingest {
+		fmt.Fprintln(os.Stderr, "-wal requires -ingest")
+		os.Exit(2)
+	}
 
 	var db *core.DB
 	var err error
@@ -87,6 +93,8 @@ func main() {
 		CacheEntries:   cache,
 		Ingest:         *ingest,
 		IngestMaxBytes: int64(*ingestMB * 1e6),
+		WALPath:        *walPath,
+		WALWindow:      time.Duration(*walWindowMS * float64(time.Millisecond)),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -118,6 +126,11 @@ func main() {
 	if st := db.SegmentStore(); st != nil {
 		fmt.Printf("segment store: %s (%d segments, budget %s)\n",
 			st.Path(), st.NumSegments(), budgetLabel(st.Pool().Budget()))
+	}
+	if *walPath != "" {
+		ws := srv.DB().WALStats()
+		fmt.Printf("wal: %s (group-commit window %gms, %d records replayed)\n",
+			*walPath, *walWindowMS, ws.Replayed)
 	}
 	err = hs.ListenAndServe()
 	if err != nil && err != http.ErrServerClosed {

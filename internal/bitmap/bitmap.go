@@ -132,6 +132,19 @@ func (b *Bitmap) Clone() *Bitmap {
 	return &Bitmap{words: w, n: b.n}
 }
 
+// Grow returns a copy of b extended to n bits; the added bits are zero.
+// The executor's deletion vectors use it when the sealed store grows: the
+// old snapshot keeps serving in-flight queries while the copy covers the
+// new rows. n must be >= b.Len().
+func (b *Bitmap) Grow(n int) *Bitmap {
+	if n < b.n {
+		panic("bitmap: Grow to a shorter length")
+	}
+	nb := New(n)
+	copy(nb.words, b.words)
+	return nb
+}
+
 // Reset clears all bits, keeping the length.
 func (b *Bitmap) Reset() {
 	for i := range b.words {

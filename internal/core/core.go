@@ -24,6 +24,7 @@ import (
 	"repro/internal/rowexec"
 	"repro/internal/segstore"
 	"repro/internal/ssb"
+	"repro/internal/wal"
 )
 
 // Kind selects the engine family.
@@ -342,15 +343,58 @@ func (db *DB) DenormDB(m exec.DenormMode) *exec.DenormDB {
 // maxWSBytes caps delta memory (0 = unbounded); past it Insert returns
 // exec.ErrWriteStoreFull as backpressure.
 func (db *DB) EnableIngest(background bool, maxWSBytes int64) error {
+	return db.EnableIngestWAL(background, maxWSBytes, "", wal.Options{})
+}
+
+// EnableIngestWAL is EnableIngest with a durability log. When walPath is
+// non-empty, a write-ahead log is opened (and replayed — an existing log's
+// pending inserts and deletion vectors are reconstructed into the write
+// store before anything else runs) so every accepted insert and delete is
+// group-committed to disk before acking. Replay happens before the
+// background compactor starts, so recovery never races the tuple mover.
+func (db *DB) EnableIngestWAL(background bool, maxWSBytes int64, walPath string, walOpts wal.Options) error {
 	col := db.ColumnDB(true)
 	if err := col.EnableDelta(maxWSBytes); err != nil {
 		return err
+	}
+	if walPath != "" {
+		if err := col.EnableWAL(walPath, walOpts); err != nil {
+			return err
+		}
 	}
 	if background {
 		col.StartCompactor()
 	}
 	db.ingestOn.Store(true)
 	return nil
+}
+
+// Delete tombstones every visible row matching all the given fact-column
+// predicates (identity-valued fact columns only — see exec.DB.Delete) and
+// returns the count newly deleted. Durable before return when a WAL is
+// attached; atomic for readers on every engine configuration.
+func (db *DB) Delete(filters []ssb.FactFilter) (int64, error) {
+	if !db.ingestOn.Load() {
+		return 0, fmt.Errorf("core: ingest is not enabled on this DB")
+	}
+	return db.colC.Delete(filters)
+}
+
+// WALStats returns the durability log's counters (zero value when no WAL).
+func (db *DB) WALStats() exec.WALStats {
+	if !db.ingestOn.Load() {
+		return exec.WALStats{}
+	}
+	return db.colC.WALStats()
+}
+
+// CloseWAL syncs and closes the durability log, if one is attached; call
+// after FlushIngest on shutdown.
+func (db *DB) CloseWAL() error {
+	if !db.ingestOn.Load() {
+		return nil
+	}
+	return db.colC.CloseWAL()
 }
 
 // Insert appends logical lineorder rows to the write store, returning the

@@ -209,6 +209,12 @@ type View struct {
 // Len returns the number of visible rows.
 func (v *View) Len() int64 { return v.hi - v.lo }
 
+// Lo returns the global row index of the view's first visible row. Callers
+// that address rows in the store's global index space (deletion vectors,
+// WAL replay) anchor their cursors here: the first row ForEach yields has
+// global index Lo, and subsequent rows follow contiguously.
+func (v *View) Lo() int64 { return v.lo }
+
 // Bytes returns the resident memory of the batches the view touches — the
 // term admission control charges a query for scanning the write store.
 func (v *View) Bytes() int64 {

@@ -1,0 +1,508 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/delta"
+	"repro/internal/ssb"
+	"repro/internal/wal"
+)
+
+// This file is the durability layer over the write path: a write-ahead log
+// in front of the delta store, replay-on-open that reconstructs the exact
+// pre-crash write-store state, and deletion vectors.
+//
+// Log shape. Every log generation starts with one Base record anchoring it
+// to a known sealed state (file row count + sealed deletion vector), then
+// Insert records (one per accepted batch, columns positionally in
+// factColOrder), Delete records (sealed row indexes + WAL-relative delta
+// row indexes), and Checkpoint records written by the tuple mover after a
+// compaction lands. After each compaction the log is atomically rewritten
+// to just the live tail — Base + pending inserts + live WS tombstones — so
+// it stays proportional to the unflushed delta, not to history.
+//
+// Recovery. Replay folds the records into (sealed watermark, pending
+// batches, deletion vectors) and compares the checkpointed file row count
+// against the actual segment file. A crash can lose at most the very last
+// compaction's checkpoint (passes serialize under compactMu and each commits
+// its checkpoint before releasing it), so any surplus file rows are exactly
+// one un-checkpointed pass: the watermark advances over the shortest pending
+// prefix containing that many live rows. Acked rows are therefore replayed
+// exactly once — either they are under the watermark (already in the file)
+// or they are rebuilt into the delta — and un-acked rows at the torn tail
+// are dropped by the WAL's CRC scan.
+
+// EnableWAL attaches a write-ahead log to a DB that already has a write
+// store (EnableDelta) with no rows in it, replaying any existing log at
+// path into the delta store and deletion vectors first. Call it before
+// StartCompactor and before serving traffic; after it returns, every
+// accepted Insert/Delete is group-committed to disk before acking.
+func (db *DB) EnableWAL(path string, opts wal.Options) error {
+	ig := db.ingest
+	if ig == nil {
+		return fmt.Errorf("exec: EnableWAL requires a write store (EnableDelta first)")
+	}
+	if ig.wal != nil {
+		return fmt.Errorf("exec: WAL already enabled")
+	}
+	if ig.ws.Total() != 0 {
+		return fmt.Errorf("exec: EnableWAL must run before any insert (write store holds %d rows)", ig.ws.Total())
+	}
+
+	l, recs, err := wal.Open(path, opts)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		l.Close()
+		return err
+	}
+
+	if len(recs) == 0 {
+		// Fresh log: anchor it at the current sealed state, durably.
+		if err := l.Rewrite([]wal.Record{wal.Base{FileRows: int64(db.numRows)}}); err != nil {
+			return fail(err)
+		}
+		ig.mu.Lock()
+		ig.wal = l
+		ig.walBase = 0
+		ig.mu.Unlock()
+		return nil
+	}
+
+	rep, err := replayWAL(recs, int64(db.numRows))
+	if err != nil {
+		return fail(err)
+	}
+
+	// Rebuild the pending delta, batch-for-batch, skipping the sealed
+	// prefix (a batch can straddle the watermark when a crash interrupted
+	// the post-compaction rewrite: replay trims its sealed head).
+	var walIdx int64
+	for _, ins := range rep.inserts {
+		n := int64(len(ins.Cols[0]))
+		lo := walIdx
+		walIdx += n
+		if walIdx <= rep.sealed {
+			continue
+		}
+		off := int64(0)
+		if lo < rep.sealed {
+			off = rep.sealed - lo
+		}
+		dcols := make([]delta.Column, len(factColOrder))
+		for i, name := range factColOrder {
+			dcols[i] = delta.Column{Name: name, Vals: ins.Cols[i][off:]}
+		}
+		batch, err := delta.NewBatch(dcols)
+		if err != nil {
+			return fail(err)
+		}
+		ig.ws.Append(batch)
+	}
+
+	// Rebase WS tombstones from WAL space into the rebuilt store's global
+	// space (which restarts at 0 = first pending row).
+	var delWS *bitmap.Bitmap
+	var tombWS int64
+	if rep.delWS != nil {
+		nb := bitmap.New(int(rep.total - rep.sealed))
+		for g := rep.sealed; g < rep.total; g++ {
+			if rep.delWS.Get(int(g)) {
+				nb.Set(int(g - rep.sealed))
+				tombWS++
+			}
+		}
+		if tombWS > 0 {
+			delWS = nb
+		}
+	}
+	var tombSealed int64
+	delSealed := rep.delSealed
+	if delSealed != nil {
+		tombSealed = int64(delSealed.Count())
+		if tombSealed == 0 {
+			delSealed = nil
+		}
+	}
+
+	ig.mu.Lock()
+	ig.wal = l
+	ig.walBase = 0
+	ig.delSealed = delSealed
+	ig.delWS = delWS
+	ig.tombSealed = tombSealed
+	ig.tombWS = tombWS
+	// Replayed deletes must bump the epoch off zero: the frozen-base guards
+	// and result caches key on it, and a "no writes yet" epoch over
+	// tombstoned data would let non-snapshot engines serve deleted rows.
+	ig.deletes.Store(rep.deleteOps)
+	ig.mu.Unlock()
+
+	// Rewrite the log to the recovered state: the sealed prefix and any
+	// torn tail are gone, WAL row space re-anchors at the rebuilt store's
+	// row 0, and the recovery inference above never has to run twice.
+	if err := l.Rewrite(walSnapshotRecords(int64(db.numRows), delSealed, ig.ws.Snapshot(), delWS)); err != nil {
+		ig.mu.Lock()
+		ig.wal = nil
+		ig.mu.Unlock()
+		return fail(err)
+	}
+	return nil
+}
+
+// walReplay is the state a log's records fold into.
+type walReplay struct {
+	sealed    int64 // WAL-space rows already in the segment file
+	total     int64 // WAL-space rows ever appended
+	inserts   []wal.Insert
+	delSealed *bitmap.Bitmap // sealed-side tombstones, length = actual file rows
+	delWS     *bitmap.Bitmap // WAL-space tombstones, length = total
+	deleteOps int64
+}
+
+// replayWAL reduces a replayed record sequence against the actual segment
+// file row count, running the crash-seal inference for a lost checkpoint.
+func replayWAL(recs []wal.Record, actualRows int64) (*walReplay, error) {
+	base, ok := recs[0].(wal.Base)
+	if !ok {
+		return nil, fmt.Errorf("exec: WAL does not start with a base record (%T)", recs[0])
+	}
+	if actualRows < base.FileRows {
+		return nil, fmt.Errorf("exec: segment store has %d rows but the WAL base records %d — store truncated?", actualRows, base.FileRows)
+	}
+	rep := &walReplay{}
+	expectRows := base.FileRows
+	if base.DelLen > 0 {
+		if base.DelLen != base.FileRows {
+			return nil, fmt.Errorf("exec: WAL base deletion vector covers %d rows, base file has %d", base.DelLen, base.FileRows)
+		}
+		rep.delSealed = bitmap.FromWords(append([]uint64(nil), base.DelWords...), int(base.DelLen)).Grow(int(actualRows))
+	}
+	for _, r := range recs[1:] {
+		switch r := r.(type) {
+		case wal.Base:
+			return nil, fmt.Errorf("exec: duplicate WAL base record")
+		case wal.Insert:
+			if len(r.Cols) != len(factColOrder) {
+				return nil, fmt.Errorf("exec: WAL insert has %d columns, want %d", len(r.Cols), len(factColOrder))
+			}
+			rep.inserts = append(rep.inserts, r)
+			rep.total += int64(len(r.Cols[0]))
+		case wal.Delete:
+			for _, p := range r.Sealed {
+				if int64(p) >= actualRows {
+					return nil, fmt.Errorf("exec: WAL delete tombstones sealed row %d past file end %d", p, actualRows)
+				}
+				if rep.delSealed == nil {
+					rep.delSealed = bitmap.New(int(actualRows))
+				}
+				rep.delSealed.Set(int(p))
+			}
+			for _, i := range r.WS {
+				if i < 0 || i >= rep.total {
+					return nil, fmt.Errorf("exec: WAL delete tombstones delta row %d outside [0,%d)", i, rep.total)
+				}
+				if rep.delWS == nil || rep.delWS.Len() < int(rep.total) {
+					nb := bitmap.New(int(rep.total))
+					if rep.delWS != nil {
+						nb.Or(rep.delWS.Grow(int(rep.total)))
+					}
+					rep.delWS = nb
+				}
+				rep.delWS.Set(int(i))
+			}
+			rep.deleteOps++
+		case wal.Checkpoint:
+			if r.SealedRows < rep.sealed || r.SealedRows > rep.total {
+				return nil, fmt.Errorf("exec: WAL checkpoint watermark %d outside [%d,%d]", r.SealedRows, rep.sealed, rep.total)
+			}
+			if r.FileRows < expectRows || r.FileRows > actualRows {
+				return nil, fmt.Errorf("exec: WAL checkpoint file rows %d outside [%d,%d]", r.FileRows, expectRows, actualRows)
+			}
+			// Cross-check: the pass's file growth must equal the live rows
+			// of the prefix it consumed (tombstones below a checkpoint are
+			// final by the time it is written — deletes and compactions
+			// serialize, and the checkpoint commits before the pass ends).
+			if grew, live := r.FileRows-expectRows, liveRows(rep.delWS, rep.sealed, r.SealedRows); grew != live {
+				return nil, fmt.Errorf("exec: WAL checkpoint grew the file by %d rows but consumed %d live delta rows", grew, live)
+			}
+			rep.sealed = r.SealedRows
+			expectRows = r.FileRows
+		}
+	}
+	if rep.delWS != nil && rep.delWS.Len() < int(rep.total) {
+		rep.delWS = rep.delWS.Grow(int(rep.total))
+	}
+	// Crash-seal inference: file rows beyond the last durable checkpoint
+	// are exactly one compaction pass that crashed before checkpointing.
+	// Advance the watermark over the shortest prefix holding that many live
+	// rows. (A tombstoned run straight after is ambiguous — the pass may or
+	// may not have consumed it — but harmless either way: those rows are
+	// invisible, and if rebuilt into the delta they are re-purged later.)
+	if extra := actualRows - expectRows; extra > 0 {
+		var live int64
+		i := rep.sealed
+		for ; i < rep.total && live < extra; i++ {
+			if rep.delWS == nil || !rep.delWS.Get(int(i)) {
+				live++
+			}
+		}
+		if live != extra {
+			return nil, fmt.Errorf("exec: segment store has %d rows past the WAL frontier but the log holds only %d live unsealed rows", extra, live)
+		}
+		rep.sealed = i
+	}
+	return rep, nil
+}
+
+// liveRows counts non-tombstoned WAL-space rows in [lo, hi).
+func liveRows(delWS *bitmap.Bitmap, lo, hi int64) int64 {
+	if delWS == nil {
+		return hi - lo
+	}
+	var n int64
+	for i := lo; i < hi; i++ {
+		if !delWS.Get(int(i)) {
+			n++
+		}
+	}
+	return n
+}
+
+// walSnapshotRecords renders the current write-store state as a fresh log
+// generation: the anchor Base (file rows + sealed tombstones), one Insert
+// per pending batch, and a single Delete carrying the live WS tombstones
+// rebased to the view's first row (= WAL row 0 of the new generation).
+// Callers hold ig.mu (or have exclusive access), so the snapshot is
+// frontier-consistent; batch column slices are shared with the live store,
+// which is safe because Rewrite encodes synchronously and batches are
+// immutable.
+func walSnapshotRecords(fileRows int64, delSealed *bitmap.Bitmap, view *delta.View, delWS *bitmap.Bitmap) []wal.Record {
+	base := wal.Base{FileRows: fileRows}
+	if delSealed != nil && delSealed.Any() {
+		base.DelLen = int64(delSealed.Len())
+		base.DelWords = append([]uint64(nil), delSealed.Words()...)
+	}
+	recs := []wal.Record{base}
+	var del wal.Delete
+	start := view.Lo()
+	next := start
+	view.ForEach(func(b *delta.Batch, lo, hi int) bool {
+		cols := make([][]int32, len(factColOrder))
+		for i, name := range factColOrder {
+			cols[i] = b.Col(name)[lo:hi]
+		}
+		recs = append(recs, wal.Insert{Cols: cols})
+		if delWS != nil {
+			for g := next; g < next+int64(hi-lo); g++ {
+				if g < int64(delWS.Len()) && delWS.Get(int(g)) {
+					del.WS = append(del.WS, g-start)
+				}
+			}
+		}
+		next += int64(hi - lo)
+		return true
+	})
+	if len(del.WS) > 0 {
+		recs = append(recs, del)
+	}
+	return recs
+}
+
+// deletableCols are the fact columns whose stored physical representation
+// equals the logical value, so a logical predicate evaluates directly
+// against storage. Foreign-key columns (remapped to dimension positions)
+// and dictionary-coded strings are excluded: a value predicate on them
+// would silently compare against physical codes.
+var deletableCols = map[string]bool{
+	"orderkey": true, "linenumber": true, "orderdate": true,
+	"shippriority": true, "quantity": true, "extendedprice": true,
+	"ordtotalprice": true, "discount": true, "revenue": true,
+	"supplycost": true, "tax": true, "commitdate": true,
+}
+
+// Delete tombstones every visible row matching all the given fact-column
+// predicates and returns how many it newly deleted. The operation is
+// durable before it returns (WAL record + group commit) and atomic for
+// readers: queries snapshotted before it see none of the tombstones,
+// queries after see all of them, on every engine. Tombstoned rows stay
+// physically resident until the tuple mover purges the delta side; sealed-
+// side rows are masked forever (segments are immutable). At least one
+// predicate is required, and only identity-valued fact columns may be
+// referenced.
+func (db *DB) Delete(filters []ssb.FactFilter) (int64, error) {
+	ig := db.ingest
+	if ig == nil {
+		return 0, fmt.Errorf("exec: DB has no write store (EnableDelta first)")
+	}
+	if len(filters) == 0 {
+		return 0, fmt.Errorf("exec: delete needs at least one predicate")
+	}
+	for _, f := range filters {
+		if !deletableCols[f.Col] {
+			return 0, fmt.Errorf("exec: column %q is not deletable by value (identity-valued fact columns only)", f.Col)
+		}
+	}
+	// compactMu is held across evaluate + log + apply: the frontier cannot
+	// move mid-delete, and the WAL sees deletes and checkpoints in a serial
+	// order the recovery inference can trust.
+	ig.compactMu.Lock()
+	defer ig.compactMu.Unlock()
+
+	ig.mu.Lock()
+	sdb := ig.sealed
+	view := ig.ws.Snapshot()
+	delSealed := ig.delSealed
+	delWS := ig.delWS
+	ig.mu.Unlock()
+
+	// Sealed side: evaluate the conjunction over the frozen columns.
+	var match *bitmap.Bitmap
+	for _, f := range filters {
+		col, err := sdb.Fact.Column(f.Col)
+		if err != nil {
+			return 0, err
+		}
+		vals := col.DecodeAll(nil, nil)
+		m := bitmap.New(len(vals))
+		for i, v := range vals {
+			if f.Pred.Match(v) {
+				m.Set(i)
+			}
+		}
+		if match == nil {
+			match = m
+		} else {
+			match.And(m)
+		}
+	}
+	if delSealed != nil {
+		match.AndNot(delSealed) // only newly dead rows are logged/counted
+	}
+	sealedHits := match.Count()
+
+	// Write-store side: batch-at-a-time with zone-map pruning, collecting
+	// global row indexes.
+	var wsIdx []int64
+	next := view.Lo()
+	var scanErr error
+	view.ForEach(func(b *delta.Batch, lo, hi int) bool {
+		base := next - int64(lo)
+		next += int64(hi - lo)
+		for _, f := range filters {
+			if mn, mx, ok := b.MinMax(f.Col); ok && !f.Pred.MayMatch(mn, mx) {
+				return true
+			}
+		}
+		fvals := make([][]int32, len(filters))
+		for i, f := range filters {
+			if fvals[i] = b.Col(f.Col); fvals[i] == nil {
+				scanErr = fmt.Errorf("exec: delta batch lacks column %q", f.Col)
+				return false
+			}
+		}
+	row:
+		for r := lo; r < hi; r++ {
+			for i := range filters {
+				if !filters[i].Pred.Match(fvals[i][r]) {
+					continue row
+				}
+			}
+			g := base + int64(r)
+			if delWS != nil && g < int64(delWS.Len()) && delWS.Get(int(g)) {
+				continue
+			}
+			wsIdx = append(wsIdx, g)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return 0, scanErr
+	}
+	if sealedHits == 0 && len(wsIdx) == 0 {
+		return 0, nil
+	}
+
+	var err error
+	ig.mu.Lock()
+	var lsn uint64
+	if l := ig.wal; l != nil {
+		rec := wal.Delete{}
+		match.ForEach(func(p int) { rec.Sealed = append(rec.Sealed, uint32(p)) })
+		for _, g := range wsIdx {
+			rec.WS = append(rec.WS, g-ig.walBase)
+		}
+		lsn, err = l.Append(rec)
+		if err != nil {
+			ig.mu.Unlock()
+			ig.setErr(err)
+			return 0, err
+		}
+	}
+	if sealedHits > 0 {
+		ns := bitmap.New(sdb.numRows)
+		if ig.delSealed != nil {
+			ns = ig.delSealed.Clone()
+		}
+		ns.Or(match)
+		ig.delSealed = ns
+		ig.tombSealed += int64(sealedHits)
+	}
+	if len(wsIdx) > 0 {
+		n := int(ig.ws.Total())
+		var nw *bitmap.Bitmap
+		if ig.delWS != nil {
+			nw = ig.delWS.Grow(n)
+		} else {
+			nw = bitmap.New(n)
+		}
+		for _, g := range wsIdx {
+			nw.Set(int(g))
+		}
+		ig.delWS = nw
+		ig.tombWS += int64(len(wsIdx))
+	}
+	ig.deletes.Add(1)
+	ig.mu.Unlock()
+	if l := ig.wal; l != nil {
+		if err := l.Commit(lsn); err != nil {
+			ig.setErr(err)
+			return 0, err
+		}
+	}
+	return int64(sealedHits) + int64(len(wsIdx)), nil
+}
+
+// WALStats reports the durability log's counters plus whether it is on at
+// all; the zero value means no WAL (or no write store).
+type WALStats struct {
+	Enabled bool `json:"enabled"`
+	wal.Stats
+}
+
+// WALStats returns the write-ahead log's counters.
+func (db *DB) WALStats() WALStats {
+	ig := db.ingest
+	if ig == nil || ig.wal == nil {
+		return WALStats{}
+	}
+	return WALStats{Enabled: true, Stats: ig.wal.Stats()}
+}
+
+// CloseWAL syncs and closes the durability log, if one is attached. Call
+// after CloseDelta/FlushDelta on shutdown.
+func (db *DB) CloseWAL() error {
+	ig := db.ingest
+	if ig == nil {
+		return nil
+	}
+	ig.mu.Lock()
+	l := ig.wal
+	ig.mu.Unlock()
+	if l == nil {
+		return nil
+	}
+	return l.Close()
+}

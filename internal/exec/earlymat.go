@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 
+	"repro/internal/bitmap"
 	"repro/internal/iosim"
 	"repro/internal/ssb"
 )
@@ -14,7 +15,7 @@ import (
 // over a column-sourced materialized view. The paper removes late
 // materialization last because early materialization forces decompression
 // during tuple construction and precludes the invisible join.
-func (db *DB) runEarlyMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
+func (db *DB) runEarlyMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats, del *bitmap.Bitmap) *ssb.Result {
 	needed := q.NeededFactColumns()
 	colIdx := make(map[string]int, len(needed))
 	cols := make([][]int32, len(needed))
@@ -145,6 +146,11 @@ rowLoop:
 		// the block-iterated pipelines.
 		if r&0xFFFF == 0 && ctx.Err() != nil {
 			return emptyResult(q)
+		}
+		// Deletion vector first: a tombstoned row fails every plan the same
+		// way, before any predicate evaluates.
+		if del != nil && del.Get(r) {
+			continue
 		}
 		tup := rows[r]
 		for _, fp := range factPreds {

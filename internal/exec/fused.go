@@ -72,6 +72,7 @@ type fusedPlan struct {
 	nAggs   int
 	grouped bool
 	numRows int
+	del     *bitmap.Bitmap // sealed-side deletion vector (nil = none)
 }
 
 // fusedExtractor resolves fact FK values to group-by attribute codes by
@@ -231,14 +232,14 @@ func (db *DB) putFusedWorker(ws *fusedWorker) {
 }
 
 // runFused executes the late-materialized plan as one fused scan.
-func (db *DB) runFused(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
+func (db *DB) runFused(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats, del *bitmap.Bitmap) *ssb.Result {
 	space := db.fusedGroupSpace(q)
 	if space > denseLimit {
 		// Huge composite group spaces use the per-probe pipeline's hash
 		// aggregation fallback.
 		plain := cfg
 		plain.Fused = false
-		return db.runLateMat(ctx, q, plain, st)
+		return db.runLateMat(ctx, q, plain, st, del)
 	}
 
 	plan := &fusedPlan{
@@ -246,6 +247,7 @@ func (db *DB) runFused(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.
 		specs:   q.AggSpecs(),
 		grouped: len(q.GroupBy) > 0,
 		numRows: db.numRows,
+		del:     del,
 	}
 	plan.nAggs = len(plan.specs)
 	var aggColNames []string
@@ -443,6 +445,23 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 	}
 	if len(ws.idx) == 0 {
 		return
+	}
+
+	// Deletion-vector mask: drop tombstoned survivors before any aggregate
+	// input is gathered, so purged rows cost no value I/O — same contract
+	// as a failed probe.
+	if plan.del != nil {
+		k := 0
+		for _, i := range ws.idx {
+			if !plan.del.Get(blkBase + int(i)) {
+				ws.idx[k] = i
+				k++
+			}
+		}
+		ws.idx = ws.idx[:k]
+		if k == 0 {
+			return
+		}
 	}
 
 	// Aggregate inputs at survivors only: gather each distinct input

@@ -6,10 +6,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bitmap"
 	"repro/internal/colstore"
 	"repro/internal/delta"
 	"repro/internal/segstore"
 	"repro/internal/ssb"
+	"repro/internal/wal"
 )
 
 // This file is the write path of the C-Store WS/RS split (paper Section 2:
@@ -61,6 +63,32 @@ type ingestState struct {
 	kick      chan struct{}
 	done      chan struct{}
 	wg        sync.WaitGroup
+
+	// wal is the durability log (nil until EnableWAL). Inserts and deletes
+	// append under mu — so log order matches apply order — and group-commit
+	// outside it. walBase is the delta-global row index that WAL row index 0
+	// of the current log generation corresponds to: each compaction rewrites
+	// the log to just the live tail, re-anchoring it.
+	wal     *wal.Log
+	walBase int64
+
+	// delSealed/delWS are the deletion vectors, split at the frontier like
+	// the data itself. Both are immutable snapshots swapped under mu:
+	// delSealed always has exactly sealed.numRows bits (grown in the same
+	// critical section that flips the frontier); delWS is indexed by
+	// delta-global row and may be shorter than the current total — rows
+	// inserted after the last delete are implicitly live. nil means no
+	// tombstones on that side, which keeps the read path zero-cost until the
+	// first delete.
+	delSealed *bitmap.Bitmap
+	delWS     *bitmap.Bitmap
+	// deletes counts accepted delete operations that tombstoned at least one
+	// row; it contributes to Epoch so caches and frozen-base guards see
+	// deletes as data changes. tombSealed/tombWS count live tombstones per
+	// side (under mu; compaction purges WS tombstones as it drops the rows).
+	deletes    atomic.Int64
+	tombSealed int64
+	tombWS     int64
 }
 
 // errBox wraps an error for atomic.Value (which cannot store a bare nil).
@@ -123,31 +151,44 @@ func (db *DB) EnableDelta(maxWSBytes int64) error {
 	return nil
 }
 
+// tombstones is the deletion-vector snapshot a query executes against:
+// deleted rows on the sealed side (bit = sealed row index) and the write
+// store side (bit = delta-global row index). Either side may be nil — no
+// tombstones there — and both bitmaps are immutable snapshots, safe to read
+// for the whole query.
+type tombstones struct {
+	sealed *bitmap.Bitmap
+	ws     *bitmap.Bitmap
+}
+
 // snapshotForRead resolves the epoch a query executes against: the sealed
-// DB and the live delta view form one consistent frontier. Returns (db,
-// nil) for DBs without a write store.
-func (db *DB) snapshotForRead() (*DB, *delta.View) {
+// DB, the live delta view, and the deletion vectors form one consistent
+// frontier. Returns (db, nil, zero) for DBs without a write store.
+func (db *DB) snapshotForRead() (*DB, *delta.View, tombstones) {
 	ig := db.ingest
 	if ig == nil {
-		return db, nil
+		return db, nil, tombstones{}
 	}
 	ig.mu.Lock()
 	sdb := ig.sealed
 	view := ig.ws.Snapshot()
+	del := tombstones{sealed: ig.delSealed, ws: ig.delWS}
 	ig.mu.Unlock()
-	return sdb, view
+	return sdb, view, del
 }
 
-// Epoch versions the visible data: the number of rows ever inserted. It
-// bumps on every accepted insert (compaction moves rows between stores
-// without changing what queries see, so it does not bump). Zero for
-// read-only DBs — and forever zero when no insert ever lands, keeping
-// epoch-keyed result caches exact on frozen data.
+// Epoch versions the visible data: rows ever inserted plus delete operations
+// ever applied. It bumps on every accepted insert and every delete that
+// tombstones at least one row (compaction moves rows between stores without
+// changing what queries see, so it does not bump). Zero for read-only DBs —
+// and forever zero when no write ever lands, keeping epoch-keyed result
+// caches exact on frozen data.
 func (db *DB) Epoch() int64 {
-	if db.ingest == nil {
+	ig := db.ingest
+	if ig == nil {
 		return 0
 	}
-	return db.ingest.ws.Total()
+	return ig.ws.Total() + ig.deletes.Load()
 }
 
 // Insert validates, translates and appends a batch of logical lineorder
@@ -165,7 +206,7 @@ func (db *DB) Insert(b *ssb.Lineorders) (int64, error) {
 	}
 	n := b.Len()
 	if n == 0 {
-		return ig.ws.Total(), nil
+		return ig.ws.Total() + ig.deletes.Load(), nil
 	}
 	if ig.maxBytes > 0 && ig.ws.Bytes() > ig.maxBytes {
 		return 0, ErrWriteStoreFull
@@ -213,38 +254,76 @@ func (db *DB) Insert(b *ssb.Lineorders) (int64, error) {
 		ship[i] = code
 	}
 
-	batch, err := delta.NewBatch([]delta.Column{
-		{Name: "orderkey", Vals: append([]int32(nil), b.OrderKey...)},
-		{Name: "linenumber", Vals: append([]int32(nil), b.LineNumber...)},
-		{Name: "custkey", Vals: ck},
-		{Name: "partkey", Vals: pk},
-		{Name: "suppkey", Vals: sk},
-		{Name: "orderdate", Vals: append([]int32(nil), b.OrderDate...)},
-		{Name: "ordpriority", Vals: prio},
-		{Name: "shippriority", Vals: append([]int32(nil), b.ShipPriority...)},
-		{Name: "quantity", Vals: append([]int32(nil), b.Quantity...)},
-		{Name: "extendedprice", Vals: append([]int32(nil), b.ExtendedPrice...)},
-		{Name: "ordtotalprice", Vals: append([]int32(nil), b.OrdTotalPrice...)},
-		{Name: "discount", Vals: append([]int32(nil), b.Discount...)},
-		{Name: "revenue", Vals: append([]int32(nil), b.Revenue...)},
-		{Name: "supplycost", Vals: append([]int32(nil), b.SupplyCost...)},
-		{Name: "tax", Vals: append([]int32(nil), b.Tax...)},
-		{Name: "commitdate", Vals: append([]int32(nil), b.CommitDate...)},
-		{Name: "shipmode", Vals: ship},
-	})
+	// Physical columns in factColOrder — the same positional order the WAL's
+	// insert records and replay use.
+	cols := [][]int32{
+		append([]int32(nil), b.OrderKey...),
+		append([]int32(nil), b.LineNumber...),
+		ck,
+		pk,
+		sk,
+		append([]int32(nil), b.OrderDate...),
+		prio,
+		append([]int32(nil), b.ShipPriority...),
+		append([]int32(nil), b.Quantity...),
+		append([]int32(nil), b.ExtendedPrice...),
+		append([]int32(nil), b.OrdTotalPrice...),
+		append([]int32(nil), b.Discount...),
+		append([]int32(nil), b.Revenue...),
+		append([]int32(nil), b.SupplyCost...),
+		append([]int32(nil), b.Tax...),
+		append([]int32(nil), b.CommitDate...),
+		ship,
+	}
+	dcols := make([]delta.Column, len(cols))
+	for i := range cols {
+		dcols[i] = delta.Column{Name: factColOrder[i], Vals: cols[i]}
+	}
+	batch, err := delta.NewBatch(dcols)
 	if err != nil {
 		return 0, err
 	}
+	// WAL append and delta append happen under one lock so the log's record
+	// order equals the store's row order; the group commit — the fsync wait —
+	// happens outside it, so concurrent inserters coalesce into one sync
+	// without serializing their translation work.
 	ig.mu.Lock()
+	var lsn uint64
+	if ig.wal != nil {
+		lsn, err = ig.wal.Append(wal.Insert{Cols: cols})
+		if err != nil {
+			ig.mu.Unlock()
+			ig.setErr(err)
+			return 0, err
+		}
+	}
 	total := ig.ws.Append(batch)
+	epoch := total + ig.deletes.Load()
 	ig.mu.Unlock()
+	if ig.wal != nil {
+		if err := ig.wal.Commit(lsn); err != nil {
+			ig.setErr(err)
+			return 0, err
+		}
+	}
 	if ig.ws.Pending() >= int64(colstore.BlockSize) {
 		select {
 		case ig.kick <- struct{}{}:
 		default:
 		}
 	}
-	return total, nil
+	return epoch, nil
+}
+
+// factColOrder is the canonical physical column order of the fact table —
+// identical to BuildDB's layout and to Fact.ColumnNames(). Insert batches
+// and the WAL's positional insert records both use it, which is what lets
+// replay rebuild batches without storing column names per record.
+var factColOrder = []string{
+	"orderkey", "linenumber", "custkey", "partkey", "suppkey",
+	"orderdate", "ordpriority", "shippriority", "quantity",
+	"extendedprice", "ordtotalprice", "discount", "revenue",
+	"supplycost", "tax", "commitdate", "shipmode",
 }
 
 // CompactNow runs one tuple-mover pass, freezing the block-aligned prefix
@@ -286,6 +365,9 @@ func (db *DB) compactOnce(all bool) (int64, error) {
 	ig.mu.Lock()
 	sdb := ig.sealed
 	view := ig.ws.Snapshot()
+	// delWS is stable for the whole pass: deletes serialize behind
+	// compactMu, so no bit below the consumed prefix can appear mid-move.
+	delWS := ig.delWS
 	ig.mu.Unlock()
 
 	pending := view.Len()
@@ -293,20 +375,15 @@ func (db *DB) compactOnce(all bool) (int64, error) {
 		return 0, nil
 	}
 	gap := int64((colstore.BlockSize - sdb.numRows%colstore.BlockSize) % colstore.BlockSize)
-	var sealN int64
-	if all {
-		sealN = pending
-	} else {
-		if pending < int64(colstore.BlockSize) {
-			return 0, nil
-		}
-		sealN = gap + (pending-gap)/int64(colstore.BlockSize)*int64(colstore.BlockSize)
+	sealN, survivors := planSeal(view, delWS, gap, all)
+	if sealN == 0 {
+		return 0, nil
 	}
 
 	names := sdb.Fact.ColumnNames()
 	gathered := make([][]int32, len(names))
 	for i, name := range names {
-		gathered[i] = view.Gather(name, sealN, nil)
+		gathered[i] = gatherLive(view, delWS, name, sealN, survivors)
 	}
 
 	var newFact *colstore.Table
@@ -334,7 +411,7 @@ func (db *DB) compactOnce(all bool) (int64, error) {
 
 	nd := *sdb
 	nd.Fact = newFact
-	nd.numRows = sdb.numRows + int(sealN)
+	nd.numRows = sdb.numRows + int(survivors)
 	nd.ingest = nil
 	// Projections index the pre-append row space and the footprint memo is
 	// keyed by column pointers that just changed; both rebuild from scratch
@@ -345,9 +422,146 @@ func (db *DB) compactOnce(all bool) (int64, error) {
 	ig.mu.Lock()
 	ig.sealed = &nd
 	ig.ws.Seal(sealN)
+	// The sealed deletion vector tracks sealed.numRows exactly: grow it in
+	// the same critical section that publishes the new sealed store, so no
+	// reader ever pairs a grown store with a short vector. Tombstoned delta
+	// rows were dropped during the move — never copied to the file — so the
+	// new bits stay zero and the WS tombstone count shrinks by what the pass
+	// consumed.
+	if ig.delSealed != nil {
+		ig.delSealed = ig.delSealed.Grow(nd.numRows)
+	}
+	ig.tombWS -= sealN - survivors
 	ig.mu.Unlock()
 	ig.compactions.Add(1)
+
+	// Durability bookkeeping, still under compactMu. First a checkpoint
+	// record: replay adds it to the running frontier so already-landed rows
+	// are never re-applied. It is committed (fsynced) before compactMu is
+	// released — a delete accepted after this pass must find the checkpoint
+	// on disk, or replay could mis-attribute its WS indexes. Then the log is
+	// rewritten to just the live tail (base + pending inserts + live WS
+	// tombstones), re-anchoring walBase; the checkpoint stays meaningful in
+	// the crash window between the two steps.
+	if l := ig.wal; l != nil {
+		ig.mu.Lock()
+		ckpt := wal.Checkpoint{
+			SealedRows: ig.ws.Sealed() - ig.walBase,
+			FileRows:   int64(nd.numRows),
+		}
+		ig.mu.Unlock()
+		lsn, err := l.Append(ckpt)
+		if err == nil {
+			err = l.Commit(lsn)
+		}
+		if err != nil {
+			ig.setErr(err)
+			return 0, err
+		}
+		ig.mu.Lock()
+		recs := walSnapshotRecords(int64(nd.numRows), ig.delSealed, ig.ws.Snapshot(), ig.delWS)
+		err = l.Rewrite(recs)
+		if err == nil {
+			ig.walBase = ig.ws.Sealed()
+		}
+		ig.mu.Unlock()
+		if err != nil {
+			ig.setErr(err)
+			return 0, err
+		}
+	}
 	return sealN, nil
+}
+
+// planSeal picks how many pending delta rows one tuple-mover pass consumes.
+// Tombstoned rows are dropped during the move, so block alignment of the
+// fact file is governed by the survivor count: the pass consumes the
+// shortest prefix whose survivors first top the sealed store's partial tail
+// block up to BlockSize and then fill whole blocks, extended over any
+// tombstoned rows immediately after (consuming them is free). all=true
+// consumes everything, partial tail included.
+func planSeal(view *delta.View, delWS *bitmap.Bitmap, gap int64, all bool) (sealN, survivors int64) {
+	pending := view.Len()
+	live := pending
+	if delWS != nil {
+		lo := view.Lo()
+		for g := lo; g < lo+pending; g++ {
+			if g < int64(delWS.Len()) && delWS.Get(int(g)) {
+				live--
+			}
+		}
+	}
+	if all {
+		return pending, live
+	}
+	if pending < int64(colstore.BlockSize) || live < gap {
+		return 0, 0
+	}
+	target := gap + (live-gap)/int64(colstore.BlockSize)*int64(colstore.BlockSize)
+	if target == 0 {
+		return 0, 0
+	}
+	if delWS == nil {
+		return target, target
+	}
+	// Walk rows until target survivors are consumed, then swallow the
+	// immediately following tombstoned run.
+	lo := view.Lo()
+	var seen int64
+	n := int64(0)
+	for ; seen < target; n++ {
+		g := lo + n
+		if g >= int64(delWS.Len()) || !delWS.Get(int(g)) {
+			seen++
+		}
+	}
+	for n < pending {
+		g := lo + n
+		if g < int64(delWS.Len()) && delWS.Get(int(g)) {
+			n++
+			continue
+		}
+		break
+	}
+	return n, target
+}
+
+// gatherLive collects the named column's values for the live rows among the
+// first sealN visible rows of the view — the tuple mover's gather with
+// tombstone purging. survivors sizes the result exactly.
+func gatherLive(view *delta.View, delWS *bitmap.Bitmap, name string, sealN, survivors int64) []int32 {
+	if delWS == nil {
+		return view.Gather(name, sealN, make([]int32, 0, survivors))
+	}
+	out := make([]int32, 0, survivors)
+	next := view.Lo()
+	remaining := sealN
+	view.ForEach(func(b *delta.Batch, lo, hi int) bool {
+		if remaining <= 0 {
+			return false
+		}
+		vals := b.Col(name)
+		if vals == nil {
+			panic(fmt.Sprintf("exec: delta batch lacks column %q", name))
+		}
+		base := next - int64(lo)
+		take := int64(hi - lo)
+		if take > remaining {
+			take = remaining
+			hi = lo + int(take)
+		}
+		for r := lo; r < hi; r++ {
+			g := base + int64(r)
+			if g < int64(delWS.Len()) && delWS.Get(int(g)) {
+				continue
+			}
+			out = append(out, vals[r])
+		}
+		next += int64(hi - lo)
+		remaining -= take
+		return true
+	})
+	return out
 }
 
 // StartCompactor launches the background tuple mover: it wakes when a full
@@ -410,8 +624,14 @@ type DeltaStats struct {
 	// Compactions the mover passes that did it.
 	SealedRows  int64 `json:"sealed_rows"`
 	Compactions int64 `json:"compactions"`
-	// TotalRows is the row count a query starting now would see.
+	// TotalRows is the physical row count a query starting now would scan
+	// (tombstoned rows still resident count until compaction purges them).
 	TotalRows int64 `json:"total_rows"`
+	// Deletes counts accepted delete operations; TombstonesSealed and
+	// TombstonesWS the live tombstoned rows on each side of the frontier.
+	Deletes          int64 `json:"deletes"`
+	TombstonesSealed int64 `json:"tombstones_sealed"`
+	TombstonesWS     int64 `json:"tombstones_ws"`
 	// Err is the last tuple-mover failure ("" when healthy).
 	Err string `json:"err,omitempty"`
 }
@@ -427,12 +647,15 @@ func (db *DB) DeltaStats() DeltaStats {
 	// never transiently drop by a compaction's worth of rows mid-read.
 	ig.mu.Lock()
 	st := DeltaStats{
-		Enabled:      true,
-		Epoch:        ig.ws.Total(),
-		PendingRows:  ig.ws.Pending(),
-		PendingBytes: ig.ws.Bytes(),
-		SealedRows:   ig.ws.Sealed(),
-		TotalRows:    int64(ig.sealed.numRows) + ig.ws.Pending(),
+		Enabled:          true,
+		Epoch:            ig.ws.Total() + ig.deletes.Load(),
+		PendingRows:      ig.ws.Pending(),
+		PendingBytes:     ig.ws.Bytes(),
+		SealedRows:       ig.ws.Sealed(),
+		TotalRows:        int64(ig.sealed.numRows) + ig.ws.Pending(),
+		Deletes:          ig.deletes.Load(),
+		TombstonesSealed: ig.tombSealed,
+		TombstonesWS:     ig.tombWS,
 	}
 	ig.mu.Unlock()
 	st.Compactions = ig.compactions.Load()

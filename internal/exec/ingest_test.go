@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/compress"
 	"repro/internal/iosim"
 	"repro/internal/segstore"
 	"repro/internal/ssb"
@@ -33,15 +34,17 @@ func ingestEngines() []struct {
 }
 
 // TestIngestDifferential is the write-path differential harness: seeded
-// random queries interleave with seeded insert batches and tuple-mover
-// passes, and at every epoch each engine — in-memory and segment-backed,
-// per-probe, fused at 1 and 8 workers, early-materialized — must agree
-// bit-for-bit with the brute-force reference rebuilt from scratch over the
-// base dataset plus every batch inserted so far. Rounds are sized to cover
-// the interesting frontiers: queries answered purely from the write store,
-// a compaction that tops the partial tail block up to 64K rows and seals
-// whole blocks, epochs mixing sealed-and-delta, and a final flush that
-// leaves a partial tail again.
+// random queries interleave with seeded insert batches, value-predicate
+// deletes, and tuple-mover passes, and at every epoch each engine —
+// in-memory and segment-backed, per-probe, fused at 1 and 8 workers,
+// early-materialized — must agree bit-for-bit with the brute-force
+// reference rebuilt from scratch over the base dataset plus every batch
+// inserted (and every row deleted) so far. Rounds are sized to cover the
+// interesting frontiers: queries answered purely from the write store, a
+// compaction that tops the partial tail block up to 64K rows and seals
+// whole blocks, epochs mixing sealed-and-delta, deletes landing before and
+// after a seal (so tombstones are both purged by the mover and masked on
+// the frozen side), and a final flush that leaves a partial tail again.
 func TestIngestDifferential(t *testing.T) {
 	data := ssb.Generate(0.005)
 	refData := ssb.Generate(0.005) // independent copy: the rebuilt-from-scratch oracle
@@ -58,15 +61,46 @@ func TestIngestDifferential(t *testing.T) {
 		t.Fatalf("BatchShape: %v", err)
 	}
 
+	// applyDelete drives the same conjunction through both engines and the
+	// oracle; all three must tombstone/remove the same number of rows.
+	applyDelete := func(ri int, filters []ssb.FactFilter) {
+		t.Helper()
+		want := refData.DeleteWhere(filters)
+		for _, eng := range []struct {
+			label string
+			db    *DB
+		}{{"mem", mem}, {"seg", segDB}} {
+			got, err := eng.db.Delete(filters)
+			if err != nil {
+				t.Fatalf("round %d: Delete(%s): %v", ri, eng.label, err)
+			}
+			if got != want {
+				t.Fatalf("round %d: Delete(%s) tombstoned %d rows, oracle removed %d", ri, eng.label, got, want)
+			}
+		}
+	}
+
 	rounds := []struct {
 		insert  int
 		compact bool
+		preDel  []ssb.FactFilter // applied after insert, before any compaction
+		postDel []ssb.FactFilter // applied after compaction
 	}{
-		{3000, true},   // small delta; compaction is a no-op (< 64K pending)
-		{40000, false}, // larger delta served straight from the WS
-		{25000, true},  // pending crosses 64K: tail top-up + whole blocks seal
-		{7, false},     // tiny batch on top of a sealed store
-		{10000, true},  // another sub-block round
+		// Round 0: small delta; compaction is a no-op (< 64K pending). The
+		// post-delete spans base sealed rows AND live delta rows.
+		{3000, true, nil, []ssb.FactFilter{{Col: "quantity", Pred: compress.Between(48, 50)}}},
+		// Round 1: larger delta served straight from the WS.
+		{40000, false, nil, nil},
+		// Round 2: delete BEFORE a real seal — the mover must purge the WS
+		// tombstones while topping the tail block up to 64K.
+		{25000, true, []ssb.FactFilter{{Col: "tax", Pred: compress.Eq(7)}}, nil},
+		// Round 3: tiny batch on a sealed store; zero-match delete is a no-op.
+		{7, false, nil, []ssb.FactFilter{{Col: "orderkey", Pred: compress.Eq(-1)}}},
+		// Round 4: sub-block round; multi-predicate conjunction after the seal.
+		{10000, true, nil, []ssb.FactFilter{
+			{Col: "discount", Pred: compress.Eq(0)},
+			{Col: "quantity", Pred: compress.Le(10)},
+		}},
 	}
 	const queriesPerRound = 6
 	compacted := false
@@ -80,6 +114,9 @@ func TestIngestDifferential(t *testing.T) {
 			if _, err := db.Insert(batch); err != nil {
 				t.Fatalf("round %d: Insert: %v", ri, err)
 			}
+		}
+		if round.preDel != nil {
+			applyDelete(ri, round.preDel)
 		}
 		if round.compact {
 			nMem, err := mem.CompactNow()
@@ -97,8 +134,14 @@ func TestIngestDifferential(t *testing.T) {
 				compacted = true
 			}
 		}
-		if got, want := mem.NumRows(), refData.NumLineorders(); got != want {
-			t.Fatalf("round %d: NumRows %d, want %d", ri, got, want)
+		if round.postDel != nil {
+			applyDelete(ri, round.postDel)
+		}
+		// Physical NumRows includes masked (tombstoned) sealed rows, so the
+		// row-count invariant is checked through the visibility layer.
+		countQ := &ssb.Query{ID: fmt.Sprintf("count-%d", ri), Aggs: []ssb.AggSpec{{Func: ssb.FuncCount}}}
+		if got, want := mem.Run(countQ, FullOpt, nil).Rows[0].AggValues()[0], int64(refData.NumLineorders()); got != want {
+			t.Fatalf("round %d: visible count(*) %d, want %d", ri, got, want)
 		}
 
 		queries := make([]*ssb.Query, 0, queriesPerRound+2)
@@ -402,5 +445,164 @@ func TestIngestConcurrentSnapshots(t *testing.T) {
 	}
 	if p := store.Pool().PinnedFrames(); p != 0 {
 		t.Errorf("%d frames still pinned after concurrent ingest run", p)
+	}
+}
+
+// TestDeleteConcurrentSnapshots races deletes against inserters, count(*)
+// readers, and the background tuple mover. Every insert batch carries one
+// unique marker orderkey, and a deleter tombstones every second acked
+// batch while compaction purges and re-seals underneath, so the snapshot
+// invariants under test are: (a) global counts only ever move by whole
+// batches — inserts and deletes are atomic to readers; (b) a per-key count
+// is always 0 or the full batch, never a torn prefix. Run under -race in
+// CI.
+func TestDeleteConcurrentSnapshots(t *testing.T) {
+	data := ssb.Generate(0.002)
+	mem := BuildDB(data, true)
+	segDB, store := segBackedDB(t, mem, data.SF, 0)
+	if err := segDB.EnableDelta(0); err != nil {
+		t.Fatalf("EnableDelta: %v", err)
+	}
+	segDB.StartCompactor()
+	shape, _ := segDB.BatchShape()
+
+	const inserters = 2
+	const batches = 6
+	const batchRows = 4000
+	base := int64(data.NumLineorders())
+	keyFor := func(i, b int) int32 { return 1_600_000_000 + int32(i*100+b) }
+	countQ := &ssb.Query{ID: "count", Aggs: []ssb.AggSpec{{Func: ssb.FuncCount}}}
+	keyCount := func(key int32, cfg Config) int64 {
+		q := &ssb.Query{
+			ID:          fmt.Sprintf("key-%d", key),
+			Aggs:        []ssb.AggSpec{{Func: ssb.FuncCount}},
+			FactFilters: []ssb.FactFilter{{Col: "orderkey", Pred: compress.Eq(key)}},
+		}
+		return segDB.Run(q, cfg, nil).Rows[0].Agg
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 16)
+	acked := make(chan int32, inserters*batches)
+	for i := 0; i < inserters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				batch, err := ssb.RandBatch(int64(i*1000+b), batchRows, shape)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				key := keyFor(i, b)
+				for r := range batch.OrderKey {
+					batch.OrderKey[r] = key
+				}
+				if _, err := segDB.Insert(batch); err != nil {
+					errCh <- err
+					return
+				}
+				acked <- key
+			}
+		}(i)
+	}
+	var deleted []int32
+	var dwg sync.WaitGroup
+	dwg.Add(1)
+	go func() {
+		defer dwg.Done()
+		n := 0
+		for key := range acked {
+			n++
+			if n%2 != 0 {
+				continue
+			}
+			got, err := segDB.Delete([]ssb.FactFilter{{Col: "orderkey", Pred: compress.Eq(key)}})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if got != batchRows {
+				errCh <- fmt.Errorf("delete of acked key %d tombstoned %d rows, want %d", key, got, batchRows)
+				return
+			}
+			deleted = append(deleted, key)
+		}
+	}()
+	var rwg sync.WaitGroup
+	rwg.Add(2)
+	go func() { // whole-batch atomicity of the global count
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			got := segDB.Run(countQ, FusedOpt, nil).Rows[0].Agg
+			if d := got - base; d < 0 || d%batchRows != 0 {
+				errCh <- fmt.Errorf("count %d is not base+k*%d — a reader saw a torn insert or delete", got, batchRows)
+				return
+			}
+		}
+	}()
+	go func() { // per-key all-or-nothing visibility
+		defer rwg.Done()
+		for b := 0; ; b++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if got := keyCount(keyFor(b%inserters, b%batches), FullOpt); got != 0 && got != batchRows {
+				errCh <- fmt.Errorf("key %d count %d — torn per-key visibility, want 0 or %d",
+					keyFor(b%inserters, b%batches), got, batchRows)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(acked)
+	dwg.Wait()
+	close(stop)
+	rwg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	if err := segDB.FlushDelta(); err != nil {
+		t.Fatalf("FlushDelta: %v", err)
+	}
+	segDB.CloseDelta()
+	want := base + int64(inserters*batches-len(deleted))*batchRows
+	if got := segDB.Run(countQ, FusedOpt, nil).Rows[0].Agg; got != want {
+		t.Fatalf("final count %d, want %d (%d batches deleted)", got, want, len(deleted))
+	}
+	isDeleted := map[int32]bool{}
+	for _, key := range deleted {
+		isDeleted[key] = true
+	}
+	for i := 0; i < inserters; i++ {
+		for b := 0; b < batches; b++ {
+			key := keyFor(i, b)
+			want := int64(batchRows)
+			if isDeleted[key] {
+				want = 0
+			}
+			for _, eng := range ingestEngines() {
+				if got := keyCount(key, eng.cfg); got != want {
+					t.Errorf("key %d [%s]: final count %d, want %d", key, eng.label, got, want)
+				}
+			}
+		}
+	}
+	if ds := segDB.DeltaStats(); ds.Err != "" {
+		t.Fatalf("tuple mover recorded error: %s", ds.Err)
+	}
+	if p := store.Pool().PinnedFrames(); p != 0 {
+		t.Errorf("%d frames still pinned after concurrent delete run", p)
 	}
 }

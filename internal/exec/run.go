@@ -39,9 +39,9 @@ func (db *DB) Run(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
 // — so inserts accepted after the snapshot are invisible to this query and
 // inserts accepted before are always included, for every engine.
 func (db *DB) RunCtx(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) (*ssb.Result, error) {
-	sdb, view := db.snapshotForRead()
+	sdb, view, del := db.snapshotForRead()
 	if view == nil || view.Len() == 0 {
-		return sdb.runFrozen(ctx, q, cfg, st)
+		return sdb.runFrozen(ctx, q, cfg, st, del.sealed)
 	}
 	specs := q.AggSpecs()
 	runQ := q
@@ -53,26 +53,28 @@ func (db *DB) RunCtx(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.St
 		cp.Aggs = append(append([]ssb.AggSpec(nil), specs...), ssb.AggSpec{Func: ssb.FuncCount})
 		runQ = &cp
 	}
-	sealedRes, err := sdb.runFrozen(ctx, runQ, cfg, st)
+	sealedRes, err := sdb.runFrozen(ctx, runQ, cfg, st, del.sealed)
 	if err != nil {
 		return nil, err
 	}
-	ws := sdb.scanWS(ctx, view, q, cfg)
+	ws := sdb.scanWS(ctx, view, q, cfg, del.ws)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return mergeWS(q, specs, sealedRes, ws), nil
 }
 
-// runFrozen dispatches one engine over this DB's (immutable) storage.
-func (db *DB) runFrozen(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) (*ssb.Result, error) {
+// runFrozen dispatches one engine over this DB's (immutable) storage,
+// masking the snapshot's sealed-side deletion vector (nil = none) so every
+// engine excludes tombstoned rows identically.
+func (db *DB) runFrozen(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats, del *bitmap.Bitmap) (*ssb.Result, error) {
 	var res *ssb.Result
 	if !cfg.LateMat {
-		res = db.runEarlyMat(ctx, q, cfg, st)
+		res = db.runEarlyMat(ctx, q, cfg, st, del)
 	} else if cfg.FusedActive() {
-		res = db.runFused(ctx, q, cfg, st)
+		res = db.runFused(ctx, q, cfg, st, del)
 	} else {
-		res = db.runLateMat(ctx, q, cfg, st)
+		res = db.runLateMat(ctx, q, cfg, st, del)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -84,7 +86,7 @@ func (db *DB) runFrozen(ctx context.Context, q *ssb.Query, cfg Config, st *iosim
 // lists over the fact table; values are fetched only at qualifying
 // positions (paper Section 5.2), and joins are executed as predicates on
 // fact foreign-key columns (Section 5.4).
-func (db *DB) runLateMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
+func (db *DB) runLateMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats, del *bitmap.Bitmap) *ssb.Result {
 	probes := db.planProbes(q, cfg, st)
 
 	// Phase 2: apply each fact-side predicate, pipelining candidates.
@@ -100,6 +102,16 @@ func (db *DB) runLateMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosi
 	}
 	if pos == nil {
 		pos = vector.NewRangePositions(0, int32(db.numRows))
+	}
+	if del != nil && pos.Len() > 0 {
+		// Mask tombstoned rows before any value is fetched at the final
+		// positions: deletes behave as one more conjunct on every plan.
+		bm := pos.ToBitmap(db.numRows)
+		if bm == pos.Bits {
+			bm = bm.Clone() // ToBitmap may return the probe's own bitmap
+		}
+		bm.AndNot(del)
+		pos = vector.NewBitmapPositions(bm)
 	}
 	if pos.Len() == 0 || ctx.Err() != nil {
 		return emptyResult(q)

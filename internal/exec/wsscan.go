@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 
+	"repro/internal/bitmap"
 	"repro/internal/delta"
 	"repro/internal/iosim"
 	"repro/internal/ssb"
@@ -44,7 +45,10 @@ func wsKey(keys []string) string { return strings.Join(keys, "\x00") }
 // moment a single delta row exists. The re-planning CPU is accepted: it
 // keeps the engines' internals untouched, and the write store is bounded
 // by the compaction threshold.
-func (db *DB) scanWS(ctx context.Context, view *delta.View, q *ssb.Query, cfg Config) *wsPartial {
+// del (nil = none) is the write-store deletion vector, indexed by
+// delta-global row; rows inserted after the last delete may lie past its
+// length and are implicitly live.
+func (db *DB) scanWS(ctx context.Context, view *delta.View, q *ssb.Query, cfg Config, del *bitmap.Bitmap) *wsPartial {
 	specs := q.AggSpecs()
 	out := &wsPartial{cells: make([]int64, len(specs))}
 	ssb.InitCells(specs, out.cells)
@@ -76,10 +80,16 @@ func (db *DB) scanWS(ctx context.Context, view *delta.View, q *ssb.Query, cfg Co
 		groups = map[int64][]int64{}
 	}
 
+	// next tracks the delta-global index of the next visible row, anchoring
+	// the deletion-vector lookups; it must advance on every exit path,
+	// including zone-map skips.
+	next := view.Lo()
 	view.ForEach(func(b *delta.Batch, lo, hi int) bool {
 		if ctx.Err() != nil {
 			return false
 		}
+		base := next - int64(lo)
+		next += int64(hi - lo)
 		// Zone-map pruning on unflushed data: a batch no probe can match
 		// contributes nothing and is skipped without touching values.
 		for i, p := range probes {
@@ -103,6 +113,11 @@ func (db *DB) scanWS(ctx context.Context, view *delta.View, q *ssb.Query, cfg Co
 		for r := lo; r < hi; r++ {
 			if (r-lo)&0xFFFF == 0xFFFF && ctx.Err() != nil {
 				return false
+			}
+			if del != nil {
+				if g := base + int64(r); g < int64(del.Len()) && del.Get(int(g)) {
+					continue row
+				}
 			}
 			for i, p := range probes {
 				v := pvals[i][r]

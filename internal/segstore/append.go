@@ -205,6 +205,7 @@ func (s *Store) Append(table string, cols []AppendColumn) error {
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("segstore: %s: syncing append payload: %w", s.path, err)
 	}
+	s.syncs.Add(1)
 	trailer := binary.LittleEndian.AppendUint32(nil, crc32.ChecksumIEEE(footer))
 	trailer = binary.LittleEndian.AppendUint64(trailer, uint64(len(footer)))
 	trailer = append(trailer, Magic...)
@@ -214,6 +215,7 @@ func (s *Store) Append(table string, cols []AppendColumn) error {
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("segstore: %s: syncing append trailer: %w", s.path, err)
 	}
+	s.syncs.Add(1)
 
 	// Durable on disk: swap the live directory.
 	s.mu.Lock()

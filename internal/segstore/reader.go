@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/colstore"
 	"repro/internal/compress"
@@ -52,6 +53,10 @@ type Store struct {
 	// appendMu serializes appends; separate from mu so readers are never
 	// blocked behind append file I/O.
 	appendMu sync.Mutex
+
+	// syncs counts fsyncs issued by the append commit protocol (two per
+	// append: payload+footer, then trailer). Observability only.
+	syncs atomic.Int64
 
 	pool *Pool
 }
@@ -317,6 +322,10 @@ func (s *Store) RawBytes() int64 {
 
 // Pool returns the store's buffer pool (statistics, budget).
 func (s *Store) Pool() *Pool { return s.pool }
+
+// Syncs reports how many fsyncs the append commit protocol has issued on
+// this store since open.
+func (s *Store) Syncs() int64 { return s.syncs.Load() }
 
 // Close closes the underlying file. Outstanding pinned segments remain
 // usable (they are decoded in memory); further misses will fail.

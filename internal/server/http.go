@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/compress"
 	"repro/internal/exec"
 	"repro/internal/sql"
 	"repro/internal/ssb"
@@ -85,6 +86,60 @@ type insertRow struct {
 // should be split).
 const maxInsertBodyBytes = 64 << 20
 
+// retryAfterSeconds is the Retry-After hint sent with write-store
+// backpressure: roughly how long one background tuple-mover pass takes on
+// a loaded store, so well-behaved clients pace their retries instead of
+// hammering the 503.
+const retryAfterSeconds = 1
+
+// deleteRequest is the POST body of /delete: a conjunction of predicates
+// over identity-valued fact columns. Every visible row matching all of
+// them is tombstoned.
+type deleteRequest struct {
+	Filters []deleteFilter `json:"filters"`
+}
+
+// deleteFilter is one predicate: col plus an op. eq/lt/le/gt/ge use A;
+// between uses A and B; in uses Values.
+type deleteFilter struct {
+	Col    string  `json:"col"`
+	Op     string  `json:"op"`
+	A      int32   `json:"a,omitempty"`
+	B      int32   `json:"b,omitempty"`
+	Values []int32 `json:"values,omitempty"`
+}
+
+// pred translates the wire filter to an executor predicate.
+func (f *deleteFilter) pred() (compress.Pred, error) {
+	switch f.Op {
+	case "eq":
+		return compress.Eq(f.A), nil
+	case "between":
+		return compress.Between(f.A, f.B), nil
+	case "lt":
+		return compress.Lt(f.A), nil
+	case "le":
+		return compress.Le(f.A), nil
+	case "gt":
+		return compress.Gt(f.A), nil
+	case "ge":
+		return compress.Ge(f.A), nil
+	case "in":
+		if len(f.Values) == 0 {
+			return compress.Pred{}, errors.New("op \"in\" needs a non-empty values list")
+		}
+		return compress.In(f.Values...), nil
+	default:
+		return compress.Pred{}, fmt.Errorf("unknown op %q (eq, between, lt, le, gt, ge, in)", f.Op)
+	}
+}
+
+// deleteResponse reports one accepted delete operation.
+type deleteResponse struct {
+	Deleted int64 `json:"deleted"`
+	Epoch   int64 `json:"epoch"`
+}
+
 // insertResponse reports one accepted batch.
 type insertResponse struct {
 	Inserted int   `json:"inserted"`
@@ -124,8 +179,47 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
+}
+
+// handleDelete tombstones the rows matching the request's predicate
+// conjunction, durably when the server runs with a WAL.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if !s.ingest {
+		httpError(w, http.StatusNotImplemented, "ingest is disabled; start the server with ingest enabled")
+		return
+	}
+	var req deleteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxInsertBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	filters := make([]ssb.FactFilter, 0, len(req.Filters))
+	for _, f := range req.Filters {
+		pred, err := f.pred()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		filters = append(filters, ssb.FactFilter{Col: f.Col, Pred: pred})
+	}
+	deleted, epoch, err := s.Delete(filters)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, deleteResponse{Deleted: deleted, Epoch: epoch})
 }
 
 // handleInsert accepts one batch of rows (explicit or seeded) and appends
@@ -159,7 +253,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case errors.Is(err, exec.ErrWriteStoreFull):
-		// Backpressure: the tuple mover is behind; the client should retry.
+		// Backpressure: the tuple mover is behind. Retry-After tells
+		// well-behaved clients how long to pace off before retrying.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	default:

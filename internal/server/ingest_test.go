@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 
+	"repro/internal/compress"
 	"repro/internal/ssb"
 )
 
@@ -151,6 +154,159 @@ func TestInsertHTTP(t *testing.T) {
 	sresp.Body.Close()
 	if stats.Server.Inserts != 2 || !stats.Server.Delta.Enabled || stats.Server.Delta.PendingRows != 1501 {
 		t.Fatalf("/stats shape: %+v", stats.Server)
+	}
+}
+
+// TestDeleteHTTP drives deletion vectors through the real HTTP surface
+// with a WAL attached: count before, /delete a value predicate, count
+// after (zero), idempotent re-delete, validation failures, and the /stats
+// durability counters.
+func TestDeleteHTTP(t *testing.T) {
+	srv, _ := newIngestServer(t, Options{
+		CacheEntries: -1,
+		WALPath:      filepath.Join(t.TempDir(), "ingest.wal"),
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+
+	shape, err := srv.DB().IngestShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ssb.RandBatch(17, 3000, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Insert(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	qtyQ := &ssb.Query{ID: "qty30", Aggs: []ssb.AggSpec{{Func: ssb.FuncCount}},
+		FactFilters: []ssb.FactFilter{{Col: "quantity", Pred: compress.Eq(30)}}}
+	pre, err := srv.Execute(ctx, qtyQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matching := pre.Result.Rows[0].Agg
+	if matching == 0 {
+		t.Fatal("no rows with quantity=30; the fixture lost its value domain")
+	}
+	total, err := srv.Execute(ctx, countQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/delete", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	code, out := post(`{"filters":[{"col":"quantity","op":"eq","a":30}]}`)
+	if code != http.StatusOK || int64(out["deleted"].(float64)) != matching {
+		t.Fatalf("delete: code=%d out=%v, want 200/%d deleted", code, out, matching)
+	}
+	after, err := srv.Execute(ctx, qtyQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := after.Result.Rows[0].Agg; got != 0 {
+		t.Fatalf("post-delete quantity=30 count %d, want 0", got)
+	}
+	afterTotal, err := srv.Execute(ctx, countQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := afterTotal.Result.Rows[0].Agg, total.Result.Rows[0].Agg-matching; got != want {
+		t.Fatalf("post-delete count(*) %d, want %d", got, want)
+	}
+	// Idempotent: the same predicate now tombstones nothing.
+	if code, out := post(`{"filters":[{"col":"quantity","op":"eq","a":30}]}`); code != http.StatusOK || out["deleted"].(float64) != 0 {
+		t.Fatalf("re-delete: code=%d out=%v, want 200/0 deleted", code, out)
+	}
+	// Validation: empty conjunction and non-identity columns are rejected.
+	if code, _ := post(`{"filters":[]}`); code != http.StatusUnprocessableEntity {
+		t.Fatalf("empty filter list accepted: code=%d", code)
+	}
+	if code, _ := post(`{"filters":[{"col":"custkey","op":"eq","a":1}]}`); code != http.StatusUnprocessableEntity {
+		t.Fatalf("delete by remapped FK column accepted: code=%d", code)
+	}
+	if code, _ := post(`{"filters":[{"col":"quantity","op":"frob","a":1}]}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown op accepted: code=%d", code)
+	}
+
+	// Two accepted operations (the second tombstoned nothing), one batch of
+	// rows actually removed.
+	st := srv.Stats()
+	if st.Deletes != 2 || st.DeletedRows != matching {
+		t.Fatalf("stats after delete: deletes=%d deleted_rows=%d, want 2/%d", st.Deletes, st.DeletedRows, matching)
+	}
+	if !st.WAL.Enabled || st.WAL.Appends == 0 || st.WAL.Syncs == 0 {
+		t.Fatalf("WAL stats not surfaced: %+v", st.WAL)
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Server struct {
+			Deletes int64 `json:"deletes"`
+			WAL     struct {
+				Enabled bool  `json:"enabled"`
+				Appends int64 `json:"appends"`
+			} `json:"wal"`
+		} `json:"server"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Server.Deletes != 2 || !stats.Server.WAL.Enabled || stats.Server.WAL.Appends == 0 {
+		t.Fatalf("/stats durability shape: %+v", stats.Server)
+	}
+}
+
+// TestInsertBackpressureRetryAfter pins the 503 + Retry-After contract:
+// once the write store is over its byte cap, /insert tells well-behaved
+// clients how long to pace off instead of hammering.
+func TestInsertBackpressureRetryAfter(t *testing.T) {
+	// A 1-byte cap: the first insert lands (the store is empty), every
+	// subsequent one bounces until compaction drains — which a 2.5K-row
+	// delta never triggers (64K block threshold), so the 503 is stable.
+	srv, _ := newIngestServer(t, Options{CacheEntries: -1, IngestMaxBytes: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func() *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/insert", "application/json",
+			bytes.NewBufferString(`{"seed":5,"count":2500}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first insert into an empty store: %d, want 200", resp.StatusCode)
+	}
+	resp := post()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("insert over cap: %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 backpressure response carries no Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q is not a positive integer of seconds", ra)
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/iosim"
 	"repro/internal/ssb"
+	"repro/internal/wal"
 )
 
 // ErrClosed is returned by Execute after Close has begun.
@@ -72,6 +73,13 @@ type Options struct {
 	// unbounded). Inserts past the cap get backpressure (ErrWriteStoreFull
 	// -> 503) until compaction drains.
 	IngestMaxBytes int64
+	// WALPath, when non-empty (and Ingest is on), attaches a write-ahead
+	// log: an existing log at the path is replayed before serving, and
+	// every accepted insert/delete is group-committed before acking.
+	WALPath string
+	// WALWindow is the group-commit window: how long a commit leader waits
+	// for more batches to share its fsync. Zero syncs immediately.
+	WALWindow time.Duration
 }
 
 // Server executes queries from many goroutines against one shared DB.
@@ -93,6 +101,9 @@ type Server struct {
 	ingest       bool
 	inserts      atomic.Int64
 	insertedRows atomic.Int64
+	deletes      atomic.Int64
+	deletedRows  atomic.Int64
+	wal          bool
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -142,10 +153,11 @@ func New(db *core.DB, opts Options) (*Server, error) {
 		if maxWS < 0 {
 			maxWS = 0
 		}
-		if err := db.EnableIngest(true, maxWS); err != nil {
+		if err := db.EnableIngestWAL(true, maxWS, opts.WALPath, wal.Options{Window: opts.WALWindow}); err != nil {
 			return nil, err
 		}
 		s.ingest = true
+		s.wal = opts.WALPath != ""
 	}
 	return s, nil
 }
@@ -173,6 +185,32 @@ func (s *Server) Insert(b *ssb.Lineorders) (int64, error) {
 	s.inserts.Add(1)
 	s.insertedRows.Add(int64(b.Len()))
 	return epoch, nil
+}
+
+// Delete tombstones every visible row matching all the given fact-column
+// predicates, returning the count deleted and the new epoch. Durable before
+// return when the server runs with a WAL; concurrent with queries and
+// inserts — a query started before this call sees none of the deletions,
+// one started after sees all of them.
+func (s *Server) Delete(filters []ssb.FactFilter) (int64, int64, error) {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return 0, 0, ErrClosed
+	}
+	s.wg.Add(1)
+	s.closeMu.RUnlock()
+	defer s.wg.Done()
+	if !s.ingest {
+		return 0, 0, fmt.Errorf("server: ingest is disabled (start with Options.Ingest)")
+	}
+	deleted, err := s.db.Delete(filters)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.deletes.Add(1)
+	s.deletedRows.Add(deleted)
+	return deleted, s.db.Epoch(), nil
 }
 
 // Config returns the column configuration queries execute under.
@@ -269,10 +307,16 @@ type Stats struct {
 	// Logical is the summed per-query logical I/O of completed queries.
 	Logical iosim.Stats `json:"logical_io"`
 	// Inserts/InsertedRows count accepted insert batches and their rows;
-	// Delta is the write store's state (zero value when ingest is off).
+	// Deletes/DeletedRows the accepted delete operations and the rows they
+	// tombstoned; Delta is the write store's state (zero value when ingest
+	// is off).
 	Inserts      int64           `json:"inserts"`
 	InsertedRows int64           `json:"inserted_rows"`
+	Deletes      int64           `json:"deletes"`
+	DeletedRows  int64           `json:"deleted_rows"`
 	Delta        exec.DeltaStats `json:"delta"`
+	// WAL is the durability log's state (zero value when no WAL).
+	WAL exec.WALStats `json:"wal"`
 }
 
 // Stats returns the current counters.
@@ -291,7 +335,10 @@ func (s *Server) Stats() Stats {
 		Logical:      s.logical.Snapshot(),
 		Inserts:      s.inserts.Load(),
 		InsertedRows: s.insertedRows.Load(),
+		Deletes:      s.deletes.Load(),
+		DeletedRows:  s.deletedRows.Load(),
 		Delta:        s.db.IngestStats(),
+		WAL:          s.db.WALStats(),
 	}
 }
 
@@ -312,7 +359,11 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 	if s.ingest {
 		s.db.CloseIngest()
-		return s.db.FlushIngest()
+		err := s.db.FlushIngest()
+		if werr := s.db.CloseWAL(); err == nil {
+			err = werr
+		}
+		return err
 	}
 	return nil
 }

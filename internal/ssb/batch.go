@@ -162,6 +162,74 @@ func (d *Data) AppendBatch(b *Lineorders) {
 	lo.ShipMode = append(lo.ShipMode, b.ShipMode...)
 }
 
+// DeleteWhere removes every fact row matching ALL of the given measure
+// predicates (the same conjunction semantics as the engine's Delete) and
+// returns how many were removed. It is the brute-force oracle for the
+// deletion-vector path: a Data that replayed the same insert+delete history
+// through AppendBatch/DeleteWhere is the from-scratch reference any engine
+// snapshot must agree with.
+func (d *Data) DeleteWhere(filters []FactFilter) int64 {
+	lo := &d.Line
+	n := lo.Len()
+	cols := make([][]int32, len(filters))
+	for i, f := range filters {
+		cols[i] = lo.MustIntCol(f.Col)
+	}
+	keep := make([]bool, n)
+	var removed int64
+	for i := 0; i < n; i++ {
+		keep[i] = false
+		for fi := range filters {
+			if !filters[fi].Pred.Match(cols[fi][i]) {
+				keep[i] = true
+				break
+			}
+		}
+		if !keep[i] {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	filterInt := func(s []int32) []int32 {
+		out := s[:0]
+		for i, v := range s {
+			if keep[i] {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	filterStr := func(s []string) []string {
+		out := s[:0]
+		for i, v := range s {
+			if keep[i] {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	lo.OrderKey = filterInt(lo.OrderKey)
+	lo.LineNumber = filterInt(lo.LineNumber)
+	lo.CustKey = filterInt(lo.CustKey)
+	lo.PartKey = filterInt(lo.PartKey)
+	lo.SuppKey = filterInt(lo.SuppKey)
+	lo.OrderDate = filterInt(lo.OrderDate)
+	lo.OrdPriority = filterStr(lo.OrdPriority)
+	lo.ShipPriority = filterInt(lo.ShipPriority)
+	lo.Quantity = filterInt(lo.Quantity)
+	lo.ExtendedPrice = filterInt(lo.ExtendedPrice)
+	lo.OrdTotalPrice = filterInt(lo.OrdTotalPrice)
+	lo.Discount = filterInt(lo.Discount)
+	lo.Revenue = filterInt(lo.Revenue)
+	lo.SupplyCost = filterInt(lo.SupplyCost)
+	lo.Tax = filterInt(lo.Tax)
+	lo.CommitDate = filterInt(lo.CommitDate)
+	lo.ShipMode = filterStr(lo.ShipMode)
+	return removed
+}
+
 // SortLineorders re-sorts the fact table into the generator's physical
 // order (orderdate primary, quantity and discount secondary). A Data that
 // absorbed AppendBatch rows is logically complete but physically unsorted;

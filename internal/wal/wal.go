@@ -1,0 +1,675 @@
+// Package wal is the durability layer of the write path: an append-only,
+// CRC32-framed record log that sits in front of the in-memory delta store
+// (internal/delta). Every accepted insert or delete is framed, sequenced and
+// fsynced before the caller's ack, so a crash at any point after the ack can
+// lose nothing: reopening the store replays the log and reconstructs the
+// exact delta state.
+//
+// The log holds four record kinds:
+//
+//   - Base: the sealed-store state the log starts from (fact rows in the
+//     segment file plus the sealed-side deletion bitmap). The delta store is
+//     empty at every log start — rewrites re-anchor the log whenever the
+//     tuple mover changes the sealed frontier.
+//   - Insert: one accepted batch, all fact columns in canonical order.
+//   - Delete: one accepted delete — tombstoned sealed positions plus
+//     tombstoned write-store row indexes.
+//   - Checkpoint: a durable compaction — the cumulative count of delta rows
+//     sealed since Base and the resulting fact-row count. Replay past a
+//     checkpoint is idempotent: sealed rows are read from the segment file,
+//     not re-inserted.
+//
+// Framing is [u32 len][u8 kind][u64 lsn][payload][u32 crc32] with the CRC
+// over kind+lsn+payload. LSNs are strictly monotonic within a file. Replay
+// stops at the first torn or corrupt frame and truncates the file there —
+// a torn tail is the expected shape of a crash mid-append and is never an
+// error. Decoding is fully bounds-checked and never panics on arbitrary
+// bytes (FuzzWALRecord pins that).
+//
+// Commit implements group commit: an Append writes the frame into the OS
+// buffer immediately; Commit(lsn) blocks until that LSN is durable. The
+// first committer becomes the group leader, waits a configurable window for
+// more writers to pile on (or until a byte threshold forces an early
+// flush), then issues one File.Sync covering every frame written so far.
+// Concurrent insert streams therefore share fsyncs instead of paying one
+// each.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"encoding/binary"
+)
+
+const (
+	magic = "SSBWAL01"
+	// maxFrame bounds a single record's framed size; anything larger in a
+	// length field is corruption, not data.
+	maxFrame = 1 << 28
+	// frame overhead: u32 len + u32 crc around the body, body holds
+	// kind (1) + lsn (8) before the payload.
+	frameBodyMin = 9
+
+	kindBase       byte = 1
+	kindInsert     byte = 2
+	kindDelete     byte = 3
+	kindCheckpoint byte = 4
+)
+
+// record caps: limits well above anything the write path produces, so a
+// corrupt count field fails validation instead of driving an allocation.
+const (
+	maxCols    = 1 << 10
+	maxDelBits = int64(1) << 40
+)
+
+// Record is one replayable log entry: Base, Insert, Delete or Checkpoint.
+type Record interface {
+	kind() byte
+	appendPayload(dst []byte) []byte
+}
+
+// Base anchors the log: the sealed fact-row count and the sealed-side
+// deletion bitmap (as raw words) at the moment the log was (re)written. The
+// delta store is empty at this point by construction.
+type Base struct {
+	FileRows int64
+	// DelLen/DelWords encode the sealed deletion bitmap; DelWords is empty
+	// when nothing is tombstoned.
+	DelLen   int64
+	DelWords []uint64
+}
+
+// Insert is one accepted insert batch: the fact columns in the canonical
+// physical order (the same order the delta store carries them).
+type Insert struct {
+	Cols [][]int32
+}
+
+// Delete is one accepted delete: positions tombstoned in the sealed store
+// plus global write-store row indexes tombstoned in the delta.
+type Delete struct {
+	Sealed []uint32
+	WS     []int64
+}
+
+// Checkpoint records a durable compaction: SealedRows is the cumulative
+// number of delta rows sealed since Base (tombstoned rows included — they
+// are consumed, just not copied), FileRows the fact-row count of the
+// segment file afterwards.
+type Checkpoint struct {
+	SealedRows int64
+	FileRows   int64
+}
+
+func (Base) kind() byte       { return kindBase }
+func (Insert) kind() byte     { return kindInsert }
+func (Delete) kind() byte     { return kindDelete }
+func (Checkpoint) kind() byte { return kindCheckpoint }
+
+func (r Base) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.FileRows))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.DelLen))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.DelWords)))
+	for _, w := range r.DelWords {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+func (r Insert) appendPayload(dst []byte) []byte {
+	rows := 0
+	if len(r.Cols) > 0 {
+		rows = len(r.Cols[0])
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Cols)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(rows))
+	for _, col := range r.Cols {
+		for _, v := range col {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+		}
+	}
+	return dst
+}
+
+func (r Delete) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Sealed)))
+	for _, p := range r.Sealed {
+		dst = binary.LittleEndian.AppendUint32(dst, p)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.WS)))
+	for _, i := range r.WS {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(i))
+	}
+	return dst
+}
+
+func (r Checkpoint) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.SealedRows))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.FileRows))
+	return dst
+}
+
+// cursor is a bounds-checked little-endian reader over a payload. Every
+// accessor records overrun in bad instead of panicking; callers check ok()
+// once at the end.
+type cursor struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (c *cursor) u32() uint32 {
+	if c.off+4 > len(c.b) {
+		c.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.off+8 > len(c.b) {
+		c.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+// ok reports a clean, fully consumed payload.
+func (c *cursor) ok() bool { return !c.bad && c.off == len(c.b) }
+
+var errCorrupt = errors.New("wal: corrupt record")
+
+func decodePayload(kind byte, payload []byte) (Record, error) {
+	c := &cursor{b: payload}
+	switch kind {
+	case kindBase:
+		r := Base{FileRows: int64(c.u64()), DelLen: int64(c.u64())}
+		nWords := int64(c.u32())
+		if c.bad || r.FileRows < 0 || r.DelLen < 0 || r.DelLen > maxDelBits ||
+			nWords != (r.DelLen+63)/64 || int64(len(payload)-c.off) != nWords*8 {
+			return nil, errCorrupt
+		}
+		if nWords > 0 {
+			r.DelWords = make([]uint64, nWords)
+			for i := range r.DelWords {
+				r.DelWords[i] = c.u64()
+			}
+		}
+		if !c.ok() {
+			return nil, errCorrupt
+		}
+		return r, nil
+	case kindInsert:
+		nCols := int64(c.u32())
+		nRows := int64(c.u32())
+		if c.bad || nCols == 0 || nCols > maxCols || nRows == 0 ||
+			int64(len(payload)-c.off) != nCols*nRows*4 {
+			return nil, errCorrupt
+		}
+		r := Insert{Cols: make([][]int32, nCols)}
+		for i := range r.Cols {
+			col := make([]int32, nRows)
+			for j := range col {
+				col[j] = int32(c.u32())
+			}
+			r.Cols[i] = col
+		}
+		if !c.ok() {
+			return nil, errCorrupt
+		}
+		return r, nil
+	case kindDelete:
+		nSealed := int64(c.u32())
+		if c.bad || nSealed*4 > int64(len(payload)-c.off) {
+			return nil, errCorrupt
+		}
+		r := Delete{}
+		if nSealed > 0 {
+			r.Sealed = make([]uint32, nSealed)
+			for i := range r.Sealed {
+				r.Sealed[i] = c.u32()
+			}
+		}
+		nWS := int64(c.u32())
+		if c.bad || nWS*8 != int64(len(payload)-c.off) {
+			return nil, errCorrupt
+		}
+		if nWS > 0 {
+			r.WS = make([]int64, nWS)
+			for i := range r.WS {
+				r.WS[i] = int64(c.u64())
+			}
+		}
+		if !c.ok() {
+			return nil, errCorrupt
+		}
+		return r, nil
+	case kindCheckpoint:
+		r := Checkpoint{SealedRows: int64(c.u64()), FileRows: int64(c.u64())}
+		if !c.ok() || r.SealedRows < 0 || r.FileRows < 0 {
+			return nil, errCorrupt
+		}
+		return r, nil
+	default:
+		return nil, errCorrupt
+	}
+}
+
+// appendFrame frames one record with the given LSN onto dst.
+func appendFrame(dst []byte, r Record, lsn uint64) []byte {
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length, patched below
+	bodyAt := len(dst)
+	dst = append(dst, r.kind())
+	dst = binary.LittleEndian.AppendUint64(dst, lsn)
+	dst = r.appendPayload(dst)
+	body := dst[bodyAt:]
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(body)))
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
+}
+
+// decodeFrame decodes one frame from data, returning the record, its LSN
+// and the framed byte count. Any inconsistency — short data, implausible
+// length, CRC mismatch, unknown kind, malformed payload — returns an error;
+// replay treats every error as the torn tail.
+func decodeFrame(data []byte) (Record, uint64, int, error) {
+	if len(data) < 4 {
+		return nil, 0, 0, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if n < frameBodyMin || n > maxFrame {
+		return nil, 0, 0, errCorrupt
+	}
+	total := 4 + int(n) + 4
+	if len(data) < total {
+		return nil, 0, 0, io.ErrUnexpectedEOF
+	}
+	body := data[4 : 4+int(n)]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[4+int(n):]) {
+		return nil, 0, 0, errCorrupt
+	}
+	lsn := binary.LittleEndian.Uint64(body[1:9])
+	rec, err := decodePayload(body[0], body[9:])
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return rec, lsn, total, nil
+}
+
+// Options configures group commit.
+type Options struct {
+	// Window is how long a commit leader waits for more writers before
+	// issuing the group's fsync. Zero syncs immediately (each group still
+	// covers every frame written by the time the sync runs).
+	Window time.Duration
+	// FlushBytes cuts a leader's window short once this many unsynced
+	// bytes have accumulated. 0 means 1 MB.
+	FlushBytes int64
+}
+
+// Stats is a snapshot of the log's counters.
+type Stats struct {
+	// Appends counts records appended; Commits counts Commit calls;
+	// Syncs counts fsyncs issued. Group commit shows as Commits > Syncs.
+	Appends int64 `json:"appends"`
+	Commits int64 `json:"commits"`
+	Syncs   int64 `json:"syncs"`
+	// Rewrites counts log rewrites (compaction truncation points).
+	Rewrites int64 `json:"rewrites"`
+	// Replayed is the record count recovered at Open; TornBytes the bytes
+	// discarded from the tail (0 for a clean shutdown).
+	Replayed  int64 `json:"replayed"`
+	TornBytes int64 `json:"torn_bytes"`
+	// LastLSN is the newest assigned LSN, DurableLSN the newest fsynced
+	// one; Bytes is the current file size.
+	LastLSN    uint64 `json:"last_lsn"`
+	DurableLSN uint64 `json:"durable_lsn"`
+	Bytes      int64  `json:"bytes"`
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// Log is an open write-ahead log. Append/Commit are safe for concurrent
+// use; Rewrite requires the caller to exclude concurrent Appends (the
+// ingest layer holds its own mutex across both).
+type Log struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File
+	path string
+	opts Options
+	enc  []byte
+
+	nextLSN    uint64
+	writtenLSN uint64
+	durableLSN uint64
+	syncing    bool
+	unsynced   int64
+	bigWrite   chan struct{}
+	err        error
+
+	appends, commits, syncs, rewrites, replayed, tornBytes, bytes int64
+}
+
+// Open opens (creating if absent) the log at path and replays it: every
+// intact record in order, stopping at the first torn or corrupt frame and
+// truncating the file there. The returned records are the durable history
+// the caller must reduce into its in-memory state.
+func Open(path string, opts Options) (*Log, []Record, error) {
+	if opts.FlushBytes <= 0 {
+		opts.FlushBytes = 1 << 20
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l := &Log{f: f, path: path, opts: opts, bigWrite: make(chan struct{}, 1)}
+	l.cond = sync.NewCond(&l.mu)
+	if len(data) < len(magic) {
+		// New log, or a crash before the header became durable (nothing
+		// was ever acked from it) — start fresh.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.WriteAt([]byte(magic), 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.Seek(int64(len(magic)), io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.bytes = int64(len(magic))
+		l.nextLSN = 1
+		return l, nil, nil
+	}
+	if string(data[:len(magic)]) != magic {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %s is not a WAL file", path)
+	}
+	var recs []Record
+	off := len(magic)
+	good := off
+	var prev uint64
+	for off < len(data) {
+		rec, lsn, n, err := decodeFrame(data[off:])
+		if err != nil || lsn <= prev {
+			break
+		}
+		recs = append(recs, rec)
+		prev = lsn
+		off += n
+		good = off
+	}
+	if good < len(data) {
+		l.tornBytes = int64(len(data) - good)
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l.bytes = int64(good)
+	l.replayed = int64(len(recs))
+	l.nextLSN = prev + 1
+	l.writtenLSN = prev
+	l.durableLSN = prev
+	return l, recs, nil
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Append frames r, assigns it the next LSN and writes it into the OS
+// buffer. The record is NOT durable until a Commit at or past the returned
+// LSN succeeds.
+func (l *Log) Append(r Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	lsn := l.nextLSN
+	frame := appendFrame(l.enc[:0], r, lsn)
+	l.enc = frame[:0]
+	if _, err := l.f.Write(frame); err != nil {
+		l.fail(err)
+		return 0, err
+	}
+	l.nextLSN++
+	l.writtenLSN = lsn
+	l.appends++
+	l.bytes += int64(len(frame))
+	l.unsynced += int64(len(frame))
+	if l.unsynced >= l.opts.FlushBytes {
+		select {
+		case l.bigWrite <- struct{}{}:
+		default:
+		}
+	}
+	return lsn, nil
+}
+
+// Commit blocks until every record up to and including lsn is durable. The
+// first blocked committer leads the group: it waits the configured window
+// (cut short when FlushBytes accumulate), then issues one fsync covering
+// all frames written so far and wakes everyone it covered.
+func (l *Log) Commit(lsn uint64) error {
+	l.mu.Lock()
+	l.commits++
+	for l.durableLSN < lsn && l.err == nil {
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		if w := l.opts.Window; w > 0 {
+			l.mu.Unlock()
+			t := time.NewTimer(w)
+			select {
+			case <-t.C:
+			case <-l.bigWrite:
+				t.Stop()
+			}
+			l.mu.Lock()
+		}
+		target := l.writtenLSN
+		f := l.f
+		l.unsynced = 0
+		select {
+		case <-l.bigWrite: // drop a stale threshold signal
+		default:
+		}
+		l.mu.Unlock()
+		err := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.fail(err)
+		} else {
+			l.syncs++
+			if target > l.durableLSN {
+				l.durableLSN = target
+			}
+		}
+		l.cond.Broadcast()
+	}
+	err := l.err
+	l.mu.Unlock()
+	return err
+}
+
+// fail latches the first error; the log is unusable afterwards. Called with
+// l.mu held.
+func (l *Log) fail(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+	l.cond.Broadcast()
+}
+
+// Rewrite atomically replaces the log's contents with recs (temp file +
+// fsync + rename), re-anchoring it at a new Base. LSNs keep counting up
+// across the rewrite, so committers blocked on pre-rewrite LSNs observe
+// their state durable (the rewrite contains it by construction) and return.
+// The caller must exclude concurrent Appends.
+func (l *Log) Rewrite(recs []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	buf := append(l.enc[:0], magic...)
+	next := l.nextLSN
+	for _, r := range recs {
+		buf = appendFrame(buf, r, next)
+		next++
+	}
+	tmp := l.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		l.fail(err)
+		return err
+	}
+	if _, err := nf.Write(buf); err == nil {
+		err = nf.Sync()
+	}
+	if err == nil {
+		err = os.Rename(tmp, l.path)
+	}
+	if err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		l.fail(err)
+		return err
+	}
+	syncDir(filepath.Dir(l.path))
+	l.f.Close()
+	l.f = nf
+	l.enc = buf[:0]
+	l.nextLSN = next
+	l.writtenLSN = next - 1
+	l.durableLSN = next - 1
+	l.unsynced = 0
+	l.bytes = int64(len(buf))
+	l.rewrites++
+	l.syncs++
+	l.cond.Broadcast()
+	return nil
+}
+
+// syncDir makes a rename durable on filesystems that need the directory
+// fsynced; errors are ignored (not all platforms/filesystems support it).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Sync forces an immediate fsync of everything written so far, outside any
+// group (used by shutdown paths).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		l.mu.Unlock()
+		return l.err
+	}
+	target := l.writtenLSN
+	f := l.f
+	l.unsynced = 0
+	l.mu.Unlock()
+	err := f.Sync()
+	l.mu.Lock()
+	if err != nil {
+		l.fail(err)
+	} else {
+		l.syncs++
+		if target > l.durableLSN {
+			l.durableLSN = target
+		}
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return err
+}
+
+// Close syncs and closes the log. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		if err == ErrClosed {
+			return nil
+		}
+		return err
+	}
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	l.err = ErrClosed
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Appends:    l.appends,
+		Commits:    l.commits,
+		Syncs:      l.syncs,
+		Rewrites:   l.rewrites,
+		Replayed:   l.replayed,
+		TornBytes:  l.tornBytes,
+		LastLSN:    l.writtenLSN,
+		DurableLSN: l.durableLSN,
+		Bytes:      l.bytes,
+	}
+}
