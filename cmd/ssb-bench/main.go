@@ -11,6 +11,9 @@
 //	-figure conclusion   super-tuple row-store simulation        (Section 7)
 //	-figure partition  partitioning on/off ablation              (Section 6.1)
 //	-figure fused      fused pipeline vs per-probe extension     (PERFORMANCE.md)
+//	-figure kernels    encoding-native aggregation kernels on vs off:
+//	                   ns/op + decoded-bytes-avoided on the RLE-heavy
+//	                   flight 1 queries                          (PERFORMANCE.md)
 //	-figure segstore   segment store: cold vs warm + budget sweep (PERFORMANCE.md)
 //	-figure serve      serving layer: throughput/latency vs client
 //	                   count at two pool budgets                 (PERFORMANCE.md)
@@ -27,6 +30,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -36,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/iosim"
@@ -53,12 +58,13 @@ var (
 	showIO    = flag.Bool("io", false, "also print simulated I/O seconds")
 	verify    = flag.Bool("verify", false, "verify every cell against the reference (slow)")
 	csvOut    = flag.Bool("csv", false, "emit figures as CSV instead of aligned tables")
-	figureID  = flag.String("figure", "all", "which experiment to run: 5, 6, 7, 8, sizes, projections, conclusion, partition, fused, segstore, all")
+	figureID  = flag.String("figure", "all", "which experiment to run: 5, 6, 7, 8, sizes, projections, conclusion, partition, fused, kernels, segstore, all")
+	jsonPath  = flag.String("json", "", "also write the kernels figure's measurements to this file as JSON (machine-readable CI artifact)")
 )
 
 // segServable marks the figures a segment-store -data file can serve: only
 // the compressed column engines run without the raw dataset.
-var segServable = map[string]bool{"fused": true, "segstore": true, "serve": true, "ingest": true}
+var segServable = map[string]bool{"fused": true, "kernels": true, "segstore": true, "serve": true, "ingest": true}
 
 func main() {
 	flag.Parse()
@@ -118,6 +124,8 @@ func main() {
 			runPartition(db)
 		case "fused":
 			runFigure(db, "Extension: fused morsel-parallel pipeline (see PERFORMANCE.md)", fusedRows(db))
+		case "kernels":
+			runKernels(db)
 		case "segstore":
 			runSegstore(db)
 		case "serve":
@@ -425,6 +433,157 @@ func runSegstore(db *core.DB) {
 		sweepDB.SegmentStore().Close()
 	}
 	fmt.Printf("\n(budget %% is of the %0.1f MB decoded dataset; every run computes identical results)\n", float64(decoded)/1e6)
+}
+
+// kernelsJSON is the machine-readable shape of the -figure kernels run
+// (written to -json for CI artifacts).
+type kernelsJSON struct {
+	SF      float64             `json:"sf"`
+	Queries []string            `json:"queries"`
+	Engines []kernelsEngineJSON `json:"engines"`
+}
+
+type kernelsEngineJSON struct {
+	Engine string `json:"engine"`
+	// CPUNs / DecodedBytes are per-query, index-aligned with Queries.
+	KernelsCPUNs          []int64 `json:"kernels_cpu_ns"`
+	KernelsDecodedBytes   []int64 `json:"kernels_decoded_bytes"`
+	NoKernelsCPUNs        []int64 `json:"nokernels_cpu_ns"`
+	NoKernelsDecodedBytes []int64 `json:"nokernels_decoded_bytes"`
+	DecodedBytesAvoided   int64   `json:"decoded_bytes_avoided"`
+}
+
+// runKernels measures the Section 5 "operate on compressed data" ablation
+// in isolation: the flight 1 queries (RLE-sorted orderdate predicate, no
+// group-by — the plans where run-native aggregation bites hardest) run
+// with the encoding-native kernels on and off, reporting measured CPU and
+// the bytes each run materialized to raw values (compress.DecodedBytes).
+// Each canonical Qx also runs as a single-measure variant (SUM(revenue)
+// under the same predicates): the canonical flight 1 aggregate is the
+// two-operand SUM(extendedprice*discount), which must gather both inputs
+// in every mode, while the single-measure plans fold entirely inside the
+// wire encoding — their decoded-bytes column is the avoided
+// decompression, not a modeling estimate.
+func runKernels(db *core.DB) {
+	var plans []*ssb.Query
+	for _, id := range []string{"1.1", "1.2", "1.3"} {
+		q := ssb.QueryByID(id)
+		plans = append(plans, q,
+			// Same predicates, single-measure aggregate: the fold kernel's
+			// home turf whenever the selection can stay in bitmap form.
+			&ssb.Query{
+				ID:          id + "Σrev",
+				Aggs:        []ssb.AggSpec{{Func: ssb.FuncSum, Expr: ssb.AggExpr{ColA: "revenue"}}},
+				FactFilters: q.FactFilters,
+				DimFilters:  q.DimFilters,
+			},
+			// Dimension filter only: on the orderdate-sorted store most
+			// qualifying blocks are fully covered, so the whole aggregate
+			// folds inside the wire encoding — zero values materialized.
+			&ssb.Query{
+				ID:         id + "Σd",
+				Aggs:       []ssb.AggSpec{{Func: ssb.FuncSum, Expr: ssb.AggExpr{ColA: "revenue"}}},
+				DimFilters: q.DimFilters,
+			})
+	}
+	nkFull, nkFused := exec.FullOpt, exec.FusedOpt
+	nkFull.NoKernels, nkFused.NoKernels = true, true
+	engines := []struct {
+		label   string
+		on, off core.Config
+	}{
+		{"per-probe", core.ColumnStore(exec.FullOpt), core.ColumnStore(nkFull)},
+		{"fused", core.ColumnStore(exec.FusedOpt), core.ColumnStore(nkFused)},
+	}
+
+	// measure runs one (query, config) cell: best CPU over -reps, plus the
+	// decoded-bytes meter for a single run (deterministic per plan). One
+	// untimed warmup run absorbs lazily-built state (dictionaries, pass
+	// sets, pool misses) so row order doesn't bias the comparison.
+	run := func(q *ssb.Query, cfg core.Config) (cpuNs, decoded int64) {
+		compress.ResetDecodedBytes()
+		_, stats, err := db.RunPlan(q, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return stats.Wall.Nanoseconds(), compress.DecodedBytes()
+	}
+	// measureAB runs one query's kernels-on and kernels-off cells with the
+	// reps interleaved (on, off, on, off, ...) so neither mode measures
+	// against a systematically warmer process — running all on-cells before
+	// all off-cells hands the later mode the branch-predictor and
+	// frequency-boost benefit of everything before it. One untimed warmup
+	// per mode absorbs lazily-built state (dictionaries, pass sets, pool
+	// misses); best wall time per mode wins. The decoded-bytes meter is
+	// deterministic per (plan, mode), so any rep's reading serves.
+	measureAB := func(q *ssb.Query, on, off core.Config) (onNs, offNs, onDec, offDec int64) {
+		run(q, on)
+		run(q, off)
+		for rep := 0; rep < *reps; rep++ {
+			if w, d := run(q, on); rep == 0 || w < onNs {
+				onNs, onDec = w, d
+			}
+			if w, d := run(q, off); rep == 0 || w < offNs {
+				offNs, offDec = w, d
+			}
+		}
+		return onNs, offNs, onDec, offDec
+	}
+
+	fmt.Printf("\n## Extension: aggregation on compressed blocks (kernels on vs off, flight 1)\n")
+	header := fmt.Sprintf("%-22s", "")
+	out := kernelsJSON{SF: db.SF}
+	for _, q := range plans {
+		out.Queries = append(out.Queries, q.ID)
+		header += fmt.Sprintf("%12s", q.ID)
+	}
+	fmt.Println(header + fmt.Sprintf("%14s", "decoded MB"))
+	for _, e := range engines {
+		ej := kernelsEngineJSON{Engine: e.label}
+		rows := [2]string{
+			fmt.Sprintf("%-22s", e.label+" (kernels)"),
+			fmt.Sprintf("%-22s", e.label+" (-nk)"),
+		}
+		var totalDec [2]int64
+		for _, q := range plans {
+			onNs, offNs, onDec, offDec := measureAB(q, e.on, e.off)
+			rows[0] += fmt.Sprintf("%10.2fms", float64(onNs)/1e6)
+			rows[1] += fmt.Sprintf("%10.2fms", float64(offNs)/1e6)
+			totalDec[0] += onDec
+			totalDec[1] += offDec
+			ej.KernelsCPUNs = append(ej.KernelsCPUNs, onNs)
+			ej.KernelsDecodedBytes = append(ej.KernelsDecodedBytes, onDec)
+			ej.NoKernelsCPUNs = append(ej.NoKernelsCPUNs, offNs)
+			ej.NoKernelsDecodedBytes = append(ej.NoKernelsDecodedBytes, offDec)
+		}
+		for mi := range rows {
+			rows[mi] += fmt.Sprintf("%14.1f", float64(totalDec[mi])/1e6)
+		}
+		fmt.Println(rows[0])
+		fmt.Println(rows[1])
+		for i := range plans {
+			ej.DecodedBytesAvoided += ej.NoKernelsDecodedBytes[i] - ej.KernelsDecodedBytes[i]
+		}
+		fmt.Printf("%-22s  decoded bytes avoided: %.2f MB\n", "", float64(ej.DecodedBytesAvoided)/1e6)
+		out.Engines = append(out.Engines, ej)
+	}
+	fmt.Println("\n(decoded MB = bytes materialized to raw 4 B values across the six runs;")
+	fmt.Println(" QxΣrev is Qx's predicates with single-measure SUM(revenue) — the plans the")
+	fmt.Println(" fold kernel serves without materializing; results are pinned bit-identical")
+	fmt.Println(" across modes by TestDifferential)")
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(wrote %s)\n", *jsonPath)
+	}
 }
 
 // budgetLabel renders a pool budget.

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/segstore"
 	"repro/internal/server"
 	"repro/internal/ssb"
 )
@@ -71,7 +72,15 @@ func main() {
 	var db *core.DB
 	var err error
 	if *dataPath != "" {
-		db, err = core.OpenFile(*dataPath, int64(*memBudget*1e6))
+		// Route the store's recovery diagnostics through the daemon's own
+		// log line format; the note also stays queryable on /stats for
+		// operators who join after startup.
+		db, err = core.OpenFileWith(*dataPath, segstore.OpenOptions{
+			MemBudget: int64(*memBudget * 1e6),
+			Log: func(msg string) {
+				fmt.Fprintf(os.Stderr, "ssb-serve: %s: %s\n", time.Now().Format(time.RFC3339), msg)
+			},
+		})
 	} else {
 		db = core.Open(*sf)
 	}

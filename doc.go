@@ -18,7 +18,13 @@
 // stored compressed under the encoding internal/compress chose, each with
 // a persisted zone map (min/max, row count, encoding tag, CRC32) — plus a
 // buffer manager with pinned-segment reference counting and clock
-// eviction under a byte budget. Executors reach both tiers through one
+// eviction under a byte budget. Pool frames hold segments wire-native
+// (RLE runs, packed words — never eagerly decoded value slices), so the
+// budget is charged compressed payload bytes and the encoding-native
+// kernels (compress.IntBlock AggSelect/GatherSelect/Filter) aggregate,
+// gather and filter directly on that compressed representation — the
+// paper's Section 5 "operate on compressed data" design, ablatable with
+// exec.Config.NoKernels. Executors reach both tiers through one
 // colstore.Column API: zone-map queries never perform I/O, so min/max
 // pruning skips segments before they are ever read or decompressed, and
 // larger-than-memory scale factors run under ssb-query/ssb-bench

@@ -214,6 +214,81 @@ func FromWords(words []uint64, n int) *Bitmap {
 	return b
 }
 
+// CountRange returns the number of set bits in [start, end). It is the
+// popcount analogue of SetRange: whole interior words cost one OnesCount64
+// each, so an RLE aggregation kernel can price a run against a selection
+// bitmap without visiting individual positions.
+func (b *Bitmap) CountRange(start, end int) int {
+	if start < 0 {
+		start = 0
+	}
+	if end > b.n {
+		end = b.n
+	}
+	if start >= end {
+		return 0
+	}
+	sw, ew := start/wordBits, (end-1)/wordBits
+	sMask := ^uint64(0) << uint(start%wordBits)
+	eMask := ^uint64(0) >> uint(wordBits-1-(end-1)%wordBits)
+	if sw == ew {
+		return bits.OnesCount64(b.words[sw] & sMask & eMask)
+	}
+	c := bits.OnesCount64(b.words[sw] & sMask)
+	for w := sw + 1; w < ew; w++ {
+		c += bits.OnesCount64(b.words[w])
+	}
+	return c + bits.OnesCount64(b.words[ew]&eMask)
+}
+
+// AndCountAt returns the popcount of b AND other, where other is shifted
+// left by off bits relative to b (bit i of other aligns with bit off+i of
+// b). Neither bitmap is modified. The bit-vector aggregation kernel uses it
+// to count, per distinct value, how many of that value's occurrences fall
+// in a selection bitmap — one AND-popcount pass per word instead of a
+// per-position probe. Arbitrary (non-word-aligned) offsets are handled by
+// stitching adjacent words of other.
+func (b *Bitmap) AndCountAt(other *Bitmap, off int) int {
+	if off%wordBits == 0 {
+		wo := off / wordBits
+		c := 0
+		for i, w := range other.words {
+			if wo+i >= len(b.words) {
+				break
+			}
+			c += bits.OnesCount64(b.words[wo+i] & w)
+		}
+		return c
+	}
+	c := 0
+	for i := range other.words {
+		lo := off + i*wordBits
+		w := uint64(0)
+		if wi := lo / wordBits; wi < len(b.words) {
+			w = b.words[wi] >> uint(lo%wordBits)
+			if wi+1 < len(b.words) {
+				w |= b.words[wi+1] << uint(wordBits-lo%wordBits)
+			}
+		}
+		c += bits.OnesCount64(w & other.words[i])
+	}
+	return c
+}
+
+// AndNotWordsFrom clears, in b, every bit that is set in other, treating
+// other as starting at word offset wordOff of b (the AndNot analogue of
+// OrWordsAt). The fused executor uses it to mask a block-local selection
+// bitmap against the column-global deletion vector; fact blocks are 64-bit
+// aligned by construction so the offset is always whole words.
+func (b *Bitmap) AndNotWordsFrom(other *Bitmap, wordOff int) {
+	for i := range b.words {
+		if wordOff+i >= len(other.words) {
+			return
+		}
+		b.words[i] &^= other.words[wordOff+i]
+	}
+}
+
 // OrWordsAt ORs other into b starting at the given word offset (bit offset
 // wordOff*64). It lets a block-local bitmap be merged into a column-global
 // one without per-bit shifting; column blocks are 64-bit aligned by

@@ -357,6 +357,120 @@ func (c *Column) GatherBlock(bi int, idx []int32, dst []int32, st *iosim.Stats) 
 	return dst
 }
 
+// AggSelectBlock folds the values of block bi selected by the block-local
+// bitmap sel into acc without materializing them, charging positional I/O
+// for the pages the selected positions touch — the same pages GatherBlock
+// would charge for the same positions, so kernel aggregation is
+// storage-invariant in the I/O model.
+func (c *Column) AggSelectBlock(bi int, sel *bitmap.Bitmap, st *iosim.Stats, acc *compress.AggAcc) {
+	blk, release := c.AcquireBlock(bi)
+	chargePositionalSel(blk, sel, st)
+	blk.AggSelect(sel, 0, acc)
+	release()
+}
+
+// GatherSelectBlock appends the values of block bi selected by the
+// block-local bitmap sel to dst — GatherBlock driven by a bitmap instead of
+// an index list, so run/bitmap encodings walk their compressed
+// representation once. I/O charging matches GatherBlock at the same
+// positions.
+func (c *Column) GatherSelectBlock(bi int, sel *bitmap.Bitmap, dst []int32, st *iosim.Stats) []int32 {
+	blk, release := c.AcquireBlock(bi)
+	chargePositionalSel(blk, sel, st)
+	dst = blk.GatherSelect(sel, 0, dst)
+	release()
+	return dst
+}
+
+// AggSelectPositions folds the column's values at the given positions into
+// acc. Blocks with no selected positions are never acquired, and I/O is
+// charged exactly as Gather at the same positions would charge it. RLE and
+// bit-vector blocks aggregate natively on their compressed representation
+// (value x selected-run-length, AND-popcount per distinct value);
+// random-access encodings fold per position in code space; only
+// delta-encoded blocks (prefix sums — no random access) gather the
+// selected values and fold them scalar-wise.
+func (c *Column) AggSelectPositions(ctx context.Context, positions *vector.Positions, st *iosim.Stats, acc *compress.AggAcc) {
+	var scratchIdx, scratchVals []int32
+	var sel *bitmap.Bitmap
+	c.forEachCandidateBlockCtx(ctx, positions, st, func(base int32, blk compress.IntBlock, idx []int32) {
+		if len(idx) == blk.Len() {
+			// Fully covered block: every encoding folds natively (RLE by
+			// run, BitVec by popcount, Dict/BitPack in code space) without
+			// materializing a single value.
+			blk.AggSelect(nil, 0, acc)
+			return
+		}
+		switch blk.Encoding() {
+		case compress.RLE, compress.BitVec:
+			if sel == nil {
+				sel = bitmap.New(BlockSize)
+			}
+			for _, i := range idx {
+				sel.Set(int(i))
+			}
+			blk.AggSelect(sel, 0, acc)
+			for _, i := range idx {
+				sel.Clear(int(i))
+			}
+		case compress.Delta:
+			scratchVals = blk.Gather(idx, scratchVals[:0])
+			for _, v := range scratchVals {
+				acc.Observe(v, 1)
+			}
+		default:
+			for _, i := range idx {
+				acc.Observe(blk.Get(int(i)), 1)
+			}
+		}
+	}, &scratchIdx)
+}
+
+// chargePositionalSel is chargePositional driven by a block-local selection
+// bitmap: it records the same distinct-page count the explicit index list
+// of sel's set bits would produce.
+func chargePositionalSel(blk compress.IntBlock, sel *bitmap.Bitmap, st *iosim.Stats) {
+	if st == nil {
+		return
+	}
+	if sel == nil {
+		st.Read(blk.CompressedBytes())
+		return
+	}
+	// Count the distinct pages containing a selected position by hopping
+	// from one occupied page to the first set bit past its end, instead of
+	// classifying every set bit — O(occupied pages), not O(selection).
+	bytesPerVal := float64(blk.CompressedBytes()) / float64(blk.Len())
+	var pages int64
+	end := blk.Len()
+	for i := sel.NextSet(0); i >= 0 && i < end; {
+		pages++
+		page := int64(float64(i) * bytesPerVal / ioPageBytes)
+		// First position past this page, under the same rounding as the
+		// per-position formula (nudge for float boundary error).
+		next := int(float64(page+1) * ioPageBytes / bytesPerVal)
+		if next <= i {
+			next = i + 1
+		}
+		for next > i+1 && int64(float64(next-1)*bytesPerVal/ioPageBytes) > page {
+			next--
+		}
+		for int64(float64(next)*bytesPerVal/ioPageBytes) == page {
+			next++
+		}
+		i = sel.NextSet(next)
+	}
+	if pages == 0 {
+		return
+	}
+	total := blk.CompressedBytes()
+	charged := pages * ioPageBytes
+	if charged > total {
+		charged = total
+	}
+	st.Read(charged)
+}
+
 // MinMax returns the column-wide minimum and maximum from zone-map
 // statistics, without decoding any values or charging I/O.
 func (c *Column) MinMax() (int32, int32) {

@@ -70,6 +70,7 @@ func (b *BitPackBlock) Width() uint { return b.width }
 
 // AppendTo implements IntBlock.
 func (b *BitPackBlock) AppendTo(dst []int32) []int32 {
+	countDecoded(b.n)
 	for i := 0; i < b.n; i++ {
 		dst = append(dst, int32(int64(b.min)+int64(b.get(i))))
 	}
@@ -148,10 +149,119 @@ func (b *BitPackBlock) FilterSet(set *bitmap.Bitmap, setMin int32, base int, bm 
 
 // Gather implements IntBlock.
 func (b *BitPackBlock) Gather(idx []int32, dst []int32) []int32 {
+	countDecoded(len(idx))
 	for _, i := range idx {
 		dst = append(dst, b.Get(int(i)))
 	}
 	return dst
+}
+
+// AggSelect implements IntBlock. Codes are accumulated in code space with
+// the streaming word cursor and widened exactly once at the end
+// (sum = count*min + sum(codes)), so the hot loop is shift/mask/popcount
+// with no value reconstruction.
+func (b *BitPackBlock) AggSelect(sel *bitmap.Bitmap, base int, acc *AggAcc) {
+	var codeSum uint64
+	var count int64
+	cMin, cMax := uint64(1)<<63, uint64(0)
+	if sel == nil {
+		mask := uint64(1)<<b.width - 1
+		w, off := 0, uint(0)
+		for i := 0; i < b.n; i++ {
+			u := b.words[w] >> off
+			if off+b.width > 64 {
+				u |= b.words[w+1] << (64 - off)
+			}
+			off += b.width
+			if off >= 64 {
+				off -= 64
+				w++
+			}
+			c := u & mask
+			codeSum += c
+			count++
+			if c < cMin {
+				cMin = c
+			}
+			if c > cMax {
+				cMax = c
+			}
+		}
+	} else {
+		// Partial selections walk the selection words directly — one
+		// trailing-zeros step per selected position, O(selected) random
+		// accesses (fields are fixed-width, so position i is bit i*width).
+		for pos := range selWords(sel, base, b.n) {
+			c := b.get(pos)
+			codeSum += c
+			count++
+			if c < cMin {
+				cMin = c
+			}
+			if c > cMax {
+				cMax = c
+			}
+		}
+	}
+	if count == 0 {
+		return
+	}
+	acc.Sum += count*int64(b.min) + int64(codeSum)
+	acc.Count += count
+	if v := int64(b.min) + int64(cMin); v < acc.Min {
+		acc.Min = v
+	}
+	if v := int64(b.min) + int64(cMax); v > acc.Max {
+		acc.Max = v
+	}
+}
+
+// GatherSelect implements IntBlock: full blocks stream the word cursor,
+// partial selections hop set bits with the random-access cursor.
+func (b *BitPackBlock) GatherSelect(sel *bitmap.Bitmap, base int, dst []int32) []int32 {
+	n := len(dst)
+	if sel == nil {
+		mask := uint64(1)<<b.width - 1
+		w, off := 0, uint(0)
+		for i := 0; i < b.n; i++ {
+			u := b.words[w] >> off
+			if off+b.width > 64 {
+				u |= b.words[w+1] << (64 - off)
+			}
+			off += b.width
+			if off >= 64 {
+				off -= 64
+				w++
+			}
+			dst = append(dst, int32(int64(b.min)+int64(u&mask)))
+		}
+	} else {
+		for pos := range selWords(sel, base, b.n) {
+			dst = append(dst, int32(int64(b.min)+int64(b.get(pos))))
+		}
+	}
+	countDecoded(len(dst) - n)
+	return dst
+}
+
+// FilterFunc implements IntBlock: streaming decode, one callback per value.
+func (b *BitPackBlock) FilterFunc(match func(int32) bool, base int, bm *bitmap.Bitmap) {
+	mask := uint64(1)<<b.width - 1
+	w, off := 0, uint(0)
+	for i := 0; i < b.n; i++ {
+		u := b.words[w] >> off
+		if off+b.width > 64 {
+			u |= b.words[w+1] << (64 - off)
+		}
+		off += b.width
+		if off >= 64 {
+			off -= 64
+			w++
+		}
+		if match(int32(int64(b.min) + int64(u&mask))) {
+			bm.Set(base + i)
+		}
+	}
 }
 
 // CompressedBytes implements IntBlock.

@@ -87,6 +87,7 @@ func (b *BitVecBlock) Cardinality() int { return len(b.vals) }
 
 // AppendTo implements IntBlock.
 func (b *BitVecBlock) AppendTo(dst []int32) []int32 {
+	countDecoded(b.n)
 	out := dst
 	start := len(dst)
 	out = append(out, make([]int32, b.n)...)
@@ -145,10 +146,75 @@ func (b *BitVecBlock) FilterSet(set *bitmap.Bitmap, setMin int32, base int, bm *
 
 // Gather implements IntBlock.
 func (b *BitVecBlock) Gather(idx []int32, dst []int32) []int32 {
+	countDecoded(len(idx))
 	for _, i := range idx {
 		dst = append(dst, b.Get(int(i)))
 	}
 	return dst
+}
+
+// AggSelect implements IntBlock: for each distinct value, an AND-popcount
+// of its position bitmap against the selection gives the selected
+// occurrence count in one word-level pass — the "count AND words per
+// distinct value" kernel.
+func (b *BitVecBlock) AggSelect(sel *bitmap.Bitmap, base int, acc *AggAcc) {
+	for vi, vm := range b.maps {
+		cnt := int64(vm.Count())
+		if sel != nil {
+			cnt = int64(sel.AndCountAt(vm, base))
+		}
+		acc.observe(b.vals[vi], cnt)
+	}
+}
+
+// GatherSelect implements IntBlock: selected positions of each value bitmap
+// scatter that value into a dense output, preserving position order without
+// per-position value probes.
+func (b *BitVecBlock) GatherSelect(sel *bitmap.Bitmap, base int, dst []int32) []int32 {
+	// Count selected positions first so the output region can be filled by
+	// per-value scatter in one allocation.
+	total := 0
+	if sel == nil {
+		total = b.n
+	} else {
+		total = sel.CountRange(base, base+b.n)
+	}
+	if total == 0 {
+		return dst
+	}
+	countDecoded(total)
+	if sel == nil {
+		start := len(dst)
+		dst = append(dst, make([]int32, total)...)
+		for vi, vm := range b.maps {
+			v := b.vals[vi]
+			vm.ForEach(func(pos int) { dst[start+pos] = v })
+		}
+		return dst
+	}
+	// Walk the selected positions in order; each value probe is at most k
+	// (<= 32) bitmap tests, so cost scales with the selection, not the
+	// block.
+	end := base + b.n
+	for pos := sel.NextSet(base); pos >= 0 && pos < end; pos = sel.NextSet(pos + 1) {
+		dst = append(dst, b.Get(pos-base))
+	}
+	return dst
+}
+
+// FilterFunc implements IntBlock: one callback per distinct value, then a
+// word-level OR of member bitmaps (mirrors FilterSet).
+func (b *BitVecBlock) FilterFunc(match func(int32) bool, base int, bm *bitmap.Bitmap) {
+	for vi, vm := range b.maps {
+		if !match(b.vals[vi]) {
+			continue
+		}
+		if base%64 == 0 {
+			bm.OrWordsAt(base/64, vm)
+		} else {
+			vm.ForEach(func(pos int) { bm.Set(base + pos) })
+		}
+	}
 }
 
 // CompressedBytes implements IntBlock: k bitmaps of n bits plus the value

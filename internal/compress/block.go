@@ -1,6 +1,100 @@
 package compress
 
-import "repro/internal/bitmap"
+import (
+	"math"
+	mathbits "math/bits"
+	"sync/atomic"
+
+	"repro/internal/bitmap"
+)
+
+// decodedBytes counts bytes materialized as raw int32 values by AppendTo,
+// Gather and GatherSelect across every block. It is a measurement counter
+// for the "operate directly on compressed data" experiments (the paper's
+// Section 5 ablation) — deliberately NOT part of iosim.Stats, whose values
+// the differential harness compares bit-for-bit across configurations: the
+// kernels change how many bytes are decoded without changing how many are
+// read.
+var decodedBytes atomic.Int64
+
+// selWords yields the block-local position i-base for every set bit i of
+// sel within [base, base+n), walking the selection's words with
+// trailing-zeros steps — one branch per selected position instead of a
+// NextSet call per bit. The kernels' partial-selection arms range over it.
+func selWords(sel *bitmap.Bitmap, base, n int) func(yield func(int) bool) {
+	return func(yield func(int) bool) {
+		words := sel.Words()
+		end := base + n
+		if selLen := sel.Len(); end > selLen {
+			end = selLen
+		}
+		for w := base / 64; w < len(words) && w*64 < end; w++ {
+			word := words[w]
+			if word == 0 {
+				continue
+			}
+			if w*64 < base {
+				word &= ^uint64(0) << uint(base-w*64)
+			}
+			if (w+1)*64 > end {
+				word &= ^uint64(0) >> uint((w+1)*64-end)
+			}
+			for word != 0 {
+				tz := mathbits.TrailingZeros64(word)
+				word &= word - 1
+				if !yield(w*64 + tz - base) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// DecodedBytes returns the total bytes decoded to raw values since the last
+// ResetDecodedBytes (4 bytes per materialized value).
+func DecodedBytes() int64 { return decodedBytes.Load() }
+
+// ResetDecodedBytes zeroes the decoded-bytes counter.
+func ResetDecodedBytes() { decodedBytes.Store(0) }
+
+func countDecoded(nVals int) { decodedBytes.Add(int64(nVals) * 4) }
+
+// AggAcc accumulates sum/count/min/max over the values an aggregation
+// kernel visits. Sums are widened to int64 once per block (encodings that
+// accumulate in code space add count*min at the end), so a full-column sum
+// never overflows en route. The zero value is NOT ready to use — NewAggAcc
+// seeds Min/Max with the identity elements.
+type AggAcc struct {
+	Sum   int64
+	Count int64
+	Min   int64
+	Max   int64
+}
+
+// NewAggAcc returns an accumulator seeded with aggregation identities
+// (Min = +inf, Max = -inf), matching ssb.AggFunc.Identity.
+func NewAggAcc() AggAcc {
+	return AggAcc{Min: math.MaxInt64, Max: math.MinInt64}
+}
+
+// Observe folds one value occurring cnt times into the accumulator. It is
+// the scalar fallback executors use for encodings with no cheaper kernel.
+func (a *AggAcc) Observe(v int32, cnt int64) { a.observe(v, cnt) }
+
+// observe folds one value occurring cnt times into the accumulator.
+func (a *AggAcc) observe(v int32, cnt int64) {
+	if cnt <= 0 {
+		return
+	}
+	a.Sum += int64(v) * cnt
+	a.Count += cnt
+	if int64(v) < a.Min {
+		a.Min = int64(v)
+	}
+	if int64(v) > a.Max {
+		a.Max = int64(v)
+	}
+}
 
 // Encoding identifies a physical compression scheme for an int32 block.
 type Encoding uint8
@@ -69,6 +163,23 @@ type IntBlock interface {
 	// Gather appends the values at the given sorted block-local indexes
 	// to dst.
 	Gather(idx []int32, dst []int32) []int32
+	// AggSelect folds every value whose bit base+i is set in sel into acc
+	// (sum, count, min, max) without materializing the block: RLE prices a
+	// run as value x selected-run-length, bit-vector encoding AND-popcounts
+	// words per distinct value, and bit-packed encodings accumulate in code
+	// space and widen once per block. sel may be nil, meaning every value
+	// is selected.
+	AggSelect(sel *bitmap.Bitmap, base int, acc *AggAcc)
+	// GatherSelect appends the values at the selected positions (bits
+	// base+i of sel, ascending) to dst — Gather driven by a bitmap instead
+	// of an index list, so run/bitmap encodings can walk their compressed
+	// representation once instead of random-accessing per position.
+	GatherSelect(sel *bitmap.Bitmap, base int, dst []int32) []int32
+	// FilterFunc sets bit base+i in bm for every value v with match(v),
+	// calling match once per run / distinct value where the encoding
+	// allows. It is the arbitrary-predicate analogue of Filter/FilterSet
+	// for membership tests that are neither a Pred nor a dense set.
+	FilterFunc(match func(int32) bool, base int, bm *bitmap.Bitmap)
 	// CompressedBytes is the size the block would occupy on disk; it
 	// feeds the simulated I/O model.
 	CompressedBytes() int64
@@ -120,7 +231,10 @@ func (b *PlainBlock) Encoding() Encoding { return Plain }
 func (b *PlainBlock) MinMax() (int32, int32) { return b.min, b.max }
 
 // AppendTo implements IntBlock.
-func (b *PlainBlock) AppendTo(dst []int32) []int32 { return append(dst, b.vals...) }
+func (b *PlainBlock) AppendTo(dst []int32) []int32 {
+	countDecoded(len(b.vals))
+	return append(dst, b.vals...)
+}
 
 // Values exposes the underlying slice for the block-iteration fast path.
 func (b *PlainBlock) Values() []int32 { return b.vals }
@@ -179,10 +293,48 @@ func (b *PlainBlock) FilterSet(set *bitmap.Bitmap, setMin int32, base int, bm *b
 
 // Gather implements IntBlock.
 func (b *PlainBlock) Gather(idx []int32, dst []int32) []int32 {
+	countDecoded(len(idx))
 	for _, i := range idx {
 		dst = append(dst, b.vals[i])
 	}
 	return dst
+}
+
+// AggSelect implements IntBlock; being the raw-array encoding, this is the
+// oracle the fuzz targets compare the native kernels against.
+func (b *PlainBlock) AggSelect(sel *bitmap.Bitmap, base int, acc *AggAcc) {
+	if sel == nil {
+		for _, v := range b.vals {
+			acc.observe(v, 1)
+		}
+		return
+	}
+	for pos := range selWords(sel, base, len(b.vals)) {
+		acc.observe(b.vals[pos], 1)
+	}
+}
+
+// GatherSelect implements IntBlock.
+func (b *PlainBlock) GatherSelect(sel *bitmap.Bitmap, base int, dst []int32) []int32 {
+	if sel == nil {
+		countDecoded(len(b.vals))
+		return append(dst, b.vals...)
+	}
+	n := len(dst)
+	for pos := range selWords(sel, base, len(b.vals)) {
+		dst = append(dst, b.vals[pos])
+	}
+	countDecoded(len(dst) - n)
+	return dst
+}
+
+// FilterFunc implements IntBlock.
+func (b *PlainBlock) FilterFunc(match func(int32) bool, base int, bm *bitmap.Bitmap) {
+	for i, v := range b.vals {
+		if match(v) {
+			bm.Set(base + i)
+		}
+	}
 }
 
 // CompressedBytes implements IntBlock.

@@ -520,6 +520,125 @@ func TestFilterSetEquivalence(t *testing.T) {
 	}
 }
 
+// TestKernelEquivalence: AggSelect / GatherSelect / FilterFunc on every
+// encoding agree with straight loops over the decoded values, at aligned
+// and unaligned bases, under random selection densities including empty and
+// full (mirrors TestFilterSetEquivalence).
+func TestKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for name, enc := range allEncoders() {
+		for trial := 0; trial < 30; trial++ {
+			vals := genVals(rng, rng.Intn(400)+1)
+			checkKernels(t, name, trial, enc(vals), vals, rng)
+		}
+	}
+	// Bit-vector encoding explicitly (Choose only picks it sometimes).
+	for trial := 0; trial < 30; trial++ {
+		vals := make([]int32, rng.Intn(300)+1)
+		for i := range vals {
+			vals[i] = rng.Int31n(9) * 3
+		}
+		checkKernels(t, "bitvec", trial, NewBitVecBlock(vals), vals, rng)
+	}
+}
+
+func checkKernels(t *testing.T, name string, trial int, blk IntBlock, vals []int32, rng *rand.Rand) {
+	t.Helper()
+	n := len(vals)
+	density := rng.Intn(4) // 0: empty, 1: sparse, 2: dense, 3: full
+	for _, base := range []int{0, 64, 13} {
+		sel := bitmap.New(base + n)
+		for i := 0; i < n; i++ {
+			switch density {
+			case 1:
+				if rng.Intn(8) == 0 {
+					sel.Set(base + i)
+				}
+			case 2:
+				if rng.Intn(8) != 0 {
+					sel.Set(base + i)
+				}
+			case 3:
+				sel.Set(base + i)
+			}
+		}
+		selected := func(i int) bool { return sel.Get(base + i) }
+
+		want := NewAggAcc()
+		for i, v := range vals {
+			if selected(i) {
+				want.observe(v, 1)
+			}
+		}
+		got := NewAggAcc()
+		blk.AggSelect(sel, base, &got)
+		if got != want {
+			t.Fatalf("%s trial %d base %d density %d: AggSelect=%+v oracle=%+v",
+				name, trial, base, density, got, want)
+		}
+
+		var wantVals []int32
+		for i, v := range vals {
+			if selected(i) {
+				wantVals = append(wantVals, v)
+			}
+		}
+		gotVals := blk.GatherSelect(sel, base, nil)
+		if len(gotVals) != len(wantVals) {
+			t.Fatalf("%s trial %d base %d: GatherSelect len=%d want %d",
+				name, trial, base, len(gotVals), len(wantVals))
+		}
+		for k := range wantVals {
+			if gotVals[k] != wantVals[k] {
+				t.Fatalf("%s trial %d base %d: GatherSelect[%d]=%d want %d",
+					name, trial, base, k, gotVals[k], wantVals[k])
+			}
+		}
+	}
+
+	// FilterFunc against an arbitrary closure (a hash-set membership stand-in).
+	pivot := int32(0)
+	if n > 0 {
+		pivot = vals[rng.Intn(n)]
+	}
+	match := func(v int32) bool { return v == pivot || v%5 == 2 }
+	for _, base := range []int{0, 64, 13} {
+		bm := bitmap.New(base + n + 5)
+		blk.FilterFunc(match, base, bm)
+		for i, v := range vals {
+			if bm.Get(base+i) != match(v) {
+				t.Fatalf("%s trial %d base %d: FilterFunc pos %d val %d got %v want %v",
+					name, trial, base, i, v, bm.Get(base+i), match(v))
+			}
+		}
+		for i := 0; i < base; i++ {
+			if bm.Get(i) {
+				t.Fatalf("%s base %d: FilterFunc stray bit below base at %d", name, base, i)
+			}
+		}
+	}
+
+	// nil selection == everything selected.
+	wantAll := NewAggAcc()
+	for _, v := range vals {
+		wantAll.observe(v, 1)
+	}
+	gotAll := NewAggAcc()
+	blk.AggSelect(nil, 0, &gotAll)
+	if gotAll != wantAll {
+		t.Fatalf("%s trial %d: AggSelect(nil)=%+v oracle=%+v", name, trial, gotAll, wantAll)
+	}
+	all := blk.GatherSelect(nil, 0, nil)
+	if len(all) != n {
+		t.Fatalf("%s trial %d: GatherSelect(nil) len=%d want %d", name, trial, len(all), n)
+	}
+	for i := range vals {
+		if all[i] != vals[i] {
+			t.Fatalf("%s trial %d: GatherSelect(nil)[%d]=%d want %d", name, trial, i, all[i], vals[i])
+		}
+	}
+}
+
 func checkFilterSet(t *testing.T, name string, trial int, blk IntBlock, vals []int32, rng *rand.Rand) {
 	t.Helper()
 	// Build a random membership set around the value range, anchored at a

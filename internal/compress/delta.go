@@ -102,6 +102,7 @@ func (b *DeltaBlock) AppendTo(dst []int32) []int32 {
 	if b.n == 0 {
 		return dst
 	}
+	countDecoded(b.n)
 	v := int64(b.first)
 	dst = append(dst, b.first)
 	for i := 0; i < b.n-1; i++ {
@@ -162,6 +163,7 @@ func (b *DeltaBlock) Gather(idx []int32, dst []int32) []int32 {
 	if len(idx) == 0 {
 		return dst
 	}
+	countDecoded(len(idx))
 	v := int64(b.first)
 	pos := int32(0)
 	k := 0
@@ -178,6 +180,61 @@ func (b *DeltaBlock) Gather(idx []int32, dst []int32) []int32 {
 		}
 	}
 	return dst
+}
+
+// AggSelect implements IntBlock with one forward streaming pass — the same
+// cost as Filter, since delta encoding has no random access to exploit.
+func (b *DeltaBlock) AggSelect(sel *bitmap.Bitmap, base int, acc *AggAcc) {
+	if b.n == 0 {
+		return
+	}
+	v := int64(b.first)
+	if sel == nil || sel.Get(base) {
+		acc.observe(int32(v), 1)
+	}
+	for i := 0; i < b.n-1; i++ {
+		v += b.delta(i)
+		if sel == nil || sel.Get(base+i+1) {
+			acc.observe(int32(v), 1)
+		}
+	}
+}
+
+// GatherSelect implements IntBlock with one forward streaming pass.
+func (b *DeltaBlock) GatherSelect(sel *bitmap.Bitmap, base int, dst []int32) []int32 {
+	if b.n == 0 {
+		return dst
+	}
+	n := len(dst)
+	v := int64(b.first)
+	if sel == nil || sel.Get(base) {
+		dst = append(dst, b.first)
+	}
+	for i := 0; i < b.n-1; i++ {
+		v += b.delta(i)
+		if sel == nil || sel.Get(base+i+1) {
+			dst = append(dst, int32(v))
+		}
+	}
+	countDecoded(len(dst) - n)
+	return dst
+}
+
+// FilterFunc implements IntBlock by streaming the decoded sequence.
+func (b *DeltaBlock) FilterFunc(match func(int32) bool, base int, bm *bitmap.Bitmap) {
+	if b.n == 0 {
+		return
+	}
+	v := int64(b.first)
+	if match(int32(v)) {
+		bm.Set(base)
+	}
+	for i := 0; i < b.n-1; i++ {
+		v += b.delta(i)
+		if match(int32(v)) {
+			bm.Set(base + i + 1)
+		}
+	}
 }
 
 // CompressedBytes implements IntBlock.

@@ -122,6 +122,79 @@ func checkBlockOracle(t *testing.T, name string, blk IntBlock, vals []int32, pre
 			t.Fatalf("%s: Gather[%d] (pos %d) = %d want %d", name, k, i, out[k], vals[i])
 		}
 	}
+
+	// Aggregation/selection kernels against the plain-slice oracle, with a
+	// selection bitmap derived from the first predicate.
+	sel := bitmap.New(n)
+	if len(preds) > 0 {
+		blkFilterOracle(vals, preds[0], sel)
+	} else {
+		sel = bitmap.NewFull(n)
+	}
+	checkKernelOracle(t, name, blk, vals, sel, 0)
+	checkKernelOracle(t, name, blk, vals, nil, 0)
+}
+
+// blkFilterOracle sets bit i of bm for every vals[i] matching p.
+func blkFilterOracle(vals []int32, p Pred, bm *bitmap.Bitmap) {
+	for i, v := range vals {
+		if p.Match(v) {
+			bm.Set(i)
+		}
+	}
+}
+
+// checkKernelOracle compares AggSelect, GatherSelect and FilterFunc against
+// straight loops over the decoded values. sel == nil means all-selected;
+// otherwise bit base+i of sel selects vals[i].
+func checkKernelOracle(t *testing.T, name string, blk IntBlock, vals []int32, sel *bitmap.Bitmap, base int) {
+	t.Helper()
+	selected := func(i int) bool { return sel == nil || sel.Get(base+i) }
+
+	want := NewAggAcc()
+	for i, v := range vals {
+		if selected(i) {
+			want.observe(v, 1)
+		}
+	}
+	got := NewAggAcc()
+	blk.AggSelect(sel, base, &got)
+	if got != want {
+		t.Fatalf("%s: AggSelect=%+v oracle=%+v (base %d)", name, got, want, base)
+	}
+
+	var wantVals []int32
+	for i, v := range vals {
+		if selected(i) {
+			wantVals = append(wantVals, v)
+		}
+	}
+	gotVals := blk.GatherSelect(sel, base, nil)
+	if len(gotVals) != len(wantVals) {
+		t.Fatalf("%s: GatherSelect returned %d values, want %d (base %d)",
+			name, len(gotVals), len(wantVals), base)
+	}
+	for k := range wantVals {
+		if gotVals[k] != wantVals[k] {
+			t.Fatalf("%s: GatherSelect[%d]=%d want %d (base %d)",
+				name, k, gotVals[k], wantVals[k], base)
+		}
+	}
+
+	match := func(v int32) bool { return v%3 == 1 || v < 0 }
+	bm := bitmap.New(base + len(vals) + 3)
+	blk.FilterFunc(match, base, bm)
+	for i, v := range vals {
+		if bm.Get(base+i) != match(v) {
+			t.Fatalf("%s: FilterFunc bit %d = %v, oracle %v (value %d, base %d)",
+				name, i, bm.Get(base+i), match(v), v, base)
+		}
+	}
+	for i := 0; i < base; i++ {
+		if bm.Get(i) {
+			t.Fatalf("%s: FilterFunc stray bit below base at %d", name, i)
+		}
+	}
 }
 
 // FuzzRoundTrip is the native fuzz target shared by all five encodings:
@@ -159,6 +232,38 @@ func FuzzRoundTrip(f *testing.F) {
 
 		for name, blk := range encodersFor(vals) {
 			checkBlockOracle(t, name, blk, vals, preds, setMin, set, gatherIdx)
+		}
+	})
+}
+
+// FuzzAggSelect fuzzes the aggregation/selection kernels: for arbitrary
+// values and an arbitrary selection pattern, AggSelect / GatherSelect /
+// FilterFunc on every encoding must agree with straight loops over the
+// decoded values, at aligned and unaligned bases.
+func FuzzAggSelect(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0}, []byte{0xff})
+	f.Add([]byte{1, 5, 0, 0, 0, 1, 0, 0, 0, 5, 0, 0, 0}, []byte{0xaa, 0x55})
+	f.Add([]byte{2, 0xff, 0xff, 0xff, 0xff, 0x39, 0x30, 0x00, 0x00}, []byte{})
+	f.Add([]byte{3, 0x10, 0x27, 0x00, 0x00, 0x20, 0x4e, 0x00, 0x00}, []byte{0x01})
+	f.Fuzz(func(t *testing.T, data, selBytes []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		vals, _, _ := fuzzDecodeValues(data)
+		n := len(vals)
+		for _, base := range []int{0, 64, 13} {
+			sel := bitmap.New(base + n)
+			for i := 0; i < n; i++ {
+				if len(selBytes) > 0 && selBytes[i%len(selBytes)]&(1<<uint(i%8)) != 0 {
+					sel.Set(base + i)
+				}
+			}
+			for name, blk := range encodersFor(vals) {
+				checkKernelOracle(t, name, blk, vals, sel, base)
+				if base == 0 {
+					checkKernelOracle(t, name, blk, vals, nil, 0)
+				}
+			}
 		}
 	})
 }

@@ -71,6 +71,7 @@ func (b *RLEBlock) Runs() []Run { return b.runs }
 
 // AppendTo implements IntBlock.
 func (b *RLEBlock) AppendTo(dst []int32) []int32 {
+	countDecoded(b.n)
 	for _, r := range b.runs {
 		for k := int32(0); k < r.Len; k++ {
 			dst = append(dst, r.Val)
@@ -108,6 +109,7 @@ func (b *RLEBlock) FilterSet(set *bitmap.Bitmap, setMin int32, base int, bm *bit
 // Gather implements IntBlock with a merge walk: positions are sorted, so a
 // single forward pass over runs suffices.
 func (b *RLEBlock) Gather(idx []int32, dst []int32) []int32 {
+	countDecoded(len(idx))
 	ri := 0
 	for _, i := range idx {
 		for b.runs[ri].Start+b.runs[ri].Len <= i {
@@ -116,6 +118,47 @@ func (b *RLEBlock) Gather(idx []int32, dst []int32) []int32 {
 		dst = append(dst, b.runs[ri].Val)
 	}
 	return dst
+}
+
+// AggSelect implements IntBlock: each run contributes val x (number of
+// selected positions inside the run), priced by a word-wise popcount over
+// the selection bitmap — the paper's "sum over a run = value x run length"
+// executed without decoding a single value.
+func (b *RLEBlock) AggSelect(sel *bitmap.Bitmap, base int, acc *AggAcc) {
+	for _, r := range b.runs {
+		cnt := int64(r.Len)
+		if sel != nil {
+			cnt = int64(sel.CountRange(base+int(r.Start), base+int(r.Start+r.Len)))
+		}
+		acc.observe(r.Val, cnt)
+	}
+}
+
+// GatherSelect implements IntBlock: one CountRange per run tells how many
+// copies of the run value to emit, so output cost is proportional to the
+// selection, never the block.
+func (b *RLEBlock) GatherSelect(sel *bitmap.Bitmap, base int, dst []int32) []int32 {
+	n := len(dst)
+	for _, r := range b.runs {
+		cnt := int(r.Len)
+		if sel != nil {
+			cnt = sel.CountRange(base+int(r.Start), base+int(r.Start+r.Len))
+		}
+		for k := 0; k < cnt; k++ {
+			dst = append(dst, r.Val)
+		}
+	}
+	countDecoded(len(dst) - n)
+	return dst
+}
+
+// FilterFunc implements IntBlock: one callback per run.
+func (b *RLEBlock) FilterFunc(match func(int32) bool, base int, bm *bitmap.Bitmap) {
+	for _, r := range b.runs {
+		if match(r.Val) {
+			bm.SetRange(base+int(r.Start), base+int(r.Start+r.Len))
+		}
+	}
 }
 
 // CompressedBytes implements IntBlock: 12 bytes per run (value, start,

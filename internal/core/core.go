@@ -219,7 +219,15 @@ func OpenData(d *ssb.Data) *DB {
 // pool-backed columns; engines that need the raw dataset are rejected at
 // validation.
 func OpenSegmentStore(path string, memBudget int64) (*DB, error) {
-	st, err := segstore.Open(path, memBudget)
+	return OpenSegmentStoreWith(path, segstore.OpenOptions{MemBudget: memBudget})
+}
+
+// OpenSegmentStoreWith is OpenSegmentStore with full open options — in
+// particular an injected recovery-log sink, so daemons route torn-tail
+// recovery diagnostics through their own logger instead of the library's
+// stderr fallback (and can surface Store.RecoveryNote on /stats).
+func OpenSegmentStoreWith(path string, opts segstore.OpenOptions) (*DB, error) {
+	st, err := segstore.OpenWith(path, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -240,12 +248,18 @@ func (db *DB) SegmentStore() *segstore.Store { return db.seg }
 // with the given byte budget; a v1 datafile loads the raw dataset wholesale
 // into memory (budget ignored).
 func OpenFile(path string, memBudget int64) (*DB, error) {
+	return OpenFileWith(path, segstore.OpenOptions{MemBudget: memBudget})
+}
+
+// OpenFileWith is OpenFile with full segment-store open options (the
+// recovery-log sink only applies when the file sniffs as a segment store).
+func OpenFileWith(path string, opts segstore.OpenOptions) (*DB, error) {
 	isSeg, err := segstore.IsSegmentFile(path)
 	if err != nil {
 		return nil, err
 	}
 	if isSeg {
-		return OpenSegmentStore(path, memBudget)
+		return OpenSegmentStoreWith(path, opts)
 	}
 	d, err := datafile.Load(path)
 	if err != nil {

@@ -141,6 +141,25 @@ func (db *DB) aggregate(ctx context.Context, q *ssb.Query, cfg Config, pos *vect
 	// evaluate every aggregate expression into a per-row value column.
 	specs := q.AggSpecs()
 	n := pos.Len()
+
+	// Ungrouped single-operand aggregates fold directly on the compressed
+	// blocks: each distinct input column is walked once with AggSelect
+	// (run/bit-vector blocks never decode a value) instead of gathering a
+	// per-row value column. I/O accounting is unchanged — the kernel walks
+	// the same candidate blocks the gather would.
+	if len(q.GroupBy) == 0 && cfg.KernelsActive() {
+		if colNames, ia, ib := ssb.AggInputs(specs); kernelableSpecs(specs, ia, ib) {
+			accs := make([]compress.AggAcc, len(colNames))
+			for i, name := range colNames {
+				accs[i] = compress.NewAggAcc()
+				db.Fact.MustColumn(name).AggSelectPositions(ctx, pos, st, &accs[i])
+			}
+			cells := make([]int64, len(specs))
+			ssb.InitCells(specs, cells)
+			foldAccCells(specs, ia, cells, accs, int64(n))
+			return ssb.NewResult(q.ID, []ssb.ResultRow{ssb.MakeRow(nil, ssb.FinalizeCells(specs, cells, int64(n)))})
+		}
+	}
 	values := evalAggValues(specs, cfg.BlockIter, n, func(name string) []int32 {
 		vals := db.Fact.MustColumn(name).GatherCtx(ctx, pos, nil, st)
 		if len(vals) < n {

@@ -47,7 +47,21 @@ type Config struct {
 	// it false for the Figure 5/7 ablations, whose per-probe pipeline
 	// stays the faithful reproduction path.
 	Fused bool
+	// NoKernels disables the encoding-native aggregation and selection
+	// kernels (AggSelect/GatherSelect/FilterFunc): membership probes decode
+	// blocks before testing, aggregation always gathers its inputs, and
+	// the fused pipeline degrades its selection to an index list at the
+	// first non-run/bit-vector probe. The zero value (kernels ON) is the
+	// production path; set this for the operate-on-compressed ablation
+	// (Section 5) and for the kernels-on/off differential harness.
+	NoKernels bool
 }
+
+// KernelsActive reports whether the encoding-native kernels run under c:
+// they require compressed storage to have anything to exploit and block
+// iteration to be meaningful (the getNext ablation deliberately pays a call
+// per value).
+func (c Config) KernelsActive() bool { return !c.NoKernels && c.BlockIter }
 
 // FullOpt is the baseline C-Store configuration "tICL".
 var FullOpt = Config{BlockIter: true, InvisibleJoin: true, Compression: true, LateMat: true}
@@ -91,6 +105,9 @@ func (c Config) Code() string {
 	}
 	if c.LateMat {
 		b[3] = 'L'
+	}
+	if c.NoKernels {
+		return string(b) + "-nk"
 	}
 	return string(b)
 }

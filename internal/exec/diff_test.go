@@ -105,6 +105,30 @@ func TestDifferential(t *testing.T) {
 				seed, q.ID, stSeg, st8, q.SQL())
 		}
 
+		// Kernels-off ablation: results must stay bit-identical with the
+		// encoding-native kernels disabled, and the kernels-off fused
+		// pipeline must keep its own worker-count and storage-backend I/O
+		// invariants. (The two modes may legally charge different I/O —
+		// kernel charging depends only on the block and its selection —
+		// but each mode's accounting is storage-invariant.)
+		nkFull := FullOpt
+		nkFull.NoKernels = true
+		check("column per-probe kernels-off", dbc.Run(q, nkFull, nil))
+		nk1, nk8 := cfg1, cfg8
+		nk1.NoKernels, nk8.NoKernels = true, true
+		var stNk1, stNk8, stNkSeg iosim.Stats
+		check("fused kernels-off workers=1", dbc.Run(q, nk1, &stNk1))
+		check("fused kernels-off workers=8", dbc.Run(q, nk8, &stNk8))
+		if stNk1 != stNk8 {
+			t.Errorf("seed %d (%s): kernels-off fused I/O accounting depends on worker count: %+v vs %+v\nSQL: %s",
+				seed, q.ID, stNk1, stNk8, q.SQL())
+		}
+		check("segstore fused kernels-off", segDB.Run(q, nk8, &stNkSeg))
+		if stNkSeg != stNk8 {
+			t.Errorf("seed %d (%s): segment-backed kernels-off fused logical I/O %+v differs from in-memory %+v\nSQL: %s",
+				seed, q.ID, stNkSeg, stNk8, q.SQL())
+		}
+
 		// Row store: the traditional design on every trial, the heavier
 		// designs on a rotating subset to bound test time.
 		check("rowexec T", sx.Run(q, rowexec.Traditional, nil))
@@ -168,7 +192,9 @@ func TestDifferentialMultiAggShapes(t *testing.T) {
 	}
 	for _, q := range queries {
 		want := ssb.Reference(data, q)
-		for _, cfg := range []Config{FullOpt, FusedOpt} {
+		nkFull, nkFused := FullOpt, FusedOpt
+		nkFull.NoKernels, nkFused.NoKernels = true, true
+		for _, cfg := range []Config{FullOpt, FusedOpt, nkFull, nkFused} {
 			for _, w := range []int{1, 8} {
 				c := cfg
 				c.Workers = w

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitmap"
 	"repro/internal/iosim"
 	"repro/internal/ssb"
+	"repro/internal/vector"
 )
 
 // runEarlyMat is the early-materialization path ("l" in Figure 7): every
@@ -60,36 +61,66 @@ func (db *DB) runEarlyMat(ctx context.Context, q *ssb.Query, cfg Config, st *ios
 	}
 	for _, dim := range dimOrder {
 		dimTab := db.Dims[dim]
-		pos := map[int32]struct{}{}
-		for fi, f := range byDim[dim] {
-			col := dimTab.MustColumn(f.Col)
-			pred := dimFilterPred(col, f)
-			vals := col.DecodeAll(nil, st)
-			if fi == 0 {
-				for i, v := range vals {
-					if pred.Match(v) {
-						pos[int32(i)] = struct{}{}
-					}
+		var set map[int32]struct{}
+		if !cfg.NoKernels {
+			// Dimension predicates evaluate natively on the compressed
+			// dimension columns (run/bit-vector blocks filter without
+			// decoding), exactly as the late-materialized planner's phase 1
+			// does. The fact-side tuple construction above stays fully
+			// decoded — that is the early-materialization cost the ablation
+			// measures; the dimension tables are not part of it.
+			var dimPos *vector.Positions
+			for _, f := range byDim[dim] {
+				col := dimTab.MustColumn(f.Col)
+				pred := dimFilterPred(col, f)
+				if dimPos == nil {
+					dimPos = col.Filter(pred, st)
+				} else {
+					dimPos = col.FilterAt(pred, dimPos, st)
 				}
-				continue
 			}
-			for p := range pos {
-				if !pred.Match(vals[p]) {
-					delete(pos, p)
+			set = make(map[int32]struct{}, dimPos.Len())
+			if dim == ssb.DimDate {
+				for _, k := range dimTab.MustColumn("datekey").Gather(dimPos, nil, st) {
+					set[k] = struct{}{}
 				}
-			}
-		}
-		// Key the pass set by FK value: positions for customer /
-		// supplier / part, datekeys for date.
-		set := make(map[int32]struct{}, len(pos))
-		if dim == ssb.DimDate {
-			keys := dimTab.MustColumn("datekey").DecodeAll(nil, st)
-			for p := range pos {
-				set[keys[p]] = struct{}{}
+			} else {
+				for _, p := range dimPos.ToSlice(nil) {
+					set[p] = struct{}{}
+				}
 			}
 		} else {
-			for p := range pos {
-				set[p] = struct{}{}
+			pos := map[int32]struct{}{}
+			for fi, f := range byDim[dim] {
+				col := dimTab.MustColumn(f.Col)
+				pred := dimFilterPred(col, f)
+				vals := col.DecodeAll(nil, st)
+				if fi == 0 {
+					for i, v := range vals {
+						if pred.Match(v) {
+							pos[int32(i)] = struct{}{}
+						}
+					}
+					continue
+				}
+				for p := range pos {
+					if !pred.Match(vals[p]) {
+						delete(pos, p)
+					}
+				}
+			}
+			// Key the pass set by FK value: positions for customer /
+			// supplier / part, datekeys for date.
+			set = make(map[int32]struct{}, len(pos))
+			if dim == ssb.DimDate {
+				keys := dimTab.MustColumn("datekey").DecodeAll(nil, st)
+				for p := range pos {
+					set[keys[p]] = struct{}{}
+				}
+			} else {
+				for p := range pos {
+					set[p] = struct{}{}
+				}
 			}
 		}
 		passSets = append(passSets, set)

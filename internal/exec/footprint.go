@@ -29,10 +29,22 @@ import (
 //     per-probe pipeline allocates one such array total, or a hash table
 //     bounded by the dense limit above it.
 //   - Group extraction: each GROUP BY column decodes its dimension
-//     attribute column (4 bytes per dimension row).
-//   - Per-probe position lists: the non-fused late-materialized path
-//     materializes a full-fact bitmap per live selection (charged twice:
-//     output plus the pipelined candidate list).
+//     attribute column (4 bytes per dimension row), and dimension
+//     predicate evaluation pins one block of each filtered dimension
+//     column at a time.
+//   - Worker scratch: the fused pipeline's survivor index/value/group
+//     vectors, per-column gather buffers, and selection bitmaps are each
+//     bounded by one 64K-row block per worker — with the encoding-native
+//     kernels the bitmap-driven extraction can fill all of them on a
+//     fully selected block, so they are charged at that bound.
+//   - Per-probe position lists and aggregation scratch: the non-fused
+//     late-materialized path materializes a full-fact bitmap per live
+//     selection (charged twice: output plus the pipelined candidate
+//     list), gathers each distinct measure column at the final positions
+//     (4 bytes/value) and evaluates one int64 column per aggregate. The
+//     kernel path folds ungrouped aggregates with per-block accumulators
+//     instead, so these charges stay an upper bound for kernels on or
+//     off.
 //   - Early materialization constructs every needed column and the full
 //     tuple array up front: two decoded copies of the needed columns.
 func (db *DB) EstimateFootprint(q *ssb.Query, cfg Config) int64 {
@@ -68,7 +80,35 @@ func (db *DB) estimateFrozen(q *ssb.Query, cfg Config) int64 {
 	}
 	foot := perBlock * int64(workers)
 
-	nAggs := int64(len(q.AggSpecs()))
+	// Dimension predicate evaluation (join phase 1, shared by every path)
+	// pins one block of each filtered dimension column at a time; the date
+	// membership fallback additionally reads the datekey column.
+	for _, f := range q.DimFilters {
+		foot += db.maxBlockBytes(db.Dims[f.Dim].MustColumn(f.Col))
+	}
+
+	specs := q.AggSpecs()
+	nAggs := int64(len(specs))
+	aggColNames, _, _ := ssb.AggInputs(specs)
+	nAggCols := int64(len(aggColNames))
+
+	switch {
+	case fusedPath:
+		// Per-worker block scratch: survivor index + probe value vectors
+		// (4 B each), composite group indexes (8 B), FK gather buffer
+		// (4 B), one gather buffer per distinct aggregate input column
+		// (4 B), and the two selection bitmaps — all bounded by one
+		// 64K-row block.
+		perWorker := int64(colstore.BlockSize)*(4+4+8+4+4*nAggCols) +
+			2*int64(colstore.BlockSize)/8
+		foot += perWorker * int64(workers)
+	case cfg.LateMat:
+		// Per-probe aggregation scratch at the final positions: gathered
+		// measure columns plus one evaluated int64 column per aggregate,
+		// each bounded by the fact row count.
+		foot += int64(db.numRows) * (4*nAggCols + 8*nAggs)
+	}
+
 	if len(q.GroupBy) > 0 {
 		cells := space
 		if cells > denseLimit {

@@ -73,6 +73,15 @@ type fusedPlan struct {
 	grouped bool
 	numRows int
 	del     *bitmap.Bitmap // sealed-side deletion vector (nil = none)
+	// kernels enables the encoding-native aggregation/selection kernels
+	// (Config.KernelsActive): the selection stays bitmap-shaped through
+	// dense non-RLE probes, deletion masking is word-wise, and measure
+	// extraction runs GatherSelect/AggSelect directly on compressed
+	// blocks. kernelable additionally marks plans whose every aggregate
+	// folds from per-column sum/count/min/max alone, so ungrouped blocks
+	// aggregate without materializing a single value.
+	kernels    bool
+	kernelable bool
 }
 
 // fusedExtractor resolves fact FK values to group-by attribute codes by
@@ -160,11 +169,12 @@ type fusedWorker struct {
 	sel *bitmap.Bitmap // block-local selection vector
 	tmp *bitmap.Bitmap // per-probe filter output, ANDed into sel
 
-	idx   []int32   // survivor block-local indexes
-	vals  []int32   // probe gather scratch
-	mvals [][]int32 // aggregate input gather scratch, one per distinct column
-	fkv   []int32   // FK gather scratch
-	gidx  []int64   // composite group index per survivor
+	idx   []int32           // survivor block-local indexes
+	vals  []int32           // probe gather scratch
+	mvals [][]int32         // aggregate input gather scratch, one per distinct column
+	fkv   []int32           // FK gather scratch
+	gidx  []int64           // composite group index per survivor
+	accs  []compress.AggAcc // per-column kernel accumulators, one per distinct column
 
 	// sums holds nAggs cells per composite group index; seen marks
 	// populated groups (shared by every aggregate of the group).
@@ -200,6 +210,10 @@ func (db *DB) getFusedWorker(plan *fusedPlan, total int64) *fusedWorker {
 	for len(ws.mvals) < len(plan.aggCols) {
 		ws.mvals = append(ws.mvals, nil)
 	}
+	if cap(ws.accs) < len(plan.aggCols) {
+		ws.accs = make([]compress.AggAcc, len(plan.aggCols))
+	}
+	ws.accs = ws.accs[:len(plan.aggCols)]
 	if plan.grouped {
 		cells := total * int64(plan.nAggs)
 		if int64(cap(ws.sums)) < cells {
@@ -248,10 +262,12 @@ func (db *DB) runFused(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.
 		grouped: len(q.GroupBy) > 0,
 		numRows: db.numRows,
 		del:     del,
+		kernels: cfg.KernelsActive(),
 	}
 	plan.nAggs = len(plan.specs)
 	var aggColNames []string
 	aggColNames, plan.ia, plan.ib = ssb.AggInputs(plan.specs)
+	plan.kernelable = kernelableSpecs(plan.specs, plan.ia, plan.ib)
 	plan.aggCols = make([]*colstore.Column, len(aggColNames))
 	for i, name := range aggColNames {
 		plan.aggCols[i] = db.Fact.MustColumn(name)
@@ -344,6 +360,13 @@ func (db *DB) runFused(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.
 	return ssb.NewResult(q.ID, rows)
 }
 
+// foldsBlocks reports whether surviving blocks end in a decode-free
+// AggSelect fold (no gather of aggregate inputs), which is when keeping a
+// dense selection bitmap-shaped through the probe chain pays for itself.
+func (plan *fusedPlan) foldsBlocks() bool {
+	return plan.kernels && plan.kernelable && !plan.grouped
+}
+
 // fusedBlock runs the whole fused pipeline — probes, extraction,
 // aggregation — over one block.
 func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
@@ -358,7 +381,7 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 	full, onBitmap := true, false
 	ws.idx = ws.idx[:0]
 
-	for _, p := range plan.probes {
+	for pi, p := range plan.probes {
 		// Zone-map consultation only: the block is not acquired (for
 		// segment-backed columns, not even read from disk) unless the
 		// probe actually has to examine values.
@@ -376,9 +399,20 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 			ws.sel.Reset()
 			applyBlockProbe(p, bi, ws.sel, ws)
 			full, onBitmap = false, true
-		case onBitmap && wholeBlockCheap(p.col.BlockEncoding(bi)):
+		case onBitmap && (wholeBlockCheap(p.col.BlockEncoding(bi)) ||
+			(plan.foldsBlocks() && pi == len(plan.probes)-1 &&
+				2*ws.sel.Count() >= blkLen)):
 			// Word-level fused selection: filter the compressed block
-			// and AND into the running selection vector.
+			// and AND into the running selection vector. When the plan
+			// ends in a decode-free fold and this is the final probe, a
+			// dense selection (≥ half the block) also stays on the bitmap
+			// for any encoding: the block then aggregates via AggSelect
+			// with no position list at all. Earlier probes don't take that
+			// gamble — a later probe would usually drop the density below
+			// the gate and degrade to an index list anyway, leaving the
+			// whole-block filter's cost (every position charged) with no
+			// fold to pay for it. Plans that must gather their aggregate
+			// inputs likewise gain nothing from the bitmap shape.
 			ws.tmp.Reset()
 			applyBlockProbe(p, bi, ws.tmp, ws)
 			ws.sel.And(ws.tmp)
@@ -437,53 +471,91 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 		}
 	}
 
-	// Materialize the survivor list for extraction and aggregation.
-	if full {
-		ws.idx = vector.AppendSeq(ws.idx[:0], 0, int32(blkLen))
-	} else if onBitmap {
-		ws.idx = ws.sel.AppendPositions(ws.idx[:0])
-	}
-	if len(ws.idx) == 0 {
-		return
-	}
-
-	// Deletion-vector mask: drop tombstoned survivors before any aggregate
-	// input is gathered, so purged rows cost no value I/O — same contract
-	// as a failed probe.
-	if plan.del != nil {
-		k := 0
-		for _, i := range ws.idx {
-			if !plan.del.Get(blkBase + int(i)) {
-				ws.idx[k] = i
-				k++
-			}
+	// Materialize the survivor set for extraction and aggregation. With
+	// kernels active and the selection still block- or bitmap-shaped, stay
+	// on the bitmap: deletion masking is a word-wise AND-NOT and every
+	// downstream extraction runs AggSelect/GatherSelect directly on the
+	// compressed blocks — no position list, no per-position random access.
+	var nSel int
+	var gather func(col *colstore.Column, dst []int32) []int32
+	if plan.kernels && (full || onBitmap) {
+		if full {
+			ws.sel.Reset()
+			ws.sel.SetRange(0, blkLen)
 		}
-		ws.idx = ws.idx[:k]
-		if k == 0 {
+		if plan.del != nil {
+			// blkBase is a multiple of BlockSize (itself a multiple of 64),
+			// so the deletion vector masks word-aligned.
+			ws.sel.AndNotWordsFrom(plan.del, blkBase/64)
+		}
+		nSel = ws.sel.Count()
+		if nSel == 0 {
 			return
+		}
+		if !plan.grouped && plan.kernelable {
+			// Decode-free aggregation: fold each distinct input column
+			// once per block on its compressed representation and widen
+			// the per-block accumulators into the aggregate cells.
+			for ci, col := range plan.aggCols {
+				acc := compress.NewAggAcc()
+				col.AggSelectBlock(bi, ws.sel, &ws.st, &acc)
+				ws.accs[ci] = acc
+			}
+			ws.rows += int64(nSel)
+			foldAccCells(plan.specs, plan.ia, ws.aggCells, ws.accs, int64(nSel))
+			return
+		}
+		gather = func(col *colstore.Column, dst []int32) []int32 {
+			return col.GatherSelectBlock(bi, ws.sel, dst, &ws.st)
+		}
+	} else {
+		if full {
+			ws.idx = vector.AppendSeq(ws.idx[:0], 0, int32(blkLen))
+		} else if onBitmap {
+			ws.idx = ws.sel.AppendPositions(ws.idx[:0])
+		}
+		// Deletion-vector mask: drop tombstoned survivors before any
+		// aggregate input is gathered, so purged rows cost no value I/O —
+		// same contract as a failed probe.
+		if plan.del != nil {
+			k := 0
+			for _, i := range ws.idx {
+				if !plan.del.Get(blkBase + int(i)) {
+					ws.idx[k] = i
+					k++
+				}
+			}
+			ws.idx = ws.idx[:k]
+		}
+		nSel = len(ws.idx)
+		if nSel == 0 {
+			return
+		}
+		gather = func(col *colstore.Column, dst []int32) []int32 {
+			return col.GatherBlock(bi, ws.idx, dst, &ws.st)
 		}
 	}
 
 	// Aggregate inputs at survivors only: gather each distinct input
 	// column once per block.
 	for ci, col := range plan.aggCols {
-		ws.mvals[ci] = col.GatherBlock(bi, ws.idx, ws.mvals[ci][:0], &ws.st)
+		ws.mvals[ci] = gather(col, ws.mvals[ci][:0])
 	}
 
 	if !plan.grouped {
-		ws.rows += int64(len(ws.idx))
-		fusedAccumulate(plan, ws, nil)
+		ws.rows += int64(nSel)
+		fusedAccumulate(plan, ws, nil, nSel)
 		return
 	}
 
 	// Group extraction: composite index accumulated per extractor, then
 	// one dense-array update per survivor.
 	ws.gidx = ws.gidx[:0]
-	for range ws.idx {
+	for r := 0; r < nSel; r++ {
 		ws.gidx = append(ws.gidx, 0)
 	}
 	for gi, fx := range plan.exs {
-		ws.fkv = fx.fkCol.GatherBlock(bi, ws.idx, ws.fkv[:0], &ws.st)
+		ws.fkv = gather(fx.fkCol, ws.fkv[:0])
 		stride := plan.strides[gi]
 		if fx.posDense == nil {
 			for r, fk := range ws.fkv {
@@ -514,14 +586,55 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 			ssb.InitCells(plan.specs, ws.sums[gi*int64(nAggs):(gi+1)*int64(nAggs)])
 		}
 	}
-	fusedAccumulate(plan, ws, ws.gidx)
+	fusedAccumulate(plan, ws, ws.gidx, nSel)
 }
 
-// fusedAccumulate folds the block's survivors into the worker's aggregates:
-// the ungrouped cells when gidx is nil, otherwise the dense per-group cells.
-// The single-column SUM loops are kept specialized — they are the hot path
-// for every fixed SSBM flight.
-func fusedAccumulate(plan *fusedPlan, ws *fusedWorker, gidx []int64) {
+// kernelableSpecs reports whether every aggregate folds from per-column
+// sum/count/min/max accumulators alone: single-operand (or COUNT) specs
+// only, since a two-operand expression such as SUM(price*discount) needs
+// both values of each row, not per-column marginals.
+func kernelableSpecs(specs []ssb.AggSpec, ia, ib []int) bool {
+	if len(specs) == 0 {
+		return false
+	}
+	for k, s := range specs {
+		if ib[k] >= 0 {
+			return false
+		}
+		if s.Func != ssb.FuncCount && ia[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// foldAccCells widens per-column kernel accumulators into ungrouped
+// aggregate cells for nSel selected rows. Shared by the fused pipeline
+// (per block) and the per-probe pipeline (whole position list).
+func foldAccCells(specs []ssb.AggSpec, ia []int, cells []int64, accs []compress.AggAcc, nSel int64) {
+	for k, s := range specs {
+		switch s.Func {
+		case ssb.FuncCount:
+			cells[k] += nSel
+		case ssb.FuncSum:
+			cells[k] += accs[ia[k]].Sum
+		case ssb.FuncMin:
+			if a := &accs[ia[k]]; a.Count > 0 {
+				cells[k] = s.Combine(cells[k], a.Min)
+			}
+		case ssb.FuncMax:
+			if a := &accs[ia[k]]; a.Count > 0 {
+				cells[k] = s.Combine(cells[k], a.Max)
+			}
+		}
+	}
+}
+
+// fusedAccumulate folds the block's nSel survivors into the worker's
+// aggregates: the ungrouped cells when gidx is nil, otherwise the dense
+// per-group cells. The single-column SUM loops are kept specialized — they
+// are the hot path for every fixed SSBM flight.
+func fusedAccumulate(plan *fusedPlan, ws *fusedWorker, gidx []int64, nSel int) {
 	nAggs := int64(plan.nAggs)
 	for k, s := range plan.specs {
 		var va, vb []int32
@@ -535,7 +648,7 @@ func fusedAccumulate(plan *fusedPlan, ws *fusedWorker, gidx []int64) {
 			cell := ws.aggCells[k]
 			switch {
 			case s.Func == ssb.FuncCount:
-				cell += int64(len(ws.idx))
+				cell += int64(nSel)
 			case s.Func == ssb.FuncSum && s.Expr.Op == '*':
 				for r, v := range va {
 					cell += int64(v) * int64(vb[r])
@@ -606,13 +719,10 @@ func applyBlockProbe(p *factProbe, bi int, out *bitmap.Bitmap, ws *fusedWorker) 
 		blk.FilterSet(p.dense, p.setMin, 0, out)
 	default:
 		// Hash-set probe reached the fused path (defensive; planProbes
-		// builds dense sets whenever the fused pipeline is active).
-		ws.vals = blk.AppendTo(ws.vals[:0])
-		for i, v := range ws.vals {
-			if p.matches(v) {
-				out.Set(i)
-			}
-		}
+		// builds dense sets whenever the fused pipeline is active). Probe
+		// membership natively — one test per run / distinct value where
+		// the encoding allows — instead of decoding the whole block.
+		blk.FilterFunc(p.matches, 0, out)
 	}
 	release()
 }

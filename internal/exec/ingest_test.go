@@ -22,6 +22,8 @@ func ingestEngines() []struct {
 } {
 	w1, w8 := FusedOpt, FusedOpt
 	w1.Workers, w8.Workers = 1, 8
+	nkFull, nkW8, nkEM := FullOpt, w8, earlyMatCfg
+	nkFull.NoKernels, nkW8.NoKernels, nkEM.NoKernels = true, true, true
 	return []struct {
 		label string
 		cfg   Config
@@ -30,6 +32,9 @@ func ingestEngines() []struct {
 		{"fused w1", w1},
 		{"fused w8", w8},
 		{"early-mat", earlyMatCfg},
+		{"per-probe kernels-off", nkFull},
+		{"fused w8 kernels-off", nkW8},
+		{"early-mat kernels-off", nkEM},
 	}
 }
 

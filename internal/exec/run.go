@@ -333,7 +333,7 @@ func (p *factProbe) apply(ctx context.Context, db *DB, cand *vector.Positions, c
 			}
 			return p.col.FilterAtCtx(ctx, p.pred, cand, st)
 		}
-		return db.tupleFilter(ctx, p.col, p.pred, cand, st)
+		return db.tupleFilter(ctx, p.col, p.pred, cand, cfg, st)
 	}
 	if cand == nil && cfg.Workers > 1 && cfg.BlockIter {
 		return parallelProbeSet(ctx, p, cfg.Workers, st)
@@ -356,7 +356,7 @@ func sortedFastPathApplies(col *colstore.Column, pred compress.Pred) bool {
 // "we wrote alternative versions that use getNext"). The sorted-column fast
 // path is retained — it is a property of the storage sort order, not of the
 // iteration interface.
-func (db *DB) tupleFilter(ctx context.Context, col *colstore.Column, pred compress.Pred, cand *vector.Positions, st *iosim.Stats) *vector.Positions {
+func (db *DB) tupleFilter(ctx context.Context, col *colstore.Column, pred compress.Pred, cand *vector.Positions, cfg Config, st *iosim.Stats) *vector.Positions {
 	if col.Sorted == colstore.PrimarySort && cand == nil {
 		if _, _, ok := pred.Bounds(); ok {
 			return col.Filter(pred, st)
@@ -373,6 +373,17 @@ func (db *DB) tupleFilter(ctx context.Context, col *colstore.Column, pred compre
 			}
 			blk, release := col.AcquireBlock(bi)
 			st.Read(blk.CompressedBytes())
+			if !cfg.NoKernels && wholeBlockCheap(blk.Encoding()) {
+				// Run/bit-vector blocks filter natively in O(runs) /
+				// O(distinct values): paying a getNext call per value
+				// on top of that would simulate work the storage never
+				// does. The ablation's per-value iterator cost is kept
+				// for every other encoding.
+				blk.Filter(pred, base, out)
+				base += blk.Len()
+				release()
+				continue
+			}
 			scratch = blk.AppendTo(scratch[:0])
 			release()
 			it := vector.NewSliceIter(scratch)
@@ -427,6 +438,16 @@ func (db *DB) probeSet(ctx context.Context, p *factProbe, cand *vector.Positions
 			}
 			blk, release := col.AcquireBlock(bi)
 			st.Read(blk.CompressedBytes())
+			if cfg.KernelsActive() {
+				// Membership directly on the compressed block: one test
+				// per run / distinct value where the encoding allows,
+				// no decode.
+				blkLen := blk.Len()
+				blk.FilterFunc(p.matches, base, out)
+				release()
+				base += blkLen
+				continue
+			}
 			scratch = blk.AppendTo(scratch[:0])
 			release()
 			if cfg.BlockIter {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/bitmap"
+	"repro/internal/compress"
 	"repro/internal/delta"
 	"repro/internal/iosim"
 	"repro/internal/ssb"
@@ -94,6 +95,33 @@ func (db *DB) scanWS(ctx context.Context, view *delta.View, q *ssb.Query, cfg Co
 		// contributes nothing and is skipped without touching values.
 		for i, p := range probes {
 			if mn, mx, ok := b.MinMax(pcols[i]); ok && !p.mayMatch(mn, mx) {
+				return true
+			}
+		}
+		// Whole-batch fast path (kernels): when every probe's batch min/max
+		// proves full coverage and no row in the batch is tombstoned, the
+		// batch folds straight into the aggregate accumulators with no
+		// per-row probe tests — the unflushed analogue of the block
+		// engines' covered-block pass-through.
+		if !grouped && cfg.KernelsActive() && kernelableSpecs(specs, ia, ib) {
+			covered := true
+			for i, p := range probes {
+				mn, mx, ok := b.MinMax(pcols[i])
+				if !ok || !p.coversBlock(mn, mx) {
+					covered = false
+					break
+				}
+			}
+			if covered && (del == nil || del.CountRange(int(base)+lo, int(base)+hi) == 0) {
+				accs := make([]compress.AggAcc, len(aggNames))
+				for i, name := range aggNames {
+					accs[i] = compress.NewAggAcc()
+					for _, v := range b.Col(name)[lo:hi] {
+						accs[i].Observe(v, 1)
+					}
+				}
+				out.n += int64(hi - lo)
+				foldAccCells(specs, ia, out.cells, accs, int64(hi-lo))
 				return true
 			}
 		}

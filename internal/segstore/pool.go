@@ -31,9 +31,16 @@ type PoolStats struct {
 	// BytesRead is the total payload bytes fetched from storage.
 	BytesRead int64
 	// Resident is the current resident byte total; Peak its high-water
-	// mark (may exceed the budget when every frame is pinned).
+	// mark (may exceed the budget when every frame is pinned). Frames hold
+	// wire-native blocks, so Resident counts compressed payload bytes —
+	// the bytes the budget is spent on.
 	Resident int64
 	Peak     int64
+	// ResidentLogical is the decoded (4 B/value) size of the same resident
+	// segments — what a pool that eagerly decoded on load would need for
+	// this working set. ResidentLogical / Resident is the pool's effective
+	// compression ratio; the gap is capacity the wire-native design wins.
+	ResidentLogical int64
 	// Appends counts Store.Append calls (tuple-mover compactions landing
 	// on this file); AppendedBytes their total payload bytes. Reset zeroes
 	// them with the rest of the epoch's counters.
@@ -55,26 +62,30 @@ type fetchFunc func(k SegKey) (compress.IntBlock, int64, error)
 
 // frame is one resident (or loading) segment.
 type frame struct {
-	key   SegKey
-	blk   compress.IntBlock
-	bytes int64
-	pins  int
-	ref   bool          // clock reference bit
-	ready chan struct{} // closed once blk/err are populated
-	err   error
+	key     SegKey
+	blk     compress.IntBlock
+	bytes   int64 // compressed payload bytes (what the budget charges)
+	logical int64 // decoded size, 4 B/value (reporting only)
+	pins    int
+	ref     bool          // clock reference bit
+	ready   chan struct{} // closed once blk/err are populated
+	err     error
 }
 
-// Pool is the buffer manager: a byte-budgeted cache of decoded segments
-// with pinned-reference counting and clock (second-chance) eviction.
+// Pool is the buffer manager: a byte-budgeted cache of wire-native segment
+// blocks (RLE runs, packed words — never eagerly decoded value slices; the
+// budget charges compressed payload bytes) with pinned-reference counting
+// and clock (second-chance) eviction.
 // All methods are safe for concurrent use; the fused executor's morsel
 // workers acquire segments from many goroutines at once. The pool lock is
 // never held across a storage fetch — concurrent misses on different
 // segments overlap, and concurrent requests for the same loading segment
 // wait on the frame's ready channel.
 type Pool struct {
-	mu     sync.Mutex
-	budget int64 // <= 0 means unbounded
-	used   int64
+	mu      sync.Mutex
+	budget  int64 // <= 0 means unbounded
+	used    int64
+	logical int64 // decoded size of resident frames (reporting only)
 	frames map[SegKey]*frame
 	ring   []*frame // clock order
 	hand   int
@@ -136,7 +147,9 @@ func (p *Pool) Acquire(k SegKey) (compress.IntBlock, func(), error) {
 		return nil, nil, err
 	}
 	f.blk, f.bytes = blk, bytes
+	f.logical = int64(blk.Len()) * 4
 	p.used += bytes
+	p.logical += f.logical
 	p.stats.BytesRead += bytes
 	p.stats.IO.Read(bytes)
 	p.stats.IO.AddSeeks(1)
@@ -188,6 +201,7 @@ func (p *Pool) evictLocked() {
 			p.hand++
 		default:
 			p.used -= f.bytes
+			p.logical -= f.logical
 			p.stats.Evictions++
 			p.removeLocked(f)
 			// removeLocked moved another frame into this slot; do not
@@ -219,6 +233,7 @@ func (p *Pool) Stats() PoolStats {
 	defer p.mu.Unlock()
 	s := p.stats
 	s.Resident = p.used
+	s.ResidentLogical = p.logical
 	return s
 }
 
@@ -263,6 +278,7 @@ func (p *Pool) Reset() {
 		}
 		delete(p.frames, f.key)
 		p.used -= f.bytes
+		p.logical -= f.logical
 	}
 	p.ring = kept
 	p.hand = 0

@@ -30,8 +30,12 @@ type Store struct {
 	sf       float64
 	writable bool
 	// recovered marks that Open found a torn/corrupt tail and fell back to
-	// the previous valid trailer (rows past it were discarded).
-	recovered bool
+	// the previous valid trailer (rows past it were discarded);
+	// recoveryNote is the human-readable account of what was discarded,
+	// kept on the store so serving layers can surface it (e.g. on /stats)
+	// after the open-time log line has scrolled away.
+	recovered    bool
+	recoveryNote string
 
 	// mu guards the live directory (tables, cols, phys, payloadEnd).
 	// Snapshots handed out by Table hold their own colMeta pointers and
@@ -70,6 +74,23 @@ type Store struct {
 // resident without exceeding the budget, and a scan touching it would churn
 // every other frame out on each fetch.
 func Open(path string, memBudget int64) (*Store, error) {
+	return OpenWith(path, OpenOptions{MemBudget: memBudget})
+}
+
+// OpenOptions parameterizes OpenWith beyond the budget.
+type OpenOptions struct {
+	// MemBudget is the pool's resident-byte budget (<= 0 for unbounded).
+	MemBudget int64
+	// Log receives open-time diagnostics that demand operator attention —
+	// today, the torn-tail recovery notice. nil falls back to os.Stderr,
+	// which is right for CLI tools; daemons should inject their own sink
+	// (and can read Store.RecoveryNote afterwards regardless).
+	Log func(msg string)
+}
+
+// OpenWith is Open with an injectable diagnostics sink: library code never
+// writes to os.Stderr unless the caller left Log nil.
+func OpenWith(path string, opts OpenOptions) (*Store, error) {
 	writable := true
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
@@ -79,7 +100,11 @@ func Open(path string, memBudget int64) (*Store, error) {
 			return nil, err
 		}
 	}
-	s, err := open(f, path, memBudget, writable)
+	logf := opts.Log
+	if logf == nil {
+		logf = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+	s, err := open(f, path, opts.MemBudget, writable, logf)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -88,7 +113,7 @@ func Open(path string, memBudget int64) (*Store, error) {
 	return s, nil
 }
 
-func open(f *os.File, path string, memBudget int64, writable bool) (*Store, error) {
+func open(f *os.File, path string, memBudget int64, writable bool, logf func(msg string)) (*Store, error) {
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, err
@@ -112,12 +137,16 @@ func open(f *os.File, path string, memBudget int64, writable bool) (*Store, erro
 	if err != nil {
 		return nil, err
 	}
+	var recoveryNote string
 	if recovered {
 		// Recovery must be loud: the discarded tail is either a torn
 		// append (rows of one interrupted tuple-mover pass) or trailing
 		// corruption of a committed one — either way the operator should
-		// know rows past the recovered trailer are gone.
-		fmt.Fprintf(os.Stderr, "segstore: %s: invalid trailer at EOF; recovered the previous valid directory (%d trailing bytes discarded — a torn or corrupted append)\n", path, size-contentEnd)
+		// know rows past the recovered trailer are gone. The note goes to
+		// the caller's sink (stderr for CLI tools) and is retained on the
+		// store for serving layers to surface.
+		recoveryNote = fmt.Sprintf("segstore: %s: invalid trailer at EOF; recovered the previous valid directory (%d trailing bytes discarded — a torn or corrupted append)", path, size-contentEnd)
+		logf(recoveryNote)
 		if writable {
 			// Self-heal: drop the torn tail so the valid trailer sits at
 			// EOF again and future appends start from a clean state.
@@ -134,6 +163,7 @@ func open(f *os.File, path string, memBudget int64, writable bool) (*Store, erro
 	s := &Store{f: f, path: path, sf: sf, tables: map[string]*tableMeta{}}
 	s.writeEnd = contentEnd
 	s.recovered = recovered
+	s.recoveryNote = recoveryNote
 	payloadRegionEnd := contentEnd - int64(4+8+len(Magic)) - int64(len(footer))
 	var maxPlen int64
 	for _, t := range metas {
@@ -259,6 +289,11 @@ func (s *Store) Writable() bool { return s.writable }
 // and fall back to the previous valid directory.
 func (s *Store) Recovered() bool { return s.recovered }
 
+// RecoveryNote returns the torn-tail recovery diagnostic from Open, or ""
+// if the file opened clean. Serving layers surface it on /stats so the
+// evidence of a repaired append outlives the daemon's startup log.
+func (s *Store) RecoveryNote() string { return s.recoveryNote }
+
 // TableNames returns the stored table names in file order.
 func (s *Store) TableNames() []string {
 	s.mu.RLock()
@@ -306,8 +341,12 @@ func (s *Store) CompressedBytes() int64 {
 }
 
 // RawBytes returns the decoded (4 bytes/value) footprint of all columns —
-// the memory a wholesale load would need, and the yardstick -mem-budget is
-// judged against.
+// the memory a wholesale eagerly-decoded load would need. Note the buffer
+// pool never holds segments in this form: frames cache wire-native blocks
+// and the -mem-budget is charged compressed payload bytes (CompressedBytes,
+// as PoolStats.Resident reports), so a budget far below RawBytes can still
+// keep the hot working set resident. RawBytes is the denominator for the
+// pool's effective compression ratio (see PoolStats.ResidentLogical).
 func (s *Store) RawBytes() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

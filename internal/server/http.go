@@ -153,6 +153,11 @@ type insertResponse struct {
 type statsResponse struct {
 	Server Stats      `json:"server"`
 	Pool   *poolStats `json:"pool,omitempty"`
+	// Recovery is the segment store's torn-tail recovery diagnostic, set
+	// when Open discarded a corrupted append and fell back to the previous
+	// valid directory. Surfaced here so the evidence outlives the daemon's
+	// startup log.
+	Recovery string `json:"recovery,omitempty"`
 }
 
 // poolStats is the segment-store buffer pool's view (absent for in-memory
@@ -163,9 +168,13 @@ type poolStats struct {
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 	BytesRead int64 `json:"bytes_read"`
-	Resident  int64 `json:"resident"`
-	Peak      int64 `json:"peak"`
-	Pinned    int   `json:"pinned_frames"`
+	// Resident counts compressed payload bytes (frames hold wire-native
+	// blocks); ResidentLogical is the decoded 4 B/value size of the same
+	// working set — their ratio is the pool's effective compression win.
+	Resident        int64 `json:"resident"`
+	ResidentLogical int64 `json:"resident_logical"`
+	Peak            int64 `json:"peak"`
+	Pinned          int   `json:"pinned_frames"`
 	// Appends/AppendedBytes count tuple-mover compactions landing on the
 	// backing file and their payload bytes.
 	Appends       int64 `json:"appends"`
@@ -420,17 +429,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if st := s.db.SegmentStore(); st != nil {
 		ps := st.Pool().Stats()
 		out.Pool = &poolStats{
-			Budget:        st.Pool().Budget(),
-			Hits:          ps.Hits,
-			Misses:        ps.Misses,
-			Evictions:     ps.Evictions,
-			BytesRead:     ps.BytesRead,
-			Resident:      ps.Resident,
-			Peak:          ps.Peak,
-			Pinned:        st.Pool().PinnedFrames(),
-			Appends:       ps.Appends,
-			AppendedBytes: ps.AppendedBytes,
+			Budget:          st.Pool().Budget(),
+			Hits:            ps.Hits,
+			Misses:          ps.Misses,
+			Evictions:       ps.Evictions,
+			BytesRead:       ps.BytesRead,
+			Resident:        ps.Resident,
+			ResidentLogical: ps.ResidentLogical,
+			Peak:            ps.Peak,
+			Pinned:          st.Pool().PinnedFrames(),
+			Appends:         ps.Appends,
+			AppendedBytes:   ps.AppendedBytes,
 		}
+		out.Recovery = st.RecoveryNote()
 	}
 	writeJSON(w, http.StatusOK, out)
 }
