@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/rowexec"
 	"repro/internal/sql"
 	"repro/internal/ssb"
@@ -45,7 +47,7 @@ func main() {
 	memBudget := flag.Float64("mem-budget", 0, "buffer-pool budget in MB for segment-store -data files (0 = unbounded)")
 	golden := flag.String("golden", "", "run all 13 SSBM queries and check results against this golden JSON file")
 	verify := flag.Bool("verify", false, "also check against the brute-force reference")
-	explain := flag.Bool("explain", false, "print the physical plan instead of executing")
+	explain := flag.Bool("explain", false, "print the physical plan; column-store systems then execute once and print a per-stage trace (EXPLAIN ANALYZE)")
 	fuzzSeed := flag.Int64("fuzz-seed", 0, "run the seeded random query with this seed (overrides -q and -sql; see ssb-fuzz)")
 	flag.Parse()
 
@@ -98,6 +100,12 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Print(text)
+		if cfg.Kind == core.KindColumn {
+			if err := explainAnalyze(db, plan, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 	res, stats, err = db.RunPlan(plan, cfg)
@@ -120,6 +128,42 @@ func main() {
 		}
 		fmt.Println("verified against reference")
 	}
+}
+
+// explainAnalyze executes the plan once with a trace attached and prints
+// the per-stage table — the dynamic half of -explain for the column
+// engines. On segment-backed stores it also cross-checks the trace against
+// the buffer pool: the trace's block-fetch total must equal the pool's
+// acquire delta (hits+misses) for the run, evidence that the stage counters
+// describe the I/O that actually happened rather than a parallel estimate.
+func explainAnalyze(db *core.DB, plan *ssb.Query, cfg core.Config) error {
+	var h0, m0 int64
+	seg := db.SegmentStore()
+	if seg != nil {
+		ps := seg.Pool().Stats()
+		h0, m0 = ps.Hits, ps.Misses
+	}
+	tr := &obs.Trace{}
+	res, stats, err := db.RunPlanCtx(obs.WithTrace(context.Background(), tr), plan, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nEXPLAIN ANALYZE  engine=%s workers=%d rows=%d\n", tr.Engine, tr.Workers, len(res.Rows))
+	tr.Render(os.Stdout)
+	fmt.Printf("cpu=%v  io=%.1fMB (%d seeks)  total=%v\n",
+		stats.Wall, float64(stats.IO.BytesRead)/1e6, stats.IO.Seeks, stats.Total)
+	if seg != nil {
+		ps := seg.Pool().Stats()
+		acquires := (ps.Hits - h0) + (ps.Misses - m0)
+		tot := tr.Totals()
+		status := "exact"
+		if tot.BlocksFetched != acquires {
+			status = "MISMATCH"
+		}
+		fmt.Printf("reconcile: trace blocks fetched=%d, pool acquires (hit+miss delta)=%d [%s]\n",
+			tot.BlocksFetched, acquires, status)
+	}
+	return nil
 }
 
 // openDB loads a saved dataset (either format, sniffed) or generates one.

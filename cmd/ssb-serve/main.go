@@ -12,8 +12,17 @@
 //	GET/POST /query    one of id= (SSBM query id), sql= (SSBM dialect), or
 //	                   seed= (seeded random plan); returns rows + per-query
 //	                   cost (admission wait, CPU, logical I/O, total).
+//	                   trace=1 adds a per-stage execution trace to the
+//	                   response (cache hits carry none).
 //	GET      /stats    server counters (cache, admission, logical I/O
 //	                   totals) and buffer-pool state.
+//	GET      /metrics  Prometheus text exposition: query/cache/ingest
+//	                   counters, pool and write-store gauges, admission-wait
+//	                   and execution-latency histograms.
+//
+// -slow-ms N logs one compact trace line for every query slower than N
+// milliseconds; -access-log logs one line per HTTP request. Both are off by
+// default so benchmark serving pays nothing.
 //
 // Every request executes under its own context — a client that disconnects
 // abandons its query at the next 64K-row block boundary, releasing all
@@ -33,11 +42,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/url"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -63,6 +74,8 @@ func main() {
 	ingestMB := flag.Float64("ingest-mb", 0, "write-store memory cap in MB (0 = 256 MB default; inserts past it get 503 backpressure)")
 	walPath := flag.String("wal", "", "write-ahead log path (requires -ingest): inserts and deletes are durable before they are acked, and replayed on restart")
 	walWindowMS := flag.Float64("wal-window-ms", 1, "group-commit window in milliseconds (0 = fsync per commit)")
+	slowMS := flag.Float64("slow-ms", 0, "log a compact trace line for queries slower than this many milliseconds (0 disables)")
+	accessLog := flag.Bool("access-log", false, "log one line per HTTP request (method, path, query selector, status, wait, latency)")
 	flag.Parse()
 	if *walPath != "" && !*ingest {
 		fmt.Fprintln(os.Stderr, "-wal requires -ingest")
@@ -104,6 +117,8 @@ func main() {
 		IngestMaxBytes: int64(*ingestMB * 1e6),
 		WALPath:        *walPath,
 		WALWindow:      time.Duration(*walWindowMS * float64(time.Millisecond)),
+		SlowQuery:      time.Duration(*slowMS * float64(time.Millisecond)),
+		AccessLog:      *accessLog,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -241,13 +256,20 @@ func goldenSelfTest(db *core.DB, srv *server.Server, goldenPath string, n int, i
 	}
 	wg.Wait()
 
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	// The suite just executed 13*n queries; the scrape must parse as
+	// Prometheus text and show them in the counters and histograms.
+	if err := checkMetrics(base); err != nil {
+		return fmt.Errorf("/metrics: %w", err)
+	}
+	fmt.Println("/metrics scrape: parseable, required families present")
+
 	var inserted int64
 	if ingest {
-		select {
-		case err := <-errs:
-			return err
-		default:
-		}
 		var err error
 		if inserted, err = ingestSelfTest(base, n); err != nil {
 			return fmt.Errorf("ingest phase: %w", err)
@@ -298,6 +320,99 @@ func goldenSelfTest(db *core.DB, srv *server.Server, goldenPath string, n int, i
 	st := srv.Stats()
 	fmt.Printf("golden self-test passed: %d engine executions (cache disabled), clean shutdown, zero pinned frames\n",
 		st.Queries)
+	return nil
+}
+
+// checkMetrics scrapes /metrics and validates the exposition strictly
+// enough that a real Prometheus scraper would accept it: every non-comment
+// line is "name[{labels}] value" with a parseable float, every sample name
+// was declared by a preceding # TYPE, the required families exist, and the
+// query counter and latency histogram reflect the golden suite that just
+// ran.
+func checkMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("content-type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	declared := map[string]bool{}
+	values := map[string]float64{}
+	for ln, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		if line == "" {
+			return fmt.Errorf("line %d: empty line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			declared[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("line %d: no value: %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value: %q", ln+1, line)
+		}
+		sample := line[:sp]
+		name := sample
+		if b := strings.IndexByte(sample, '{'); b >= 0 {
+			if !strings.HasSuffix(sample, "}") {
+				return fmt.Errorf("line %d: unterminated labels: %q", ln+1, line)
+			}
+			name = sample[:b]
+		}
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if cut, ok := strings.CutSuffix(name, suf); ok && declared[cut] {
+				fam = cut
+				break
+			}
+		}
+		if !declared[fam] {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", ln+1, name)
+		}
+		values[sample] = v
+	}
+	for _, fam := range []string{
+		"ssb_queries_total", "ssb_query_errors_total",
+		"ssb_cache_hits_total", "ssb_cache_misses_total",
+		"ssb_admission_rejects_total", "ssb_pool_evictions_total",
+		"ssb_pool_resident_bytes", "ssb_pool_resident_logical_bytes",
+		"ssb_pool_pinned_frames", "ssb_ws_pending_bytes",
+		"ssb_query_duration_seconds", "ssb_admission_wait_seconds",
+	} {
+		if !declared[fam] {
+			return fmt.Errorf("required family %s missing", fam)
+		}
+	}
+	if values["ssb_queries_total"] <= 0 {
+		return fmt.Errorf("ssb_queries_total is %g after the golden suite", values["ssb_queries_total"])
+	}
+	if values["ssb_query_duration_seconds_count"] != values["ssb_queries_total"] {
+		return fmt.Errorf("duration histogram count %g != queries %g",
+			values["ssb_query_duration_seconds_count"], values["ssb_queries_total"])
+	}
+	if values[`ssb_query_duration_seconds_bucket{le="+Inf"}`] != values["ssb_query_duration_seconds_count"] {
+		return fmt.Errorf("+Inf bucket %g != histogram count %g",
+			values[`ssb_query_duration_seconds_bucket{le="+Inf"}`], values["ssb_query_duration_seconds_count"])
+	}
 	return nil
 }
 

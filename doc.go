@@ -101,6 +101,20 @@
 // stress test in internal/server and the pin-leak/golden-equivalence tests
 // in internal/exec pin the concurrency contract under -race.
 //
+// Execution is observable per query (internal/obs): a trace carried in the
+// context records, for every plan stage, candidates in/out, blocks
+// zone-map-pruned vs covered vs fetched, simulated and decoded bytes,
+// kernel folds vs decode-path gathers, tombstones masked, and wall clock —
+// with the guarantee (pinned by trace tests across every engine) that
+// tracing changes neither results nor I/O accounting, that stage counters
+// sum exactly to the query's iosim.Stats, and that block fetches reconcile
+// with the buffer pool's hit+miss count. ssb-query -explain prints the
+// stage table after one real execution (EXPLAIN ANALYZE), /query?trace=1
+// returns it as JSON, ssb-serve -slow-ms logs a compact line per
+// over-threshold query, and /metrics exposes server counters, pool gauges
+// and latency histograms as Prometheus text from a dependency-free
+// registry.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results.
 package repro

@@ -237,9 +237,13 @@ func (c *Column) FilterCtx(ctx context.Context, p compress.Pred, st *iosim.Stats
 		mn, mx := c.BlockMinMax(bi)
 		if p.MayMatch(mn, mx) {
 			blk, release := c.AcquireBlock(bi)
+			st.BlockFetched()
 			st.Read(blk.CompressedBytes())
+			st.KernelFold()
 			blk.Filter(p, base, bm)
 			release()
+		} else {
+			st.BlockPruned()
 		}
 		base += c.BlockLen(bi)
 	}
@@ -263,6 +267,7 @@ func (c *Column) sortedFilter(p compress.Pred, st *iosim.Stats) (*vector.Positio
 			// Boundary or interior block.
 			if mn >= lo && mx <= hi {
 				// Fully inside: covered without reading values.
+				st.BlockCovered()
 				if start < 0 {
 					start = base
 				}
@@ -270,8 +275,9 @@ func (c *Column) sortedFilter(p compress.Pred, st *iosim.Stats) (*vector.Positio
 			} else {
 				// Boundary block: read it to locate the edge.
 				blk, release := c.AcquireBlock(bi)
+				st.BlockFetched()
 				st.Read(blk.CompressedBytes())
-				s, e := blockRange(blk, p)
+				s, e := blockRange(blk, p, st)
 				release()
 				if e > s {
 					if start < 0 {
@@ -280,6 +286,8 @@ func (c *Column) sortedFilter(p compress.Pred, st *iosim.Stats) (*vector.Positio
 					end = base + e
 				}
 			}
+		} else {
+			st.BlockPruned()
 		}
 		base += blkLen
 	}
@@ -290,10 +298,11 @@ func (c *Column) sortedFilter(p compress.Pred, st *iosim.Stats) (*vector.Positio
 }
 
 // blockRange finds the in-block contiguous match range for a sorted block.
-func blockRange(blk compress.IntBlock, p compress.Pred) (int32, int32) {
+func blockRange(blk compress.IntBlock, p compress.Pred, st *iosim.Stats) (int32, int32) {
 	if rle, ok := blk.(*compress.RLEBlock); ok {
 		s, e, ok := rle.SortedFilterRange(p)
 		if ok {
+			st.KernelFold()
 			if e < s {
 				return 0, 0
 			}
@@ -305,6 +314,8 @@ func blockRange(blk compress.IntBlock, p compress.Pred) (int32, int32) {
 	// values.
 	lo, hi, _ := p.Bounds()
 	vals := blk.AppendTo(nil)
+	st.Gathered()
+	st.Decoded(int64(len(vals)) * 4)
 	start := sort.Search(len(vals), func(i int) bool { return vals[i] >= lo })
 	end := sort.Search(len(vals), func(i int) bool { return vals[i] > hi })
 	if start >= end {
@@ -332,6 +343,8 @@ func (c *Column) FilterAtCtx(ctx context.Context, p compress.Pred, candidates *v
 		if !p.MayMatch(mn, mx) {
 			return
 		}
+		st.Gathered()
+		st.Decoded(int64(len(idx)) * 4)
 		scratchVals = blk.Gather(idx, scratchVals[:0])
 		for k, v := range scratchVals {
 			if p.Match(v) {
@@ -351,7 +364,10 @@ func (c *Column) GatherBlock(bi int, idx []int32, dst []int32, st *iosim.Stats) 
 		return dst
 	}
 	blk, release := c.AcquireBlock(bi)
+	st.BlockFetched()
 	chargePositional(blk, idx, st)
+	st.Gathered()
+	st.Decoded(int64(len(idx)) * 4)
 	dst = blk.Gather(idx, dst)
 	release()
 	return dst
@@ -364,7 +380,9 @@ func (c *Column) GatherBlock(bi int, idx []int32, dst []int32, st *iosim.Stats) 
 // storage-invariant in the I/O model.
 func (c *Column) AggSelectBlock(bi int, sel *bitmap.Bitmap, st *iosim.Stats, acc *compress.AggAcc) {
 	blk, release := c.AcquireBlock(bi)
+	st.BlockFetched()
 	chargePositionalSel(blk, sel, st)
+	st.KernelFold()
 	blk.AggSelect(sel, 0, acc)
 	release()
 }
@@ -376,8 +394,12 @@ func (c *Column) AggSelectBlock(bi int, sel *bitmap.Bitmap, st *iosim.Stats, acc
 // positions.
 func (c *Column) GatherSelectBlock(bi int, sel *bitmap.Bitmap, dst []int32, st *iosim.Stats) []int32 {
 	blk, release := c.AcquireBlock(bi)
+	st.BlockFetched()
 	chargePositionalSel(blk, sel, st)
+	n0 := len(dst)
 	dst = blk.GatherSelect(sel, 0, dst)
+	st.Gathered()
+	st.Decoded(int64(len(dst)-n0) * 4)
 	release()
 	return dst
 }
@@ -398,6 +420,7 @@ func (c *Column) AggSelectPositions(ctx context.Context, positions *vector.Posit
 			// Fully covered block: every encoding folds natively (RLE by
 			// run, BitVec by popcount, Dict/BitPack in code space) without
 			// materializing a single value.
+			st.KernelFold()
 			blk.AggSelect(nil, 0, acc)
 			return
 		}
@@ -409,16 +432,24 @@ func (c *Column) AggSelectPositions(ctx context.Context, positions *vector.Posit
 			for _, i := range idx {
 				sel.Set(int(i))
 			}
+			st.KernelFold()
 			blk.AggSelect(sel, 0, acc)
 			for _, i := range idx {
 				sel.Clear(int(i))
 			}
 		case compress.Delta:
+			st.Gathered()
+			st.Decoded(int64(len(idx)) * 4)
 			scratchVals = blk.Gather(idx, scratchVals[:0])
 			for _, v := range scratchVals {
 				acc.Observe(v, 1)
 			}
 		default:
+			// Per-position code-space folds: a materializing op for the
+			// trace, but no bytes decoded (Get never hits the decode
+			// meter), keeping Stats.DecodedBytes an exact mirror of the
+			// global compress.DecodedBytes() delta.
+			st.Gathered()
 			for _, i := range idx {
 				acc.Observe(blk.Get(int(i)), 1)
 			}
@@ -502,6 +533,8 @@ func (c *Column) Gather(positions *vector.Positions, dst []int32, st *iosim.Stat
 func (c *Column) GatherCtx(ctx context.Context, positions *vector.Positions, dst []int32, st *iosim.Stats) []int32 {
 	var scratchIdx []int32
 	c.forEachCandidateBlockCtx(ctx, positions, st, func(base int32, blk compress.IntBlock, idx []int32) {
+		st.Gathered()
+		st.Decoded(int64(len(idx)) * 4)
 		dst = blk.Gather(idx, dst)
 	}, &scratchIdx)
 	return dst
@@ -562,6 +595,7 @@ func (c *Column) forEachCandidateBlockCtx(ctx context.Context, candidates *vecto
 				return
 			}
 			blk, release := c.AcquireBlock(bi)
+			st.BlockFetched()
 			chargePositional(blk, idx, st)
 			fn(base, blk, idx)
 			release()
@@ -586,7 +620,10 @@ func (c *Column) forEachCandidateBlockCtx(ctx context.Context, candidates *vecto
 func (c *Column) DecodeAll(dst []int32, st *iosim.Stats) []int32 {
 	for bi := 0; bi < c.NumBlocks(); bi++ {
 		blk, release := c.AcquireBlock(bi)
+		st.BlockFetched()
 		st.Read(blk.CompressedBytes())
+		st.Gathered()
+		st.Decoded(int64(blk.Len()) * 4)
 		dst = blk.AppendTo(dst)
 		release()
 	}
@@ -600,6 +637,16 @@ func (c *Column) Get(i int32) int32 {
 	v := blk.Get(int(i) % BlockSize)
 	release()
 	return v
+}
+
+// GetCounted is Get with block-acquire accounting: it records the pool
+// acquire in st (one fetched block per call) without charging byte I/O,
+// for point lookups whose byte cost the caller prices separately. Keeping
+// the fetch counted is what lets a traced query's BlocksFetched reconcile
+// exactly with the buffer pool's hit+miss delta.
+func (c *Column) GetCounted(i int32, st *iosim.Stats) int32 {
+	st.BlockFetched()
+	return c.Get(i)
 }
 
 // ValueString renders the value at position i using the dictionary when

@@ -2,9 +2,11 @@ package exec
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/bitmap"
 	"repro/internal/iosim"
+	"repro/internal/obs"
 	"repro/internal/ssb"
 	"repro/internal/vector"
 )
@@ -16,7 +18,11 @@ import (
 // over a column-sourced materialized view. The paper removes late
 // materialization last because early materialization forces decompression
 // during tuple construction and precludes the invisible join.
-func (db *DB) runEarlyMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats, del *bitmap.Bitmap) *ssb.Result {
+func (db *DB) runEarlyMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats, del *bitmap.Bitmap, tr *obs.Trace) *ssb.Result {
+	if tr != nil {
+		tr.Engine = "early-mat"
+	}
+	rec := newStageRec(tr, st)
 	needed := q.NeededFactColumns()
 	colIdx := make(map[string]int, len(needed))
 	cols := make([][]int32, len(needed))
@@ -28,6 +34,9 @@ func (db *DB) runEarlyMat(ctx context.Context, q *ssb.Query, cfg Config, st *ios
 		cols[i] = db.Fact.MustColumn(name).DecodeAll(nil, st)
 	}
 	n := db.numRows
+	if rec != nil {
+		rec.rec("decode-columns", fmt.Sprintf("%d fact columns in full", len(needed)), st, 0, int64(n), 0)
+	}
 
 	// Tuple construction: one allocation per row, before any predicate
 	// runs. This is deliberately the expensive step ("the more selective
@@ -46,6 +55,7 @@ func (db *DB) runEarlyMat(ctx context.Context, q *ssb.Query, cfg Config, st *ios
 		}
 		rows[r] = tup
 	}
+	rec.rec("construct-tuples", "", st, int64(n), int64(n), 0)
 
 	// Row-store-style join structures: per-dimension pass sets and
 	// group-attribute maps keyed by FK value.
@@ -170,6 +180,8 @@ func (db *DB) runEarlyMat(ctx context.Context, q *ssb.Query, cfg Config, st *ios
 	total := make([]int64, nAggs)
 	ssb.InitCells(specs, total)
 	var totalRows int64
+	rec.rec("plan", "dimension pass sets + extractors", st, 0, 0, 0)
+	var qual, tomb int64
 
 rowLoop:
 	for r := 0; r < n; r++ {
@@ -181,6 +193,9 @@ rowLoop:
 		// Deletion vector first: a tombstoned row fails every plan the same
 		// way, before any predicate evaluates.
 		if del != nil && del.Get(r) {
+			if rec != nil {
+				tomb++
+			}
 			continue
 		}
 		tup := rows[r]
@@ -193,6 +208,9 @@ rowLoop:
 			if _, ok := set[tup[passCols[i]]]; !ok {
 				continue rowLoop
 			}
+		}
+		if rec != nil {
+			qual++
 		}
 		if len(exs) == 0 {
 			totalRows++
@@ -210,6 +228,7 @@ rowLoop:
 		}
 		agg.accumulate(sums[base:base+int64(nAggs)], tup)
 	}
+	rec.rec("row-loop", "filters + hash probes + aggregation", st, int64(n), qual, tomb)
 
 	if len(exs) == 0 {
 		return ssb.NewResult(q.ID, []ssb.ResultRow{ssb.MakeRow(nil, ssb.FinalizeCells(specs, total, totalRows))})

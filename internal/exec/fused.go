@@ -3,11 +3,13 @@ package exec
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/bitmap"
 	"repro/internal/colstore"
 	"repro/internal/compress"
 	"repro/internal/iosim"
+	"repro/internal/obs"
 	"repro/internal/ssb"
 	"repro/internal/vector"
 )
@@ -82,6 +84,12 @@ type fusedPlan struct {
 	// aggregate without materializing a single value.
 	kernels    bool
 	kernelable bool
+	// traced turns on per-stage counter recording in every worker;
+	// nStages is len(probes)+1 (one stage per probe plus the combined
+	// mask/extract/aggregate tail). Untraced runs never touch the stage
+	// arrays — fusedBlock tests ws.stages once per recording site.
+	traced  bool
+	nStages int
 }
 
 // fusedExtractor resolves fact FK values to group-by attribute codes by
@@ -184,6 +192,10 @@ type fusedWorker struct {
 	// aggCells / rows accumulate the ungrouped aggregates.
 	aggCells []int64
 	rows     int64
+	// stages holds per-stage trace counters when the plan is traced
+	// (nil otherwise); merged across workers by addition, so traced
+	// totals are worker-count invariant like everything else here.
+	stages []obs.StageCounters
 }
 
 // getFusedWorker takes a worker from the DB pool (or makes one) and sizes
@@ -202,6 +214,17 @@ func (db *DB) getFusedWorker(plan *fusedPlan, total int64) *fusedWorker {
 	ws.st = iosim.Stats{}
 	ws.nAggs = plan.nAggs
 	ws.rows = 0
+	if plan.traced {
+		if cap(ws.stages) < plan.nStages {
+			ws.stages = make([]obs.StageCounters, plan.nStages)
+		}
+		ws.stages = ws.stages[:plan.nStages]
+		for i := range ws.stages {
+			ws.stages[i] = obs.StageCounters{}
+		}
+	} else {
+		ws.stages = nil
+	}
 	if cap(ws.aggCells) < plan.nAggs {
 		ws.aggCells = make([]int64, plan.nAggs)
 	}
@@ -246,15 +269,19 @@ func (db *DB) putFusedWorker(ws *fusedWorker) {
 }
 
 // runFused executes the late-materialized plan as one fused scan.
-func (db *DB) runFused(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats, del *bitmap.Bitmap) *ssb.Result {
+func (db *DB) runFused(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats, del *bitmap.Bitmap, tr *obs.Trace) *ssb.Result {
 	space := db.fusedGroupSpace(q)
 	if space > denseLimit {
 		// Huge composite group spaces use the per-probe pipeline's hash
 		// aggregation fallback.
 		plain := cfg
 		plain.Fused = false
-		return db.runLateMat(ctx, q, plain, st, del)
+		return db.runLateMat(ctx, q, plain, st, del, tr)
 	}
+	if tr != nil {
+		tr.Engine = "fused"
+	}
+	rec := newStageRec(tr, st)
 
 	plan := &fusedPlan{
 		probes:  db.planProbes(q, cfg, st),
@@ -281,11 +308,18 @@ func (db *DB) runFused(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.
 	var total int64
 	plan.strides, total = groupStrides(gexs)
 
+	rec.rec("plan", "", st, 0, 0, 0)
+
 	nb := (db.numRows + colstore.BlockSize - 1) / colstore.BlockSize
 	if nb == 0 {
 		return emptyResult(q)
 	}
 	workers := fusedWorkersFor(cfg.Workers, space, nb)
+	if tr != nil {
+		tr.Workers = workers
+		plan.traced = true
+		plan.nStages = len(plan.probes) + 1
+	}
 
 	states := make([]*fusedWorker, workers)
 	var wg sync.WaitGroup
@@ -316,6 +350,22 @@ func (db *DB) runFused(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.
 			db.putFusedWorker(ws)
 		}
 		return emptyResult(q)
+	}
+
+	if tr != nil {
+		// Per-worker stage counters merge by addition (deterministic for
+		// any worker count); per-probe wall is summed work time across
+		// workers, which can exceed the query's elapsed wall clock.
+		merged := make([]obs.StageCounters, plan.nStages)
+		for _, ws := range states {
+			for si := range ws.stages {
+				merged[si].Add(ws.stages[si])
+			}
+		}
+		for pi, p := range plan.probes {
+			tr.AddStage("probe", probeDetail(p), merged[pi])
+		}
+		tr.AddStage("extract+aggregate", "", merged[len(plan.probes)])
 	}
 
 	if !plan.grouped {
@@ -381,16 +431,51 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 	full, onBitmap := true, false
 	ws.idx = ws.idx[:0]
 
+	// curCount is only evaluated on the traced path (ws.stages != nil):
+	// the bitmap popcount it costs never runs untraced.
+	curCount := func() int64 {
+		switch {
+		case full:
+			return int64(blkLen)
+		case onBitmap:
+			return int64(ws.sel.Count())
+		default:
+			return int64(len(ws.idx))
+		}
+	}
+
 	for pi, p := range plan.probes {
 		// Zone-map consultation only: the block is not acquired (for
 		// segment-backed columns, not even read from disk) unless the
 		// probe actually has to examine values.
 		mn, mx := p.col.BlockMinMax(bi)
 		if !p.mayMatch(mn, mx) {
+			ws.st.BlockPruned()
+			if ws.stages != nil {
+				sc := &ws.stages[pi]
+				sc.RowsIn += curCount()
+				sc.BlocksPruned++
+			}
 			return // min/max short-circuit: block has no survivors
 		}
 		if p.coversBlock(mn, mx) {
+			ws.st.BlockCovered()
+			if ws.stages != nil {
+				n := curCount()
+				sc := &ws.stages[pi]
+				sc.RowsIn += n
+				sc.RowsOut += n
+				sc.BlocksCovered++
+			}
 			continue // every value survives: no decode, no I/O
+		}
+		var probeIn int64
+		var stBefore iosim.Stats
+		var tProbe time.Time
+		if ws.stages != nil {
+			probeIn = curCount()
+			stBefore = ws.st
+			tProbe = time.Now()
 		}
 		switch {
 		case full:
@@ -462,6 +547,13 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 			}
 			ws.idx = ws.idx[:k]
 		}
+		if ws.stages != nil {
+			sc := &ws.stages[pi]
+			sc.Add(countersBetween(stBefore, ws.st))
+			sc.RowsIn += probeIn
+			sc.RowsOut += curCount()
+			sc.WallNs += time.Since(tProbe).Nanoseconds()
+		}
 		if onBitmap {
 			if ws.sel.Count() == 0 {
 				return
@@ -477,6 +569,22 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 	// downstream extraction runs AggSelect/GatherSelect directly on the
 	// compressed blocks — no position list, no per-position random access.
 	var nSel int
+	var tomb int64
+	if ws.stages != nil {
+		selIn := curCount()
+		stBefore := ws.st
+		t0 := time.Now()
+		sc := &ws.stages[len(plan.probes)]
+		// One deferred record covers every exit of the mask/extract/
+		// aggregate tail; the closure is only set up on traced runs.
+		defer func() {
+			sc.Add(countersBetween(stBefore, ws.st))
+			sc.RowsIn += selIn
+			sc.RowsOut += int64(nSel)
+			sc.Tombstoned += tomb
+			sc.WallNs += time.Since(t0).Nanoseconds()
+		}()
+	}
 	var gather func(col *colstore.Column, dst []int32) []int32
 	if plan.kernels && (full || onBitmap) {
 		if full {
@@ -486,7 +594,13 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 		if plan.del != nil {
 			// blkBase is a multiple of BlockSize (itself a multiple of 64),
 			// so the deletion vector masks word-aligned.
-			ws.sel.AndNotWordsFrom(plan.del, blkBase/64)
+			if ws.stages != nil {
+				preDel := int64(ws.sel.Count())
+				ws.sel.AndNotWordsFrom(plan.del, blkBase/64)
+				tomb = preDel - int64(ws.sel.Count())
+			} else {
+				ws.sel.AndNotWordsFrom(plan.del, blkBase/64)
+			}
 		}
 		nSel = ws.sel.Count()
 		if nSel == 0 {
@@ -518,6 +632,7 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 		// aggregate input is gathered, so purged rows cost no value I/O —
 		// same contract as a failed probe.
 		if plan.del != nil {
+			before := len(ws.idx)
 			k := 0
 			for _, i := range ws.idx {
 				if !plan.del.Get(blkBase + int(i)) {
@@ -526,6 +641,9 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 				}
 			}
 			ws.idx = ws.idx[:k]
+			if ws.stages != nil {
+				tomb = int64(before - k)
+			}
 		}
 		nSel = len(ws.idx)
 		if nSel == 0 {
@@ -711,7 +829,9 @@ func fusedAccumulate(plan *fusedPlan, ws *fusedWorker, gidx []int64, nSel int) {
 // being examined.
 func applyBlockProbe(p *factProbe, bi int, out *bitmap.Bitmap, ws *fusedWorker) {
 	blk, release := p.col.AcquireBlock(bi)
+	ws.st.BlockFetched()
 	ws.st.Read(blk.CompressedBytes())
+	ws.st.KernelFold()
 	switch {
 	case p.isPred:
 		blk.Filter(p.pred, 0, out)

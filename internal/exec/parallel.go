@@ -44,9 +44,13 @@ func parallelFilter(ctx context.Context, col *colstore.Column, pred compress.Pre
 					mn, mx := col.BlockMinMax(bi)
 					if pred.MayMatch(mn, mx) {
 						blk, release := col.AcquireBlock(bi)
+						stats[w].BlockFetched()
 						stats[w].Read(blk.CompressedBytes())
+						stats[w].KernelFold()
 						blk.Filter(pred, base, out)
 						release()
+					} else {
+						stats[w].BlockPruned()
 					}
 				}
 				base += col.BlockLen(bi)
@@ -82,14 +86,19 @@ func parallelProbeSet(ctx context.Context, p *factProbe, n int, st *iosim.Stats)
 				if bi%n == w {
 					if mn, mx := col.BlockMinMax(bi); p.mayMatch(mn, mx) {
 						blk, release := col.AcquireBlock(bi)
+						stats[w].BlockFetched()
 						stats[w].Read(blk.CompressedBytes())
 						scratch = blk.AppendTo(scratch[:0])
+						stats[w].Gathered()
+						stats[w].Decoded(int64(len(scratch)) * 4)
 						release()
 						for i, v := range scratch {
 							if p.matches(v) {
 								out.Set(base + i)
 							}
 						}
+					} else {
+						stats[w].BlockPruned()
 					}
 				}
 				base += col.BlockLen(bi)

@@ -2,11 +2,13 @@ package exec
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/bitmap"
 	"repro/internal/colstore"
 	"repro/internal/compress"
 	"repro/internal/iosim"
+	"repro/internal/obs"
 	"repro/internal/ssb"
 	"repro/internal/vector"
 )
@@ -39,9 +41,23 @@ func (db *DB) Run(q *ssb.Query, cfg Config, st *iosim.Stats) *ssb.Result {
 // — so inserts accepted after the snapshot are invisible to this query and
 // inserts accepted before are always included, for every engine.
 func (db *DB) RunCtx(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats) (*ssb.Result, error) {
+	// The trace rides in the context so no signature above exec changes;
+	// it is extracted exactly once per query. tr == nil is the untraced
+	// fast path: every recording site below tests one pointer.
+	tr := obs.FromContext(ctx)
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+		tr.Query = q.ID
+		tr.SQL = q.SQL()
+		tr.Config = cfg.Code()
+		tr.Workers = cfg.Workers
+		tr.Epoch = db.Epoch()
+		defer func() { tr.WallNs = time.Since(t0).Nanoseconds() }()
+	}
 	sdb, view, del := db.snapshotForRead()
 	if view == nil || view.Len() == 0 {
-		return sdb.runFrozen(ctx, q, cfg, st, del.sealed)
+		return sdb.runFrozen(ctx, q, cfg, st, del.sealed, tr)
 	}
 	specs := q.AggSpecs()
 	runQ := q
@@ -53,11 +69,11 @@ func (db *DB) RunCtx(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.St
 		cp.Aggs = append(append([]ssb.AggSpec(nil), specs...), ssb.AggSpec{Func: ssb.FuncCount})
 		runQ = &cp
 	}
-	sealedRes, err := sdb.runFrozen(ctx, runQ, cfg, st, del.sealed)
+	sealedRes, err := sdb.runFrozen(ctx, runQ, cfg, st, del.sealed, tr)
 	if err != nil {
 		return nil, err
 	}
-	ws := sdb.scanWS(ctx, view, q, cfg, del.ws)
+	ws := sdb.scanWS(ctx, view, q, cfg, del.ws, tr)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -67,14 +83,14 @@ func (db *DB) RunCtx(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.St
 // runFrozen dispatches one engine over this DB's (immutable) storage,
 // masking the snapshot's sealed-side deletion vector (nil = none) so every
 // engine excludes tombstoned rows identically.
-func (db *DB) runFrozen(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats, del *bitmap.Bitmap) (*ssb.Result, error) {
+func (db *DB) runFrozen(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats, del *bitmap.Bitmap, tr *obs.Trace) (*ssb.Result, error) {
 	var res *ssb.Result
 	if !cfg.LateMat {
-		res = db.runEarlyMat(ctx, q, cfg, st, del)
+		res = db.runEarlyMat(ctx, q, cfg, st, del, tr)
 	} else if cfg.FusedActive() {
-		res = db.runFused(ctx, q, cfg, st, del)
+		res = db.runFused(ctx, q, cfg, st, del, tr)
 	} else {
-		res = db.runLateMat(ctx, q, cfg, st, del)
+		res = db.runLateMat(ctx, q, cfg, st, del, tr)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -86,8 +102,13 @@ func (db *DB) runFrozen(ctx context.Context, q *ssb.Query, cfg Config, st *iosim
 // lists over the fact table; values are fetched only at qualifying
 // positions (paper Section 5.2), and joins are executed as predicates on
 // fact foreign-key columns (Section 5.4).
-func (db *DB) runLateMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats, del *bitmap.Bitmap) *ssb.Result {
+func (db *DB) runLateMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosim.Stats, del *bitmap.Bitmap, tr *obs.Trace) *ssb.Result {
+	if tr != nil {
+		tr.Engine = "per-probe"
+	}
+	rec := newStageRec(tr, st)
 	probes := db.planProbes(q, cfg, st)
+	rec.rec("plan", "", st, 0, 0, 0)
 
 	// Phase 2: apply each fact-side predicate, pipelining candidates.
 	var pos *vector.Positions
@@ -95,7 +116,17 @@ func (db *DB) runLateMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosi
 		if ctx.Err() != nil {
 			return emptyResult(q)
 		}
+		var rowsIn int64
+		if rec != nil {
+			rowsIn = int64(db.numRows)
+			if pos != nil {
+				rowsIn = int64(pos.Len())
+			}
+		}
 		pos = p.apply(ctx, db, pos, cfg, st)
+		if rec != nil {
+			rec.rec("probe", probeDetail(p), st, rowsIn, int64(pos.Len()), 0)
+		}
 		if pos.Len() == 0 {
 			break
 		}
@@ -106,12 +137,17 @@ func (db *DB) runLateMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosi
 	if del != nil && pos.Len() > 0 {
 		// Mask tombstoned rows before any value is fetched at the final
 		// positions: deletes behave as one more conjunct on every plan.
+		before := int64(pos.Len())
 		bm := pos.ToBitmap(db.numRows)
 		if bm == pos.Bits {
 			bm = bm.Clone() // ToBitmap may return the probe's own bitmap
 		}
 		bm.AndNot(del)
 		pos = vector.NewBitmapPositions(bm)
+		if rec != nil {
+			after := int64(pos.Len())
+			rec.rec("tombstone-mask", "", st, before, after, before-after)
+		}
 	}
 	if pos.Len() == 0 || ctx.Err() != nil {
 		return emptyResult(q)
@@ -119,7 +155,13 @@ func (db *DB) runLateMat(ctx context.Context, q *ssb.Query, cfg Config, st *iosi
 
 	// Phase 3: extract group-by attributes and aggregate inputs at the
 	// final position list only.
-	return db.aggregate(ctx, q, cfg, pos, st)
+	if rec == nil {
+		return db.aggregate(ctx, q, cfg, pos, st)
+	}
+	rowsIn := int64(pos.Len())
+	res := db.aggregate(ctx, q, cfg, pos, st)
+	rec.rec("aggregate", "", st, rowsIn, int64(len(res.Rows)), 0)
+	return res
 }
 
 // factProbe is one predicate to apply against a fact column: either a
@@ -260,8 +302,11 @@ func (db *DB) dimProbe(dim ssb.Dim, filters []ssb.DimFilter, cfg Config, st *ios
 					return &factProbe{col: fkCol, pred: compress.Between(1, 0), isPred: true, sortedFirst: true}
 				}
 				keyCol := dimTab.MustColumn("datekey")
-				keyLo := keyCol.Get(lo)
-				keyHi := keyCol.Get(hi - 1)
+				// Counted point lookups: the two boundary acquires must
+				// show up in BlocksFetched for pool reconciliation, but
+				// their byte cost is (and was) not charged.
+				keyLo := keyCol.GetCounted(lo, st)
+				keyHi := keyCol.GetCounted(hi-1, st)
 				return &factProbe{col: fkCol, pred: compress.Between(keyLo, keyHi), isPred: true, sortedFirst: true}
 			}
 			// Customer/supplier/part keys were reassigned to
@@ -372,6 +417,7 @@ func (db *DB) tupleFilter(ctx context.Context, col *colstore.Column, pred compre
 				break
 			}
 			blk, release := col.AcquireBlock(bi)
+			st.BlockFetched()
 			st.Read(blk.CompressedBytes())
 			if !cfg.NoKernels && wholeBlockCheap(blk.Encoding()) {
 				// Run/bit-vector blocks filter natively in O(runs) /
@@ -379,12 +425,15 @@ func (db *DB) tupleFilter(ctx context.Context, col *colstore.Column, pred compre
 				// on top of that would simulate work the storage never
 				// does. The ablation's per-value iterator cost is kept
 				// for every other encoding.
+				st.KernelFold()
 				blk.Filter(pred, base, out)
 				base += blk.Len()
 				release()
 				continue
 			}
 			scratch = blk.AppendTo(scratch[:0])
+			st.Gathered()
+			st.Decoded(int64(len(scratch)) * 4)
 			release()
 			it := vector.NewSliceIter(scratch)
 			i := base
@@ -433,15 +482,18 @@ func (db *DB) probeSet(ctx context.Context, p *factProbe, cand *vector.Positions
 			// Zone-map pruning before the block is acquired: a pruned
 			// segment is never read from disk.
 			if mn, mx := col.BlockMinMax(bi); !p.mayMatch(mn, mx) {
+				st.BlockPruned()
 				base += col.BlockLen(bi)
 				continue
 			}
 			blk, release := col.AcquireBlock(bi)
+			st.BlockFetched()
 			st.Read(blk.CompressedBytes())
 			if cfg.KernelsActive() {
 				// Membership directly on the compressed block: one test
 				// per run / distinct value where the encoding allows,
 				// no decode.
+				st.KernelFold()
 				blkLen := blk.Len()
 				blk.FilterFunc(p.matches, base, out)
 				release()
@@ -449,6 +501,8 @@ func (db *DB) probeSet(ctx context.Context, p *factProbe, cand *vector.Positions
 				continue
 			}
 			scratch = blk.AppendTo(scratch[:0])
+			st.Gathered()
+			st.Decoded(int64(len(scratch)) * 4)
 			release()
 			if cfg.BlockIter {
 				for i, v := range scratch {
@@ -492,6 +546,7 @@ func (db *DB) probeSet(ctx context.Context, p *factProbe, cand *vector.Positions
 		}
 		i = j
 		if mn, mx := col.BlockMinMax(bi); !p.mayMatch(mn, mx) {
+			st.BlockPruned()
 			continue
 		}
 		vals = col.GatherBlock(bi, idx, vals[:0], st)

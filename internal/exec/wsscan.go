@@ -2,12 +2,15 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/bitmap"
 	"repro/internal/compress"
 	"repro/internal/delta"
 	"repro/internal/iosim"
+	"repro/internal/obs"
 	"repro/internal/ssb"
 )
 
@@ -49,7 +52,16 @@ func wsKey(keys []string) string { return strings.Join(keys, "\x00") }
 // del (nil = none) is the write-store deletion vector, indexed by
 // delta-global row; rows inserted after the last delete may lie past its
 // length and are implicitly live.
-func (db *DB) scanWS(ctx context.Context, view *delta.View, q *ssb.Query, cfg Config, del *bitmap.Bitmap) *wsPartial {
+func (db *DB) scanWS(ctx context.Context, view *delta.View, q *ssb.Query, cfg Config, del *bitmap.Bitmap, tr *obs.Trace) *wsPartial {
+	// The WS scan is one trace stage: batches pruned/covered by the
+	// unflushed zone maps, rows scanned vs qualifying, tombstones skipped.
+	// It charges nothing to st (see below), so the counters are recorded
+	// directly rather than via Stats deltas.
+	var sc obs.StageCounters
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	specs := q.AggSpecs()
 	out := &wsPartial{cells: make([]int64, len(specs))}
 	ssb.InitCells(specs, out.cells)
@@ -95,6 +107,9 @@ func (db *DB) scanWS(ctx context.Context, view *delta.View, q *ssb.Query, cfg Co
 		// contributes nothing and is skipped without touching values.
 		for i, p := range probes {
 			if mn, mx, ok := b.MinMax(pcols[i]); ok && !p.mayMatch(mn, mx) {
+				if tr != nil {
+					sc.BlocksPruned++
+				}
 				return true
 			}
 		}
@@ -113,6 +128,10 @@ func (db *DB) scanWS(ctx context.Context, view *delta.View, q *ssb.Query, cfg Co
 				}
 			}
 			if covered && (del == nil || del.CountRange(int(base)+lo, int(base)+hi) == 0) {
+				if tr != nil {
+					sc.BlocksCovered++
+					sc.KernelFolds++
+				}
 				accs := make([]compress.AggAcc, len(aggNames))
 				for i, name := range aggNames {
 					accs[i] = compress.NewAggAcc()
@@ -144,6 +163,9 @@ func (db *DB) scanWS(ctx context.Context, view *delta.View, q *ssb.Query, cfg Co
 			}
 			if del != nil {
 				if g := base + int64(r); g < int64(del.Len()) && del.Get(int(g)) {
+					if tr != nil {
+						sc.Tombstoned++
+					}
 					continue row
 				}
 			}
@@ -202,6 +224,12 @@ func (db *DB) scanWS(ctx context.Context, view *delta.View, q *ssb.Query, cfg Co
 			}
 			out.rows[wsKey(keys)] = &wsGroup{keys: keys, cells: cells}
 		}
+	}
+	if tr != nil {
+		sc.RowsIn = view.Len()
+		sc.RowsOut = out.n
+		sc.WallNs = time.Since(t0).Nanoseconds()
+		tr.AddStage("ws-scan", fmt.Sprintf("%d delta rows", view.Len()), sc)
 	}
 	return out
 }

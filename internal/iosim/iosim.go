@@ -36,6 +36,31 @@ type Stats struct {
 	// Seeks counts random repositionings (index lookups, unclustered
 	// leaf hops).
 	Seeks int64
+
+	// The remaining counters feed the per-query execution trace
+	// (internal/obs). They are block-granular and deterministic for a
+	// given plan: parallel executors make identical per-block decisions
+	// and merge per-worker counters by addition, so — like BytesRead —
+	// the differential harness can compare Stats values bit-for-bit
+	// across worker counts and storage backends.
+
+	// BlocksFetched counts column blocks actually acquired (from the
+	// segment buffer pool or the in-memory column), BlocksPruned blocks
+	// skipped entirely by a zone-map bound, and BlocksCovered blocks whose
+	// zone map proved every row matches (no fetch either way).
+	BlocksFetched int64
+	BlocksPruned  int64
+	BlocksCovered int64
+	// DecodedBytes counts bytes materialized as raw int32 values (4 bytes
+	// per value) — the per-query mirror of the global
+	// compress.DecodedBytes() ablation meter.
+	DecodedBytes int64
+	// KernelFolds counts operator applications executed natively on the
+	// compressed representation (Filter/FilterSet/FilterFunc/AggSelect);
+	// Gathers counts value-materializing block operations
+	// (AppendTo/Gather/GatherSelect and per-position Get loops).
+	KernelFolds int64
+	Gathers     int64
 }
 
 // Read records n sequentially transferred bytes.
@@ -59,12 +84,60 @@ func (s *Stats) AddSeeks(n int64) {
 	}
 }
 
+// BlockFetched records one column block acquired for processing.
+func (s *Stats) BlockFetched() {
+	if s != nil {
+		s.BlocksFetched++
+	}
+}
+
+// BlockPruned records one block skipped entirely by a zone-map bound.
+func (s *Stats) BlockPruned() {
+	if s != nil {
+		s.BlocksPruned++
+	}
+}
+
+// BlockCovered records one block fully accepted by a zone-map bound.
+func (s *Stats) BlockCovered() {
+	if s != nil {
+		s.BlocksCovered++
+	}
+}
+
+// Decoded records n bytes materialized as raw values.
+func (s *Stats) Decoded(n int64) {
+	if s != nil {
+		s.DecodedBytes += n
+	}
+}
+
+// KernelFold records one operation applied natively on compressed data.
+func (s *Stats) KernelFold() {
+	if s != nil {
+		s.KernelFolds++
+	}
+}
+
+// Gathered records one value-materializing block operation.
+func (s *Stats) Gathered() {
+	if s != nil {
+		s.Gathers++
+	}
+}
+
 // Add accumulates o into s.
 func (s *Stats) Add(o Stats) {
 	if s != nil {
 		s.BytesRead += o.BytesRead
 		s.BytesWritten += o.BytesWritten
 		s.Seeks += o.Seeks
+		s.BlocksFetched += o.BlocksFetched
+		s.BlocksPruned += o.BlocksPruned
+		s.BlocksCovered += o.BlocksCovered
+		s.DecodedBytes += o.DecodedBytes
+		s.KernelFolds += o.KernelFolds
+		s.Gathers += o.Gathers
 	}
 }
 
@@ -81,9 +154,15 @@ func (s *Stats) Reset() {
 // synchronization); a server folds each finished query's Stats in with
 // AddStats and reads running totals with Snapshot.
 type Atomic struct {
-	bytesRead    atomic.Int64
-	bytesWritten atomic.Int64
-	seeks        atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWritten  atomic.Int64
+	seeks         atomic.Int64
+	blocksFetched atomic.Int64
+	blocksPruned  atomic.Int64
+	blocksCovered atomic.Int64
+	decodedBytes  atomic.Int64
+	kernelFolds   atomic.Int64
+	gathers       atomic.Int64
 }
 
 // AddStats folds one finished query's stats into the shared totals.
@@ -91,16 +170,28 @@ func (a *Atomic) AddStats(s Stats) {
 	a.bytesRead.Add(s.BytesRead)
 	a.bytesWritten.Add(s.BytesWritten)
 	a.seeks.Add(s.Seeks)
+	a.blocksFetched.Add(s.BlocksFetched)
+	a.blocksPruned.Add(s.BlocksPruned)
+	a.blocksCovered.Add(s.BlocksCovered)
+	a.decodedBytes.Add(s.DecodedBytes)
+	a.kernelFolds.Add(s.KernelFolds)
+	a.gathers.Add(s.Gathers)
 }
 
 // Snapshot returns the accumulated totals as a plain Stats value. Each
-// counter is read atomically; the triple is not a single linearization
+// counter is read atomically; the set is not a single linearization
 // point, which is fine for monitoring totals.
 func (a *Atomic) Snapshot() Stats {
 	return Stats{
-		BytesRead:    a.bytesRead.Load(),
-		BytesWritten: a.bytesWritten.Load(),
-		Seeks:        a.seeks.Load(),
+		BytesRead:     a.bytesRead.Load(),
+		BytesWritten:  a.bytesWritten.Load(),
+		Seeks:         a.seeks.Load(),
+		BlocksFetched: a.blocksFetched.Load(),
+		BlocksPruned:  a.blocksPruned.Load(),
+		BlocksCovered: a.blocksCovered.Load(),
+		DecodedBytes:  a.decodedBytes.Load(),
+		KernelFolds:   a.kernelFolds.Load(),
+		Gathers:       a.gathers.Load(),
 	}
 }
 

@@ -10,6 +10,12 @@ func TestNilSafety(t *testing.T) {
 	s.Read(100)
 	s.AddSeeks(1)
 	s.Add(Stats{BytesRead: 5})
+	s.BlockFetched()
+	s.BlockPruned()
+	s.BlockCovered()
+	s.Decoded(64)
+	s.KernelFold()
+	s.Gathered()
 	s.Reset() // must not panic
 }
 
@@ -25,6 +31,38 @@ func TestAccumulation(t *testing.T) {
 	s.Reset()
 	if s.BytesRead != 0 || s.Seeks != 0 {
 		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+// TestBlockCounters pins the trace-feeding counters through the direct
+// methods, Add, and the atomic fold — all three paths the engines use.
+func TestBlockCounters(t *testing.T) {
+	var s Stats
+	s.BlockFetched()
+	s.BlockFetched()
+	s.BlockPruned()
+	s.BlockCovered()
+	s.Decoded(4096)
+	s.KernelFold()
+	s.Gathered()
+	s.Gathered()
+	want := Stats{BlocksFetched: 2, BlocksPruned: 1, BlocksCovered: 1, DecodedBytes: 4096, KernelFolds: 1, Gathers: 2}
+	if s != want {
+		t.Fatalf("got %+v, want %+v", s, want)
+	}
+	// Worker merge: Add must carry every counter, so whole-struct equality
+	// across worker counts (the differential harness's invariant) holds.
+	var merged Stats
+	merged.Add(s)
+	merged.Add(s)
+	var a Atomic
+	a.AddStats(s)
+	a.AddStats(s)
+	if snap := a.Snapshot(); snap != merged {
+		t.Fatalf("atomic snapshot %+v != plain merge %+v", snap, merged)
+	}
+	if merged.BlocksFetched != 4 || merged.DecodedBytes != 8192 || merged.Gathers != 4 {
+		t.Fatalf("merge: %+v", merged)
 	}
 }
 

@@ -86,11 +86,11 @@ type Pool struct {
 	budget  int64 // <= 0 means unbounded
 	used    int64
 	logical int64 // decoded size of resident frames (reporting only)
-	frames map[SegKey]*frame
-	ring   []*frame // clock order
-	hand   int
-	stats  PoolStats
-	fetch  fetchFunc
+	frames  map[SegKey]*frame
+	ring    []*frame // clock order
+	hand    int
+	stats   PoolStats
+	fetch   fetchFunc
 }
 
 // NewPool returns a pool that fetches segments through fetch and keeps at

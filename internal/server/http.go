@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/compress"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/ssb"
 )
@@ -25,6 +28,10 @@ type queryRequest struct {
 	// plan space the fuzz and stress harnesses draw from. A pointer so
 	// seed 0 is expressible.
 	Seed *int64 `json:"seed,omitempty"`
+	// Trace requests a per-stage execution trace in the response (GET:
+	// trace=1). Cache hits carry no trace — the entry's run predates the
+	// request.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // queryResponse is the JSON shape of one served query.
@@ -41,6 +48,9 @@ type queryResponse struct {
 	IOBytes int64 `json:"io_bytes"`
 	IOSeeks int64 `json:"io_seeks"`
 	TotalNs int64 `json:"total_ns"`
+	// Trace is the per-stage execution trace, present only when the request
+	// asked for one (trace=1) and the query actually ran (not a cache hit).
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // queryRow mirrors ssb.ResultRow with the aggregate list always explicit.
@@ -181,16 +191,90 @@ type poolStats struct {
 	AppendedBytes int64 `json:"appended_bytes"`
 }
 
-// Handler returns the HTTP API: POST or GET /query (id= | sql= | seed=)
-// and GET /stats. Request contexts propagate into execution, so a client
-// that disconnects cancels its query at the next block boundary.
+// Handler returns the HTTP API: POST or GET /query (id= | sql= | seed=,
+// plus trace=1 for a per-stage execution trace), GET /stats, and GET
+// /metrics (Prometheus text exposition). Request contexts propagate into
+// execution, so a client that disconnects cancels its query at the next
+// block boundary.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.accessLog {
+		return s.withAccessLog(mux)
+	}
 	return mux
+}
+
+// handleMetrics renders the registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}
+
+// accessRecord is filled in by handlers with what the URL alone doesn't
+// say (the resolved plan selector, admission wait, cache disposition) so
+// the access-log line can carry it.
+type accessRecord struct {
+	query  string
+	wait   time.Duration
+	cached bool
+}
+
+type accessKey struct{}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withAccessLog emits one line per request: method, path, plan selector,
+// status, admission wait, total latency.
+func (s *Server) withAccessLog(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &accessRecord{}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), accessKey{}, rec)))
+		q := rec.query
+		if q == "" {
+			q = "-"
+		}
+		s.logf("access %d %s %s q=%s cached=%t wait=%s total=%s",
+			sw.status, r.Method, r.URL.Path, q, rec.cached,
+			rec.wait.Round(time.Microsecond), time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// querySelector renders the resolved plan selector for the access log: the
+// SSBM id, the seed, or an FNV-64a hash of the ad-hoc SQL (logs stay
+// one-line and never reproduce request text).
+func (r *queryRequest) querySelector() string {
+	switch {
+	case r.ID != "":
+		return r.ID
+	case r.Seed != nil:
+		return fmt.Sprintf("seed=%d", *r.Seed)
+	case r.SQL != "":
+		h := fnv.New64a()
+		h.Write([]byte(r.SQL))
+		return fmt.Sprintf("sql=%016x", h.Sum64())
+	default:
+		return "-"
+	}
 }
 
 // handleDelete tombstones the rows matching the request's predicate
@@ -264,6 +348,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, exec.ErrWriteStoreFull):
 		// Backpressure: the tuple mover is behind. Retry-After tells
 		// well-behaved clients how long to pace off before retrying.
+		s.retryAfters.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
@@ -348,6 +433,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 			req.Seed = &seed
 		}
+		if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
+			req.Trace = true
+		}
 	case http.MethodPost:
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
@@ -363,8 +451,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	rec, _ := r.Context().Value(accessKey{}).(*accessRecord)
+	if rec != nil {
+		rec.query = req.querySelector()
+	}
 
-	resp, err := s.Execute(r.Context(), q)
+	ctx := r.Context()
+	var tr *obs.Trace
+	if req.Trace {
+		tr = &obs.Trace{}
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	resp, err := s.Execute(ctx, q)
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrClosed):
@@ -380,6 +478,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if rec != nil {
+		rec.wait = resp.Wait
+		rec.cached = resp.Cached
+	}
 	out := queryResponse{
 		ID:      q.ID,
 		SQL:     q.SQL(),
@@ -390,6 +492,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		IOBytes: resp.Stats.IO.BytesRead,
 		IOSeeks: resp.Stats.IO.Seeks,
 		TotalNs: int64(resp.Stats.Total),
+	}
+	if tr != nil && !resp.Cached {
+		out.Trace = tr
 	}
 	for _, row := range resp.Result.Rows {
 		out.Rows = append(out.Rows, queryRow{Keys: row.Keys, Aggs: row.AggValues()})

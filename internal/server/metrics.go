@@ -1,0 +1,89 @@
+package server
+
+import "repro/internal/obs"
+
+// initMetrics builds the /metrics registry. Every counter and gauge is a
+// closure over state the server already maintains (its atomics, the cache,
+// the buffer pool, the write store), read at scrape time — serving traffic
+// pays nothing for the endpoint's existence. Only the two latency
+// histograms are populated on the query path, two atomic adds per query.
+//
+// Pool- and ingest-backed families register unconditionally and report zero
+// when the store is in-memory or ingest is off, so the exposition shape is
+// stable across deployments and scrapers never see families come and go.
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	s.metrics = r
+
+	r.CounterFunc("ssb_queries_total", "Execute calls accepted, including cache hits and failed runs.",
+		s.queries.Load)
+	r.CounterFunc("ssb_query_errors_total", "Queries that returned an error (admission cancellation included).",
+		s.errors.Load)
+	r.CounterFunc("ssb_cache_hits_total", "Result-cache hits.",
+		func() int64 { h, _, _ := s.cache.counters(); return h })
+	r.CounterFunc("ssb_cache_misses_total", "Result-cache misses.",
+		func() int64 { _, m, _ := s.cache.counters(); return m })
+	r.CounterFunc("ssb_admission_rejects_total", "Admission waits that ended in cancellation instead of a grant.",
+		s.admitRejects.Load)
+	r.CounterFunc("ssb_inserts_total", "Accepted insert batches.", s.inserts.Load)
+	r.CounterFunc("ssb_inserted_rows_total", "Rows across accepted insert batches.", s.insertedRows.Load)
+	r.CounterFunc("ssb_deletes_total", "Accepted delete operations.", s.deletes.Load)
+	r.CounterFunc("ssb_deleted_rows_total", "Rows tombstoned by accepted deletes.", s.deletedRows.Load)
+	r.CounterFunc("ssb_ws_full_rejects_total", "Inserts bounced because the write store hit its byte cap.",
+		s.wsFullRejects.Load)
+	r.CounterFunc("ssb_retry_after_sent_total", "HTTP 503 responses that carried a Retry-After backpressure hint.",
+		s.retryAfters.Load)
+	r.CounterFunc("ssb_wal_fsyncs_total", "WAL fsyncs (group commits); zero when no WAL is attached.",
+		func() int64 { return s.db.WALStats().Syncs })
+	r.CounterFunc("ssb_pool_evictions_total", "Buffer-pool frame evictions; zero for in-memory stores.",
+		func() int64 {
+			if st := s.db.SegmentStore(); st != nil {
+				return st.Pool().Stats().Evictions
+			}
+			return 0
+		})
+
+	r.GaugeFunc("ssb_in_flight_queries", "Queries currently executing or queued for admission.",
+		s.inFlight.Load)
+	r.GaugeFunc("ssb_cache_entries", "Result-cache entries resident.",
+		func() int64 { _, _, e := s.cache.counters(); return int64(e) })
+	r.GaugeFunc("ssb_pool_resident_bytes", "Compressed payload bytes resident in the buffer pool.",
+		func() int64 {
+			if st := s.db.SegmentStore(); st != nil {
+				return st.Pool().Stats().Resident
+			}
+			return 0
+		})
+	r.GaugeFunc("ssb_pool_resident_logical_bytes", "Decoded (4 B/value) size of the pool's resident working set.",
+		func() int64 {
+			if st := s.db.SegmentStore(); st != nil {
+				return st.Pool().Stats().ResidentLogical
+			}
+			return 0
+		})
+	r.GaugeFunc("ssb_pool_pinned_frames", "Buffer-pool frames currently pinned by executing queries.",
+		func() int64 {
+			if st := s.db.SegmentStore(); st != nil {
+				return int64(st.Pool().PinnedFrames())
+			}
+			return 0
+		})
+	r.GaugeFunc("ssb_ws_pending_bytes", "Write-store bytes awaiting compaction; zero when ingest is off.",
+		func() int64 { return s.db.IngestStats().PendingBytes })
+	r.GaugeFunc("ssb_ws_pending_rows", "Write-store rows awaiting compaction; zero when ingest is off.",
+		func() int64 { return s.db.IngestStats().PendingRows })
+
+	// 100µs..~3.3s and 10µs..~5.2s: log-spaced so the histogram stays 16
+	// buckets while covering cache-warm sub-millisecond queries and
+	// admission stalls behind a heavy scan alike.
+	s.durHist = r.NewHistogram("ssb_query_duration_seconds",
+		"Query execution latency (admission wait excluded); cache hits not observed.",
+		obs.ExpBuckets(100e-6, 2, 16))
+	s.admitHist = r.NewHistogram("ssb_admission_wait_seconds",
+		"Time queries spent queued in admission control before their grant.",
+		obs.ExpBuckets(10e-6, 2, 20))
+}
+
+// Metrics exposes the registry (the HTTP layer's /metrics renders it; tests
+// scrape it directly).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }

@@ -29,6 +29,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/iosim"
+	"repro/internal/obs"
 	"repro/internal/ssb"
 	"repro/internal/wal"
 )
@@ -80,6 +82,16 @@ type Options struct {
 	// WALWindow is the group-commit window: how long a commit leader waits
 	// for more batches to share its fsync. Zero syncs immediately.
 	WALWindow time.Duration
+	// SlowQuery, when positive, enables the slow-query log: every query
+	// whose execution (admission wait excluded) takes at least this long is
+	// logged as one compact trace line saying where the time went.
+	SlowQuery time.Duration
+	// AccessLog enables one log line per HTTP request (method, path, query
+	// selector, status, admission wait, total latency). Off by default —
+	// the serving benchmarks must not pay per-request logging.
+	AccessLog bool
+	// Logf receives slow-query and access-log lines; nil means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // Server executes queries from many goroutines against one shared DB.
@@ -92,18 +104,29 @@ type Server struct {
 
 	logical iosim.Atomic
 
-	queries  atomic.Int64
-	errors   atomic.Int64
-	waits    atomic.Int64 // queries that blocked in admission
-	waitNs   atomic.Int64
-	inFlight atomic.Int64
+	queries      atomic.Int64
+	errors       atomic.Int64
+	waits        atomic.Int64 // queries that blocked in admission
+	waitNs       atomic.Int64
+	admitRejects atomic.Int64 // acquires that ended in cancellation
+	inFlight     atomic.Int64
 
-	ingest       bool
-	inserts      atomic.Int64
-	insertedRows atomic.Int64
-	deletes      atomic.Int64
-	deletedRows  atomic.Int64
-	wal          bool
+	ingest        bool
+	inserts       atomic.Int64
+	insertedRows  atomic.Int64
+	deletes       atomic.Int64
+	deletedRows   atomic.Int64
+	wsFullRejects atomic.Int64 // inserts bounced on ErrWriteStoreFull
+	retryAfters   atomic.Int64 // HTTP 503s that carried a Retry-After hint
+	wal           bool
+
+	slowQuery time.Duration
+	accessLog bool
+	logf      func(format string, args ...any)
+
+	metrics   *obs.Registry
+	admitHist *obs.Histogram
+	durHist   *obs.Histogram
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -136,12 +159,19 @@ func New(db *core.DB, opts Options) (*Server, error) {
 		entries = 256
 	}
 	s := &Server{
-		db:      db,
-		col:     db.ColumnDB(cfg.Compression),
-		coreCfg: core.ColumnStore(cfg),
-		sem:     newByteSem(admit),
-		cache:   newResultCache(entries),
+		db:        db,
+		col:       db.ColumnDB(cfg.Compression),
+		coreCfg:   core.ColumnStore(cfg),
+		sem:       newByteSem(admit),
+		cache:     newResultCache(entries),
+		slowQuery: opts.SlowQuery,
+		accessLog: opts.AccessLog,
+		logf:      opts.Logf,
 	}
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
+	s.initMetrics()
 	if opts.Ingest {
 		if !cfg.Compression {
 			return nil, fmt.Errorf("server: ingest requires the compressed column engine (it carries the write store)")
@@ -180,6 +210,9 @@ func (s *Server) Insert(b *ssb.Lineorders) (int64, error) {
 	}
 	epoch, err := s.db.Insert(b)
 	if err != nil {
+		if errors.Is(err, exec.ErrWriteStoreFull) {
+			s.wsFullRejects.Add(1)
+		}
 		return 0, err
 	}
 	s.inserts.Add(1)
@@ -264,6 +297,7 @@ func (s *Server) Execute(ctx context.Context, q *ssb.Query) (*Response, error) {
 	admitStart := time.Now()
 	granted, err := s.sem.acquire(ctx, weight)
 	if err != nil {
+		s.admitRejects.Add(1)
 		s.errors.Add(1)
 		return nil, err
 	}
@@ -272,14 +306,30 @@ func (s *Server) Execute(ctx context.Context, q *ssb.Query) (*Response, error) {
 		s.waits.Add(1)
 	}
 	s.waitNs.Add(int64(wait))
+	s.admitHist.ObserveDuration(wait)
 	defer s.sem.release(granted)
 
-	res, stats, err := s.db.RunPlanCtx(ctx, q, s.coreCfg)
+	// Slow-query logging needs a trace to say where the time went; attach
+	// one only when the caller didn't (a /query?trace=1 request already
+	// carries its own, which the slow line then reuses).
+	runCtx := ctx
+	if s.slowQuery > 0 && obs.FromContext(ctx) == nil {
+		runCtx = obs.WithTrace(ctx, &obs.Trace{})
+	}
+	execStart := time.Now()
+	res, stats, err := s.db.RunPlanCtx(runCtx, q, s.coreCfg)
+	dur := time.Since(execStart)
+	s.durHist.ObserveDuration(dur)
 	if err != nil {
 		s.errors.Add(1)
 		return nil, err
 	}
 	s.logical.AddStats(stats.IO)
+	if s.slowQuery > 0 && dur >= s.slowQuery {
+		if tr := obs.FromContext(runCtx); tr != nil {
+			s.logf("slow-query wait=%s %s", wait.Round(time.Microsecond), tr.CompactLine())
+		}
+	}
 	if key != "" {
 		s.cache.put(key, res, stats)
 	}
@@ -299,9 +349,11 @@ type Stats struct {
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
 	// AdmitWaits counts queries that blocked >1ms in admission;
-	// AdmitWaitNs is total time all queries spent queued.
-	AdmitWaits  int64 `json:"admit_waits"`
-	AdmitWaitNs int64 `json:"admit_wait_ns"`
+	// AdmitWaitNs is total time all queries spent queued; AdmitRejects the
+	// queries whose wait ended in cancellation instead of a grant.
+	AdmitWaits   int64 `json:"admit_waits"`
+	AdmitWaitNs  int64 `json:"admit_wait_ns"`
+	AdmitRejects int64 `json:"admit_rejects"`
 	// AdmitBytes is the admission budget.
 	AdmitBytes int64 `json:"admit_bytes"`
 	// Logical is the summed per-query logical I/O of completed queries.
@@ -315,6 +367,11 @@ type Stats struct {
 	Deletes      int64           `json:"deletes"`
 	DeletedRows  int64           `json:"deleted_rows"`
 	Delta        exec.DeltaStats `json:"delta"`
+	// WSFullRejects counts inserts bounced because the write store hit its
+	// byte cap (ErrWriteStoreFull); RetryAfterSent the HTTP 503 responses
+	// that carried the matching Retry-After backpressure hint.
+	WSFullRejects  int64 `json:"ws_full_rejects"`
+	RetryAfterSent int64 `json:"retry_after_sent"`
 	// WAL is the durability log's state (zero value when no WAL).
 	WAL exec.WALStats `json:"wal"`
 }
@@ -323,22 +380,25 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	hits, misses, entries := s.cache.counters()
 	return Stats{
-		Queries:      s.queries.Load(),
-		Errors:       s.errors.Load(),
-		InFlight:     s.inFlight.Load(),
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		CacheEntries: entries,
-		AdmitWaits:   s.waits.Load(),
-		AdmitWaitNs:  s.waitNs.Load(),
-		AdmitBytes:   s.sem.cap,
-		Logical:      s.logical.Snapshot(),
-		Inserts:      s.inserts.Load(),
-		InsertedRows: s.insertedRows.Load(),
-		Deletes:      s.deletes.Load(),
-		DeletedRows:  s.deletedRows.Load(),
-		Delta:        s.db.IngestStats(),
-		WAL:          s.db.WALStats(),
+		Queries:        s.queries.Load(),
+		Errors:         s.errors.Load(),
+		InFlight:       s.inFlight.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEntries:   entries,
+		AdmitWaits:     s.waits.Load(),
+		AdmitWaitNs:    s.waitNs.Load(),
+		AdmitRejects:   s.admitRejects.Load(),
+		AdmitBytes:     s.sem.cap,
+		Logical:        s.logical.Snapshot(),
+		Inserts:        s.inserts.Load(),
+		InsertedRows:   s.insertedRows.Load(),
+		Deletes:        s.deletes.Load(),
+		DeletedRows:    s.deletedRows.Load(),
+		Delta:          s.db.IngestStats(),
+		WSFullRejects:  s.wsFullRejects.Load(),
+		RetryAfterSent: s.retryAfters.Load(),
+		WAL:            s.db.WALStats(),
 	}
 }
 
