@@ -115,6 +115,22 @@
 // and latency histograms as Prometheus text from a dependency-free
 // registry.
 //
+// The repository checks its own invariants statically: cmd/ssb-lint
+// (internal/lint) type-checks the whole module with nothing beyond the
+// standard library's go/parser and go/types — module-internal imports from
+// source, the standard library through the source importer, so go.mod
+// stays dependency-free — and runs six analyzers over it: pinleak (every
+// buffer-pool pin released on all paths), ctxloop (block loops in
+// internal/exec and internal/colstore observe cancellation), stats-
+// discipline (iosim.Stats mutated only through its own API, no
+// atomic/plain mixing), nologprint (internal packages print only through
+// injected loggers), guardedby ("// guarded by <mu>" fields accessed only
+// under that mutex), and closeerr (Close errors checked or explicitly
+// discarded). The CI lint job fails on any diagnostic; a finding is
+// suppressed only by "//lint:ignore <analyzer> <reason>", making every
+// exception executable documentation. PERFORMANCE.md's "Invariants"
+// section maps each analyzer to the PR whose guarantee it pins.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results.
 package repro

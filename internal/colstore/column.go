@@ -260,6 +260,7 @@ func (c *Column) sortedFilter(p compress.Pred, st *iosim.Stats) (*vector.Positio
 	}
 	start, end := int32(-1), int32(-1)
 	base := int32(0)
+	//lint:ignore ctxloop bounded: a sorted column's match range is contiguous, so at most two boundary blocks are ever acquired; the rest of the sweep is zone-map metadata
 	for bi := 0; bi < c.NumBlocks(); bi++ {
 		mn, mx := c.BlockMinMax(bi)
 		blkLen := int32(c.BlockLen(bi))
@@ -616,9 +617,21 @@ func (c *Column) forEachCandidateBlockCtx(ctx context.Context, candidates *vecto
 }
 
 // DecodeAll decodes the whole column, appending to dst, charging a full
-// sequential scan.
+// sequential scan. It cannot be cancelled; query paths decoding more than
+// a few blocks should use DecodeAllCtx.
 func (c *Column) DecodeAll(dst []int32, st *iosim.Stats) []int32 {
+	return c.DecodeAllCtx(context.Background(), dst, st)
+}
+
+// DecodeAllCtx is DecodeAll under a context: a cancelled ctx stops the
+// decode within one block, returning the (truncated) prefix decoded so
+// far. Callers racing cancellation must check ctx.Err before using the
+// result, exactly as with the block pipelines.
+func (c *Column) DecodeAllCtx(ctx context.Context, dst []int32, st *iosim.Stats) []int32 {
 	for bi := 0; bi < c.NumBlocks(); bi++ {
+		if ctx.Err() != nil {
+			return dst
+		}
 		blk, release := c.AcquireBlock(bi)
 		st.BlockFetched()
 		st.Read(blk.CompressedBytes())

@@ -259,7 +259,7 @@ func Save(path string, d *ssb.Data) error {
 		return err
 	}
 	if err := Write(f, d); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return err
 	}

@@ -55,7 +55,7 @@ func (db *DB) EnableWAL(path string, opts wal.Options) error {
 		return err
 	}
 	fail := func(err error) error {
-		l.Close()
+		_ = l.Close()
 		return err
 	}
 

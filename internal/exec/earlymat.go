@@ -31,7 +31,7 @@ func (db *DB) runEarlyMat(ctx context.Context, q *ssb.Query, cfg Config, st *ios
 			return emptyResult(q)
 		}
 		colIdx[name] = i
-		cols[i] = db.Fact.MustColumn(name).DecodeAll(nil, st)
+		cols[i] = db.Fact.MustColumn(name).DecodeAllCtx(ctx, nil, st)
 	}
 	n := db.numRows
 	if rec != nil {

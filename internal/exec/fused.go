@@ -444,6 +444,7 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 		}
 	}
 
+	//lint:ignore ctxloop per-block probe loop over one already-acquired block bi, bounded by the plan's probe count; the morsel loop driving it checks ctx once per block
 	for pi, p := range plan.probes {
 		// Zone-map consultation only: the block is not acquired (for
 		// segment-backed columns, not even read from disk) unless the
@@ -610,6 +611,7 @@ func fusedBlock(bi int, plan *fusedPlan, ws *fusedWorker) {
 			// Decode-free aggregation: fold each distinct input column
 			// once per block on its compressed representation and widen
 			// the per-block accumulators into the aggregate cells.
+			//lint:ignore ctxloop per-block fold over one block bi, bounded by the plan's aggregate list; the morsel loop driving it checks ctx once per block
 			for ci, col := range plan.aggCols {
 				acc := compress.NewAggAcc()
 				col.AggSelectBlock(bi, ws.sel, &ws.st, &acc)

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CloseErr verifies that Close errors in internal packages are never
+// silently dropped as a bare statement. On shutdown paths a Close error is
+// the durability verdict (an fsync-on-close failure means acked data may
+// not be on disk), so it must be checked; on cleanup-after-error paths
+// where the original error already carries the diagnosis, discard
+// explicitly with `_ = f.Close()` so the choice is visible. `defer
+// f.Close()` on read-only handles is idiomatic and allowed.
+var CloseErr = &Analyzer{
+	Name: "closeerr",
+	Doc:  "Close errors are checked or explicitly discarded",
+	Run:  runCloseErr,
+}
+
+func runCloseErr(p *Package) []Diagnostic {
+	if !p.Internal() {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Close" {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Fun]
+			if !ok {
+				return true
+			}
+			sig, ok := tv.Type.(*types.Signature)
+			if !ok || sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      p.Fset.Position(stmt.Pos()),
+				Analyzer: "closeerr",
+				Message:  fmt.Sprintf("error from %s.Close() silently discarded: check it, or write `_ = %s.Close()` to discard on a path whose error is already decided", exprString(sel.X), exprString(sel.X)),
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// blockLoopMethods are the per-block operations whose presence makes a loop
+// a "block loop": each call acquires (and releases) one column block, so a
+// loop driving them is the unit the cancellation guarantee is defined over
+// — an abandoned query must stop within one 64K block.
+var blockLoopMethods = map[string]bool{
+	"AcquireBlock":      true,
+	"GatherBlock":       true,
+	"GatherSelectBlock": true,
+	"AggSelectBlock":    true,
+}
+
+// CtxLoop verifies the PR 4 cancellation invariant: every loop in
+// internal/exec and internal/colstore that acquires column blocks (directly
+// via AcquireBlock/Acquire or through the per-block Gather/AggSelect
+// helpers) — or that iterates segments via NumBlocks in its condition —
+// contains a context cancellation check (ctx.Err() or ctx.Done()). The
+// check is flow-insensitive: any cancellation observation inside the loop
+// body satisfies it. Nested loops are judged independently, so the check
+// must sit in the innermost loop that touches blocks.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "block loops in exec/colstore observe context cancellation",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(p *Package) []Diagnostic {
+	if p.Tail() != "exec" && p.Tail() != "colstore" {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				body = s.Body
+			case *ast.RangeStmt:
+				body = s.Body
+			default:
+				return true
+			}
+			if !loopTouchesBlocks(p, body) {
+				return true
+			}
+			if !hasCancelCheck(p, body) {
+				diags = append(diags, Diagnostic{
+					Pos:      p.Fset.Position(n.Pos()),
+					Analyzer: "ctxloop",
+					Message:  "block loop without a cancellation check: an abandoned query must stop within one block (check ctx.Err() or select on ctx.Done())",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// loopTouchesBlocks reports whether the loop's direct body (not nested
+// loops or function literals, which own their blocks independently) calls a
+// block-acquiring method. Segment-iterating loops that only read zone-map
+// metadata (min/max sweeps with no acquisition) are free and exempt.
+func loopTouchesBlocks(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	inspectDirect(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok && isBlockAcquireCall(p, call) {
+			found = true
+		}
+	})
+	return found
+}
+
+// isBlockAcquireCall matches the per-block data operations: the named
+// helpers above, plus any pin acquisition in the pinleak sense (a method
+// named Acquire/AcquireBlock returning a func() release).
+func isBlockAcquireCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if blockLoopMethods[sel.Sel.Name] {
+		if selection := p.Info.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectDirect walks the loop body without descending into nested loops or
+// function literals.
+func inspectDirect(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// hasCancelCheck reports whether the body observes context cancellation:
+// any use of context.Context's Err or Done methods outside nested function
+// literals (a check inside a spawned goroutine does not pace this loop).
+func hasCancelCheck(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		if obj := p.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+			if sel.Sel.Name == "Err" || sel.Sel.Name == "Done" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// GuardedBy verifies lock-annotation discipline. A struct field annotated
+//
+//	foo int // guarded by mu
+//
+// (doc comment or trailing comment) may only be accessed — read or written
+// — inside functions that either call <recv>.mu.Lock() / RLock() somewhere
+// in their body, or carry a "// holds mu" annotation declaring that their
+// caller locks for them. The check is flow-insensitive by design: it does
+// not prove the lock is held at the access, only that the function
+// participates in the locking protocol at all — which is exactly the class
+// of mistake (a new helper reaching into guarded state with no locking
+// anywhere) that survives review.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated \"guarded by <mu>\" are accessed only under that mutex",
+	Run:  runGuardedBy,
+}
+
+var (
+	guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+	holdsRe     = regexp.MustCompile(`holds (\w+)`)
+)
+
+// guardSpec records one annotated field and its resolved guard.
+type guardSpec struct {
+	guardName string
+	guardObj  types.Object // the mutex field, nil if unresolved
+}
+
+func runGuardedBy(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	guards := map[types.Object]*guardSpec{} // guarded field -> spec
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      p.Fset.Position(n.Pos()),
+			Analyzer: "guardedby",
+			Message:  msg,
+		})
+	}
+
+	// Pass 1: collect annotations from struct declarations.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				names := commentMatches(guardedByRe, field.Doc, field.Comment)
+				if len(names) == 0 {
+					continue
+				}
+				guardName := names[0]
+				guardObj := findFieldObj(p, st, guardName)
+				if guardObj == nil {
+					report(field, fmt.Sprintf("guarded-by annotation names %q, which is not a field of this struct", guardName))
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := p.Info.Defs[name]; obj != nil {
+						guards[obj] = &guardSpec{guardName: guardName, guardObj: guardObj}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return diags
+	}
+
+	// Pass 2: check every function's accesses.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			holds := map[string]bool{}
+			for _, name := range commentMatches(holdsRe, fd.Doc) {
+				holds[name] = true
+			}
+			locked := map[types.Object]bool{} // mutex field objects this function locks
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+					return true
+				}
+				if inner, ok := unparen(sel.X).(*ast.SelectorExpr); ok {
+					if obj := fieldObjOf(p, inner); obj != nil {
+						locked[obj] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := fieldObjOf(p, sel)
+				spec, guarded := guards[obj]
+				if !guarded {
+					return true
+				}
+				if holds[spec.guardName] || locked[spec.guardObj] {
+					return true
+				}
+				report(sel, fmt.Sprintf("%s is guarded by %s, but this function neither locks %s nor declares \"// holds %s\"", sel.Sel.Name, spec.guardName, spec.guardName, spec.guardName))
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// fieldObjOf resolves a selector to the field object it selects, or nil.
+func fieldObjOf(p *Package, sel *ast.SelectorExpr) types.Object {
+	if selection := p.Info.Selections[sel]; selection != nil && selection.Kind() == types.FieldVal {
+		return selection.Obj()
+	}
+	return nil
+}
+
+// findFieldObj locates the field named name in the struct type declaration.
+func findFieldObj(p *Package, st *ast.StructType, name string) types.Object {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				return p.Info.Defs[id]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expectation comments in fixture sources:
+//
+//	code() // want "regexp"
+//	// want+1 "regexp"   (diagnostic expected one line below the comment)
+//
+// Several quoted patterns may follow one want keyword's line.
+var wantRe = regexp.MustCompile(`want(\+\d+)? "([^"]*)"`)
+
+// collectWants indexes every fixture expectation as file:line -> patterns
+// the diagnostics on that line must match.
+func collectWants(t *testing.T, p *Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := p.Fset.Position(c.Pos())
+					line := pos.Line
+					if m[1] != "" {
+						off, err := strconv.Atoi(strings.TrimPrefix(m[1], "+"))
+						if err != nil {
+							t.Fatalf("%s:%d: bad want offset %q", pos.Filename, pos.Line, m[1])
+						}
+						line += off
+					}
+					re, err := regexp.Compile(m[2])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[2], err)
+					}
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestFixtures runs the full analyzer set over each fixture package and
+// checks the diagnostics against the // want annotations in the sources:
+// every diagnostic must be expected, every expectation must fire.
+func TestFixtures(t *testing.T) {
+	pkgs, err := Load("testdata/src/fixture", "./...")
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no fixture packages loaded")
+	}
+	for _, p := range pkgs {
+		t.Run(p.Tail(), func(t *testing.T) {
+			wants := collectWants(t, p)
+			for _, d := range Run([]*Package{p}, All) {
+				key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+				matched := -1
+				for i, re := range wants[key] {
+					if re.MatchString(d.String()) {
+						matched = i
+						break
+					}
+				}
+				if matched < 0 {
+					t.Errorf("unexpected diagnostic: %s", d)
+					continue
+				}
+				wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+			}
+			for key, res := range wants {
+				for _, re := range res {
+					t.Errorf("%s: expected a diagnostic matching %q, got none", key, re)
+				}
+			}
+		})
+	}
+}
+
+// TestFixturesFindViolations guards against the trivially-green failure
+// mode: the seeded-bad fixture packages must actually produce diagnostics.
+func TestFixturesFindViolations(t *testing.T) {
+	pkgs, err := Load("testdata/src/fixture", "./...")
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	perAnalyzer := map[string]int{}
+	for _, d := range Run(pkgs, All) {
+		perAnalyzer[d.Analyzer]++
+	}
+	for _, a := range All {
+		if perAnalyzer[a.Name] == 0 {
+			t.Errorf("analyzer %s found nothing in the fixture tree; its bad fixtures no longer exercise it", a.Name)
+		}
+	}
+	if perAnalyzer["lint"] == 0 {
+		t.Error("no malformed-directive diagnostic fired; the suppress fixture no longer exercises parseIgnores")
+	}
+}
+
+// TestSelfCheck pins the repository itself lint-clean: the same invariant
+// the CI lint job enforces with cmd/ssb-lint.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; skipped with -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module at %s: %v", root, err)
+	}
+	for _, d := range Run(pkgs, All) {
+		t.Errorf("repository is not lint-clean: %s", d)
+	}
+}
+
+// TestByName covers the analyzer-selection flag's parsing.
+func TestByName(t *testing.T) {
+	cases := []struct {
+		list  string
+		names []string
+		err   bool
+	}{
+		{list: "", names: []string{"pinleak", "ctxloop", "statsdiscipline", "nologprint", "guardedby", "closeerr"}},
+		{list: "pinleak", names: []string{"pinleak"}},
+		{list: "closeerr, guardedby", names: []string{"closeerr", "guardedby"}},
+		{list: "nosuch", err: true},
+	}
+	for _, tc := range cases {
+		got, err := ByName(tc.list)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ByName(%q): expected error, got %d analyzers", tc.list, len(got))
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ByName(%q): %v", tc.list, err)
+			continue
+		}
+		var names []string
+		for _, a := range got {
+			names = append(names, a.Name)
+		}
+		if fmt.Sprint(names) != fmt.Sprint(tc.names) {
+			t.Errorf("ByName(%q) = %v, want %v", tc.list, names, tc.names)
+		}
+	}
+}
+
+// TestMatchAny covers the package-pattern matching Load selects with.
+func TestMatchAny(t *testing.T) {
+	cases := []struct {
+		patterns []string
+		rel      string
+		want     bool
+	}{
+		{[]string{"./..."}, "internal/exec", true},
+		{[]string{"./..."}, ".", true},
+		{[]string{"./internal/..."}, "internal/exec", true},
+		{[]string{"./internal/..."}, "cmd/ssb", false},
+		{[]string{"./internal/exec"}, "internal/exec", true},
+		{[]string{"./internal/exec"}, "internal/exec/sub", false},
+		{[]string{"./cmd/...", "./internal/wal"}, "internal/wal", true},
+	}
+	for _, tc := range cases {
+		if got := matchAny(tc.patterns, tc.rel); got != tc.want {
+			t.Errorf("matchAny(%v, %q) = %v, want %v", tc.patterns, tc.rel, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// NoLogPrint verifies the injected-logger discipline: internal packages
+// never write to stdout/stderr or the process-global logger directly, so
+// library output is always routed through the injectable sinks
+// (segstore.OpenOptions.Log, the server's Logf) that tests and embedders
+// control. Flagged: fmt.Print/Printf/Println, fmt.Fprint* aimed at
+// os.Stdout or os.Stderr, every printing function of package log
+// (Print*/Fatal*/Panic*/Output), and the built-in print/println.
+// Referencing log.Printf as a value (the documented nil-logger default) is
+// fine — only calls are flagged.
+var NoLogPrint = &Analyzer{
+	Name: "nologprint",
+	Doc:  "internal packages print only through injected loggers",
+	Run:  runNoLogPrint,
+}
+
+var logPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+	"Output": true,
+}
+
+func runNoLogPrint(p *Package) []Diagnostic {
+	if !p.Internal() {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      p.Fset.Position(n.Pos()),
+			Analyzer: "nologprint",
+			Message:  msg,
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+					report(call, fmt.Sprintf("built-in %s in an internal package: route output through the injected logger", b.Name()))
+					return true
+				}
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "fmt":
+				switch fn.Name() {
+				case "Print", "Printf", "Println":
+					report(call, fmt.Sprintf("fmt.%s in an internal package writes to stdout: route output through the injected logger", fn.Name()))
+				case "Fprint", "Fprintf", "Fprintln":
+					if std := stdStream(p, call); std != "" {
+						report(call, fmt.Sprintf("fmt.%s to os.%s in an internal package: route output through the injected logger", fn.Name(), std))
+					}
+				}
+			case "log":
+				if logPrintFuncs[fn.Name()] && isPackageLevel(fn) {
+					report(call, fmt.Sprintf("log.%s in an internal package uses the process-global logger: route output through the injected logger", fn.Name()))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// stdStream returns "Stdout"/"Stderr" when the call's first argument is the
+// corresponding os stream.
+func stdStream(p *Package, call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	sel, ok := unparen(call.Args[0]).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := p.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return ""
+	}
+	if obj.Name() == "Stdout" || obj.Name() == "Stderr" {
+		return obj.Name()
+	}
+	return ""
+}
+
+// isPackageLevel distinguishes log.Printf (package function) from
+// (*log.Logger).Printf (a method on an injected logger, which is fine).
+func isPackageLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

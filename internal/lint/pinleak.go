@@ -1,0 +1,518 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// PinLeak verifies that every buffer-pool pin is released on every path out
+// of the release function's scope. An acquisition is any call to a method
+// named AcquireBlock or Acquire whose results include exactly one func()
+// value — the release — optionally alongside an error (the pool returns a
+// nil release with a non-nil error, so paths guarded by "if err != nil" are
+// exempt). The release must be called or deferred before every return,
+// break, continue or fall-off-the-end of the statement list it is declared
+// in; storing, returning or passing the release transfers ownership and
+// ends local tracking.
+var PinLeak = &Analyzer{
+	Name: "pinleak",
+	Doc:  "every AcquireBlock/Pool.Acquire pin is released on all paths",
+	Run:  runPinLeak,
+}
+
+func runPinLeak(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				diags = append(diags, checkPinsInBody(p, body)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// acquireInfo describes one recognized pin acquisition statement.
+type acquireInfo struct {
+	assign  *ast.AssignStmt
+	callee  string       // "recv.AcquireBlock" for messages
+	release *ast.Ident   // LHS ident bound to the func() result; nil for _
+	errObj  types.Object // LHS error object, if the call also returns error
+}
+
+// checkPinsInBody finds acquisitions in one function body (not descending
+// into nested function literals — ast.Inspect visits those separately) and
+// path-checks each within its declaring statement list.
+func checkPinsInBody(p *Package, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	var walkStmts func(stmts []ast.Stmt)
+	var walkStmt func(s ast.Stmt)
+	walkStmts = func(stmts []ast.Stmt) {
+		for i, s := range stmts {
+			if as, ok := s.(*ast.AssignStmt); ok {
+				if acq := matchAcquire(p, as); acq != nil {
+					diags = append(diags, checkAcquire(p, body, acq, stmts[i+1:])...)
+				}
+			}
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			walkStmts(s.List)
+		case *ast.IfStmt:
+			walkStmt(s.Body)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *ast.ForStmt:
+			walkStmt(s.Body)
+		case *ast.RangeStmt:
+			walkStmt(s.Body)
+		case *ast.SwitchStmt:
+			walkStmt(s.Body)
+		case *ast.TypeSwitchStmt:
+			walkStmt(s.Body)
+		case *ast.SelectStmt:
+			walkStmt(s.Body)
+		case *ast.CaseClause:
+			walkStmts(s.Body)
+		case *ast.CommClause:
+			walkStmts(s.Body)
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt)
+		}
+	}
+	walkStmts(body.List)
+	return diags
+}
+
+// matchAcquire recognizes `a, release[, err] := x.AcquireBlock(...)` /
+// `x.Acquire(...)` assignment statements.
+func matchAcquire(p *Package, as *ast.AssignStmt) *acquireInfo {
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "AcquireBlock" && sel.Sel.Name != "Acquire") {
+		return nil
+	}
+	selection := p.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return nil
+	}
+	sig, ok := selection.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	releaseIdx, errIdx := -1, -1
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if fn, ok := t.Underlying().(*types.Signature); ok && fn.Params().Len() == 0 && fn.Results().Len() == 0 {
+			if releaseIdx >= 0 {
+				return nil // two func() results: not the pin idiom
+			}
+			releaseIdx = i
+		}
+		if isErrorType(t) {
+			errIdx = i
+		}
+	}
+	if releaseIdx < 0 || len(as.Lhs) != sig.Results().Len() {
+		return nil
+	}
+	acq := &acquireInfo{assign: as, callee: exprString(sel.X) + "." + sel.Sel.Name}
+	if id, ok := as.Lhs[releaseIdx].(*ast.Ident); ok && id.Name != "_" {
+		acq.release = id
+	}
+	if errIdx >= 0 {
+		if id, ok := as.Lhs[errIdx].(*ast.Ident); ok && id.Name != "_" {
+			acq.errObj = p.Info.Defs[id]
+			if acq.errObj == nil {
+				acq.errObj = p.Info.Uses[id]
+			}
+		}
+	}
+	return acq
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "expr"
+}
+
+// checkAcquire runs the path check for one acquisition over the statements
+// following it in its declaring list.
+func checkAcquire(p *Package, body *ast.BlockStmt, acq *acquireInfo, rest []ast.Stmt) []Diagnostic {
+	if acq.release == nil {
+		return []Diagnostic{{
+			Pos:      p.Fset.Position(acq.assign.Pos()),
+			Analyzer: "pinleak",
+			Message:  fmt.Sprintf("release function of %s discarded: the pin can never be released", acq.callee),
+		}}
+	}
+	relObj := p.Info.Defs[acq.release]
+	if relObj == nil {
+		relObj = p.Info.Uses[acq.release]
+	}
+	if relObj == nil || releaseEscapes(p, body, acq.release, relObj) {
+		// Returned, stored or passed on: ownership transfers to the
+		// consumer, whose own scope the analyzer checks separately.
+		return nil
+	}
+	w := &pinWalker{p: p, acq: acq, relObj: relObj}
+	rel, falls := w.seq(rest, false, false)
+	if falls && !rel {
+		w.reportAt(acq.assign, "declaring scope ends without calling release")
+	}
+	return w.diags
+}
+
+// releaseEscapes reports whether the release identifier is used anywhere in
+// the function other than being called.
+func releaseEscapes(p *Package, body *ast.BlockStmt, decl *ast.Ident, relObj types.Object) bool {
+	escaped := false
+	var parents []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			parents = parents[:len(parents)-1]
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id != decl && p.Info.Uses[id] == relObj {
+			calledDirectly := false
+			if len(parents) > 0 {
+				if call, ok := parents[len(parents)-1].(*ast.CallExpr); ok && call.Fun == id {
+					calledDirectly = true
+				}
+			}
+			if !calledDirectly {
+				escaped = true
+			}
+		}
+		parents = append(parents, n)
+		return true
+	})
+	return escaped
+}
+
+// pinWalker is the flow walker for one tracked release variable. It models
+// straight-line execution with branching: released is threaded through
+// statements; exits (return / loop branch) with released == false report.
+type pinWalker struct {
+	p        *Package
+	acq      *acquireInfo
+	relObj   types.Object
+	diags    []Diagnostic
+	reported bool
+}
+
+func (w *pinWalker) reportAt(pos ast.Node, what string) {
+	if w.reported {
+		return
+	}
+	w.reported = true
+	w.diags = append(w.diags, Diagnostic{
+		Pos:      w.p.Fset.Position(pos.Pos()),
+		Analyzer: "pinleak",
+		Message:  fmt.Sprintf("pin from %s leaks: %s", w.acq.callee, what),
+	})
+}
+
+// seq walks a statement list. released is the entry state; inSwitch marks
+// that an unlabeled break ends a switch/select rather than the enclosing
+// scope. It returns (released at the fall-through exit, whether control can
+// fall off the end).
+func (w *pinWalker) seq(stmts []ast.Stmt, released, inSwitch bool) (bool, bool) {
+	for _, s := range stmts {
+		var falls bool
+		released, falls = w.stmt(s, released, inSwitch)
+		if !falls {
+			return released, false
+		}
+	}
+	return released, true
+}
+
+// stmt walks one statement, returning (released after it, can control flow
+// continue past it).
+func (w *pinWalker) stmt(s ast.Stmt, released, inSwitch bool) (bool, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if w.isReleaseCall(s.X) {
+			return true, true
+		}
+		if isNoReturnCall(s.X) {
+			// panic/os.Exit unwind or terminate the program; the pool is
+			// torn down with the process, not leaked query-by-query.
+			return released, false
+		}
+		return released, true
+	case *ast.DeferStmt:
+		if id, ok := s.Call.Fun.(*ast.Ident); ok && w.uses(id) {
+			return true, true
+		}
+		return released, true
+	case *ast.ReturnStmt:
+		if !released {
+			w.reportAt(s, "return without release")
+		}
+		return released, false
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			if inSwitch && s.Label == nil {
+				// Jumps to just past the switch — the same place a clause
+				// falls to — so model it as clause fall-through. (The
+				// statements after the break are unreachable; walking them
+				// anyway is harmless.)
+				return released, true
+			}
+			if !released {
+				w.reportAt(s, "break out of scope without release")
+			}
+			return released, false
+		case "continue":
+			if !released {
+				w.reportAt(s, "continue without release")
+			}
+			return released, false
+		case "fallthrough":
+			return released, false
+		default: // goto: assume the label knows what it is doing
+			return released, false
+		}
+	case *ast.BlockStmt:
+		return w.seq(s.List, released, inSwitch)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, released, inSwitch)
+	case *ast.IfStmt:
+		if w.isErrGuard(s.Cond) {
+			// The error path carries a nil release by contract; only the
+			// else/fall-through path owns a live pin.
+			relThen, fallsThen := w.seqExempt(s.Body)
+			relElse, fallsElse := released, true
+			if s.Else != nil {
+				relElse, fallsElse = w.stmt(s.Else, released, inSwitch)
+			}
+			return mergeBranches(relThen, fallsThen, relElse, fallsElse)
+		}
+		relThen, fallsThen := w.stmt(s.Body, released, inSwitch)
+		relElse, fallsElse := released, true
+		if s.Else != nil {
+			relElse, fallsElse = w.stmt(s.Else, released, inSwitch)
+		}
+		return mergeBranches(relThen, fallsThen, relElse, fallsElse)
+	case *ast.SwitchStmt:
+		return w.clauses(clauseBodies(s.Body), hasDefaultClause(s.Body), released)
+	case *ast.TypeSwitchStmt:
+		return w.clauses(clauseBodies(s.Body), hasDefaultClause(s.Body), released)
+	case *ast.SelectStmt:
+		// A select with no default blocks until one clause runs, so there
+		// is no skip path; treat it as an exhaustive switch.
+		return w.clauses(clauseBodies(s.Body), true, released)
+	case *ast.ForStmt, *ast.RangeStmt:
+		// A nested loop executes zero or more times. If it mentions the
+		// release at all, trust it (path-sensitive modelling of loop
+		// trip counts is beyond a lint pass); otherwise it cannot change
+		// the state.
+		if w.mentionsRelease(s) {
+			return true, true
+		}
+		return released, true
+	case *ast.GoStmt:
+		if id, ok := s.Call.Fun.(*ast.Ident); ok && w.uses(id) {
+			return true, true
+		}
+		return released, true
+	default:
+		return released, true
+	}
+}
+
+// seqExempt walks an err-guarded branch: the pin does not exist there (the
+// pool returns a nil release alongside a non-nil error), so nothing can
+// leak; only whether control falls off the end matters.
+func (w *pinWalker) seqExempt(body *ast.BlockStmt) (bool, bool) {
+	return true, exemptFalls(body.List)
+}
+
+// exemptFalls computes whether control can fall off the end of an exempt
+// statement list.
+func exemptFalls(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return true
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return false
+	case *ast.ExprStmt:
+		if isNoReturnCall(last.X) {
+			return false
+		}
+	case *ast.BlockStmt:
+		return exemptFalls(last.List)
+	}
+	return true
+}
+
+func (w *pinWalker) clauses(bodies [][]ast.Stmt, exhaustive bool, released bool) (bool, bool) {
+	relOut, fallsOut := true, false
+	for _, b := range bodies {
+		rel, falls := w.seq(b, released, true)
+		if falls {
+			fallsOut = true
+			relOut = relOut && rel
+		}
+	}
+	if !exhaustive {
+		fallsOut = true
+		relOut = relOut && released
+	}
+	if !fallsOut {
+		return released, false
+	}
+	return relOut, true
+}
+
+func (w *pinWalker) uses(id *ast.Ident) bool {
+	return w.p.Info.Uses[id] == w.relObj
+}
+
+func (w *pinWalker) isReleaseCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && w.uses(id)
+}
+
+func (w *pinWalker) mentionsRelease(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && w.uses(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isErrGuard matches `err != nil` against the acquisition's error object.
+func (w *pinWalker) isErrGuard(cond ast.Expr) bool {
+	if w.acq.errObj == nil {
+		return false
+	}
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "!=" {
+		return false
+	}
+	isErr := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && (w.p.Info.Uses[id] == w.acq.errObj || w.p.Info.Defs[id] == w.acq.errObj)
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isErr(bin.X) && isNil(bin.Y)) || (isErr(bin.Y) && isNil(bin.X))
+}
+
+func mergeBranches(relThen bool, fallsThen bool, relElse bool, fallsElse bool) (bool, bool) {
+	if !fallsThen && !fallsElse {
+		return true, false
+	}
+	rel := true
+	if fallsThen {
+		rel = rel && relThen
+	}
+	if fallsElse {
+		rel = rel && relElse
+	}
+	return rel, true
+}
+
+func clauseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, s := range body.List {
+		switch c := s.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		switch c := s.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isNoReturnCall recognizes panic(...) and the handful of stdlib calls that
+// never return.
+func isNoReturnCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			if pkg.Name == "os" && fun.Sel.Name == "Exit" {
+				return true
+			}
+			if pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln") {
+				return true
+			}
+		}
+	}
+	return false
+}

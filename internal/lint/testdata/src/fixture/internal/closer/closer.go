@@ -1,0 +1,44 @@
+// Package closer exercises closeerr: a Close() returning exactly one error
+// must not be dropped as a bare statement in an internal package. Checking
+// the error, discarding it explicitly with "_ =", and defer are all
+// allowed, as are Close methods that return nothing (or more than an
+// error).
+package closer
+
+import "os"
+
+type noError struct{}
+
+// Close has no error result, so bare calls are fine.
+func (noError) Close() {}
+
+type multi struct{}
+
+// Close returns more than a single error, so the single-result rule does
+// not apply.
+func (multi) Close() (int, error) { return 0, nil }
+
+func bad(f *os.File) {
+	f.Close() // want "error from f.Close"
+}
+
+func goodChecked(f *os.File) error {
+	return f.Close()
+}
+
+func goodDiscarded(f *os.File) {
+	_ = f.Close()
+}
+
+func goodDeferred(f *os.File) error {
+	defer f.Close()
+	return nil
+}
+
+func goodNoError(c noError) {
+	c.Close()
+}
+
+func goodMulti(m multi) {
+	m.Close()
+}

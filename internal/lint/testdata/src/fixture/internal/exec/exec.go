@@ -1,0 +1,101 @@
+// Package exec exercises ctxloop: its import-path tail puts it in the
+// analyzer's scope, so every loop whose direct body acquires column blocks
+// must observe context cancellation. Metadata-only sweeps and outer loops
+// that never touch blocks themselves are exempt.
+package exec
+
+import "context"
+
+// Col mimics a column with per-block pin and gather operations.
+type Col struct{ n int }
+
+// NumBlocks returns the block count.
+func (c *Col) NumBlocks() int { return c.n }
+
+// AcquireBlock pins block i.
+func (c *Col) AcquireBlock(i int) (int32, func()) {
+	return int32(i), func() {}
+}
+
+// GatherBlock appends block i's values at the given positions.
+func (c *Col) GatherBlock(i int, dst []int32) []int32 {
+	return append(dst, int32(i))
+}
+
+// Min returns block i's zone-map minimum — metadata, no acquisition.
+func (c *Col) Min(i int) int32 { return int32(i) }
+
+func sumNoCheck(c *Col) int32 {
+	var total int32
+	for i := 0; i < c.NumBlocks(); i++ { // want "block loop without a cancellation check"
+		v, release := c.AcquireBlock(i)
+		total += v
+		release()
+	}
+	return total
+}
+
+func gatherNoCheck(c *Col, dst []int32) []int32 {
+	for i := 0; i < c.NumBlocks(); i++ { // want "block loop without a cancellation check"
+		dst = c.GatherBlock(i, dst)
+	}
+	return dst
+}
+
+func sumErrChecked(ctx context.Context, c *Col) int32 {
+	var total int32
+	for i := 0; i < c.NumBlocks(); i++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		v, release := c.AcquireBlock(i)
+		total += v
+		release()
+	}
+	return total
+}
+
+func sumDoneChecked(ctx context.Context, c *Col) int32 {
+	var total int32
+	for i := 0; i < c.NumBlocks(); i++ {
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		v, release := c.AcquireBlock(i)
+		total += v
+		release()
+	}
+	return total
+}
+
+// maxMeta sweeps zone-map metadata only: no block is acquired, so the loop
+// is free and exempt.
+func maxMeta(c *Col) int32 {
+	var max int32
+	for i := 0; i < c.NumBlocks(); i++ {
+		if m := c.Min(i); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// nestedInner puts the cancellation check in the outer loop only: the outer
+// loop never acquires directly (nested loops are judged independently), so
+// the inner block loop is the one that must check — and is flagged.
+func nestedInner(ctx context.Context, c *Col) int32 {
+	var total int32
+	for pass := 0; pass < 2; pass++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		for i := 0; i < c.NumBlocks(); i++ { // want "block loop without a cancellation check"
+			v, release := c.AcquireBlock(i)
+			total += v
+			release()
+		}
+	}
+	return total
+}

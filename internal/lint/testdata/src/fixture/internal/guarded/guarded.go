@@ -1,0 +1,56 @@
+// Package guarded exercises guardedby: a field annotated "guarded by mu"
+// may only be accessed in functions that lock that mutex somewhere in their
+// body or declare "holds mu" in their doc comment. The check is
+// flow-insensitive by design — it catches helpers that reach into guarded
+// state with no locking anywhere.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// drain returns and clears the count. holds mu.
+func (c *counter) drain() int {
+	v := c.n
+	c.n = 0
+	return v
+}
+
+func (c *counter) badRead() int {
+	return c.n // want "n is guarded by mu"
+}
+
+type rw struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (r *rw) get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+func (r *rw) badPut(k string, v int) {
+	r.m[k] = v // want "m is guarded by mu"
+}
+
+type typo struct {
+	mu sync.Mutex
+	n  int // guarded by mux -- want "guarded-by annotation names"
+}
+
+func (t *typo) read() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}

@@ -1,0 +1,31 @@
+// Package iosim mirrors the real module's I/O counter block just closely
+// enough for statsdiscipline to key on it: a type named Stats in a package
+// whose import-path tail is "iosim". Plain field writes are legal here —
+// this package owns the type — but sync/atomic calls on a plain Stats field
+// are flagged even here, because mixing one atomic access with the
+// package's plain writes is a data race by construction.
+package iosim
+
+import "sync/atomic"
+
+// Stats is the fixture twin of the real iosim.Stats.
+type Stats struct {
+	BytesRead int64
+	Seeks     int64
+}
+
+// Read charges n payload bytes.
+func (s *Stats) Read(n int64) {
+	s.BytesRead += n
+}
+
+// Add folds o into s.
+func (s *Stats) Add(o *Stats) {
+	s.BytesRead += o.BytesRead
+	s.Seeks += o.Seeks
+}
+
+// badAtomic mixes an atomic access into the plain-field contract.
+func (s *Stats) badAtomic(n int64) {
+	atomic.AddInt64(&s.BytesRead, n) // want "sync/atomic access to iosim.Stats field BytesRead"
+}

@@ -1,0 +1,42 @@
+// Package logging exercises nologprint: internal packages never print to
+// stdout/stderr or the process-global logger directly. Injected sinks —
+// a stored logf func, a *log.Logger method, an io.Writer destination — are
+// the sanctioned output paths, and referencing log.Printf as a value (the
+// documented nil-logger default) is fine because only calls are flagged.
+package logging
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+type sink struct {
+	logf func(format string, args ...any)
+	l    *log.Logger
+}
+
+func bad(v int) {
+	fmt.Println("v", v)             // want "fmt.Println in an internal package writes to stdout"
+	fmt.Printf("%d", v)             // want "fmt.Printf in an internal package writes to stdout"
+	fmt.Fprintf(os.Stderr, "%d", v) // want "fmt.Fprintf to os.Stderr"
+	fmt.Fprintln(os.Stdout, v)      // want "fmt.Fprintln to os.Stdout"
+	log.Printf("v=%d", v)           // want "log.Printf in an internal package uses the process-global logger"
+	println(v)                      // want "built-in println"
+}
+
+func good(s *sink, w io.Writer, v int) {
+	s.logf("v=%d", v)
+	s.l.Printf("v=%d", v)
+	fmt.Fprintf(w, "%d", v)
+	_, _ = fmt.Fprintln(w, v)
+	msg := fmt.Sprintf("v=%d", v) // formatting without printing is free
+	_ = msg
+}
+
+// defaultSink returns the documented nil-logger default: a value reference
+// to log.Printf, not a call.
+func defaultSink() func(string, ...any) {
+	return log.Printf
+}

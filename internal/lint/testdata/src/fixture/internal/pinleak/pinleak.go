@@ -1,0 +1,141 @@
+// Package pinleak exercises the pinleak analyzer: every path out of a
+// release function's declaring scope must call (or defer) it, except
+// err-guarded paths — the pool contract returns a nil release alongside a
+// non-nil error — and escapes, which transfer ownership to the consumer.
+package pinleak
+
+import "errors"
+
+// Pool mimics the segstore buffer pool's pin contract: Acquire returns a
+// release func alongside an error, and a non-nil error carries a nil
+// release.
+type Pool struct{}
+
+// Acquire pins the segment for k.
+func (p *Pool) Acquire(k int) (int32, func(), error) {
+	if k < 0 {
+		return 0, nil, errors.New("bad key")
+	}
+	return int32(k), func() {}, nil
+}
+
+// Col mimics the colstore per-block pin: no error result.
+type Col struct{ n int }
+
+// NumBlocks returns the block count.
+func (c *Col) NumBlocks() int { return c.n }
+
+// AcquireBlock pins block i.
+func (c *Col) AcquireBlock(i int) (int32, func()) {
+	return int32(i), func() {}
+}
+
+func leakOnReturn(p *Pool) int32 {
+	blk, release, err := p.Acquire(1)
+	if err != nil {
+		return 0
+	}
+	if blk > 10 {
+		return blk // want "return without release"
+	}
+	release()
+	return 0
+}
+
+func leakDiscarded(p *Pool) {
+	_, _, err := p.Acquire(1) // want "release function of p.Acquire discarded"
+	_ = err
+}
+
+func leakScopeEnd(p *Pool, cond bool) {
+	blk, release, err := p.Acquire(2) // want "declaring scope ends without calling release"
+	_ = blk
+	_ = err
+	if cond {
+		release()
+	}
+}
+
+func leakContinue(p *Pool, n int) {
+	for i := 0; i < n; i++ {
+		blk, release, err := p.Acquire(i)
+		if err != nil {
+			continue
+		}
+		if blk < 0 {
+			continue // want "continue without release"
+		}
+		release()
+	}
+}
+
+func leakBreak(c *Col) int32 {
+	var total int32
+	for i := 0; i < c.NumBlocks(); i++ {
+		v, release := c.AcquireBlock(i)
+		if v == 0 {
+			break // want "break out of scope without release"
+		}
+		total += v
+		release()
+	}
+	return total
+}
+
+func releaseEveryPath(p *Pool) (int32, error) {
+	blk, release, err := p.Acquire(3)
+	if err != nil {
+		return 0, err
+	}
+	if blk > 10 {
+		release()
+		return blk, nil
+	}
+	release()
+	return 0, nil
+}
+
+func deferredRelease(p *Pool) (int32, error) {
+	blk, release, err := p.Acquire(4)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return blk, nil
+}
+
+type pinHolder struct {
+	rel func()
+}
+
+// storeTransfersOwnership parks the release in a struct: the consumer owns
+// the pin now, so local path-checking ends at the store.
+func storeTransfersOwnership(p *Pool, h *pinHolder) error {
+	_, release, err := p.Acquire(5)
+	if err != nil {
+		return err
+	}
+	h.rel = release
+	return nil
+}
+
+func switchReleases(c *Col, mode int) int32 {
+	v, release := c.AcquireBlock(mode)
+	switch mode {
+	case 0:
+		release()
+		return v
+	default:
+		release()
+	}
+	return 0
+}
+
+func panicIsNotALeak(c *Col) int32 {
+	v, release := c.AcquireBlock(1)
+	if v < 0 {
+		panic("negative block value")
+	}
+	release()
+	return v
+}

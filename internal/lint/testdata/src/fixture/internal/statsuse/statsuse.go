@@ -1,0 +1,24 @@
+// Package statsuse exercises statsdiscipline outside internal/iosim: every
+// direct mutation of an iosim.Stats value — field write, increment,
+// whole-struct store through a pointer, address-of-field — is flagged; the
+// Stats methods and Add are the only sanctioned write paths.
+package statsuse
+
+import "fixture/internal/iosim"
+
+func bad(st *iosim.Stats, n int64) {
+	st.BytesRead = n    // want "direct write to iosim.Stats field BytesRead"
+	st.BytesRead += n   // want "direct write to iosim.Stats field BytesRead"
+	st.Seeks++          // want "direct increment of iosim.Stats field Seeks"
+	*st = iosim.Stats{} // want "whole-struct write through a .iosim.Stats"
+	_ = &st.BytesRead   // want "address of iosim.Stats field BytesRead"
+}
+
+func good(st, other *iosim.Stats, n int64) {
+	st.Read(n)
+	st.Add(other)
+	snapshot := *st // reading a copy never mutates the owner's value
+	_ = snapshot
+	total := st.BytesRead + st.Seeks // plain reads are free
+	_ = total
+}

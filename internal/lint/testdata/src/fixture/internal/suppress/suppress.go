@@ -1,0 +1,32 @@
+// Package suppress exercises the //lint:ignore machinery: a directive on
+// the diagnostic's line (trailing form) or the line above (standalone form)
+// suppresses the named analyzers only, the reason is mandatory, and a
+// directive naming a different analyzer suppresses nothing.
+package suppress
+
+import "os"
+
+func trailing(f *os.File) {
+	f.Close() //lint:ignore closeerr cleanup path whose error is already decided
+}
+
+func above(f *os.File) {
+	//lint:ignore closeerr cleanup path whose error is already decided
+	f.Close()
+}
+
+func multiName(f *os.File) {
+	//lint:ignore closeerr,pinleak a comma list covers several analyzers
+	f.Close()
+}
+
+func wrongName(f *os.File) {
+	//lint:ignore pinleak the directive names a different analyzer
+	f.Close() // want "error from f.Close"
+}
+
+func reasonless(f *os.File) {
+	// want+1 "malformed lint:ignore directive"
+	//lint:ignore closeerr
+	f.Close() // want "error from f.Close"
+}

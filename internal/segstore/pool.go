@@ -83,13 +83,13 @@ type frame struct {
 // wait on the frame's ready channel.
 type Pool struct {
 	mu      sync.Mutex
-	budget  int64 // <= 0 means unbounded
-	used    int64
-	logical int64 // decoded size of resident frames (reporting only)
-	frames  map[SegKey]*frame
-	ring    []*frame // clock order
-	hand    int
-	stats   PoolStats
+	budget  int64             // <= 0 means unbounded; immutable after NewPool
+	used    int64             // guarded by mu
+	logical int64             // guarded by mu; decoded size of resident frames (reporting only)
+	frames  map[SegKey]*frame // guarded by mu
+	ring    []*frame          // guarded by mu; clock order
+	hand    int               // guarded by mu
+	stats   PoolStats         // guarded by mu
 	fetch   fetchFunc
 }
 
@@ -179,7 +179,7 @@ func (p *Pool) unpin(f *frame) {
 // evictLocked runs the clock hand until the pool fits its budget or a full
 // double sweep finds nothing evictable (everything pinned). First pass over
 // a referenced frame clears its reference bit; second pass evicts it —
-// standard second-chance.
+// standard second-chance. holds mu.
 func (p *Pool) evictLocked() {
 	if p.budget <= 0 {
 		return
@@ -213,6 +213,7 @@ func (p *Pool) evictLocked() {
 }
 
 // removeLocked detaches f from the map and the clock ring (swap-remove).
+// holds mu.
 func (p *Pool) removeLocked(f *frame) {
 	delete(p.frames, f.key)
 	for i, g := range p.ring {

@@ -102,11 +102,12 @@ func OpenWith(path string, opts OpenOptions) (*Store, error) {
 	}
 	logf := opts.Log
 	if logf == nil {
+		//lint:ignore nologprint this closure IS the injectable logger's documented default sink
 		logf = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 	}
 	s, err := open(f, path, opts.MemBudget, writable, logf)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	s.writable = writable

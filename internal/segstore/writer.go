@@ -82,7 +82,7 @@ func Save(path string, sf float64, tables []*colstore.Table) error {
 		return err
 	}
 	if err := Write(f, sf, tables); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return err
 	}

@@ -14,9 +14,9 @@ import (
 // comes, and the byte cap guarantees the admitted set fits.
 type byteSem struct {
 	mu      sync.Mutex
-	cap     int64
-	used    int64
-	waiters []*semWaiter
+	cap     int64        // immutable after newByteSem
+	used    int64        // guarded by mu
+	waiters []*semWaiter // guarded by mu
 }
 
 // semWaiter is one queued acquire; ready is closed when the grant happens.
@@ -87,7 +87,7 @@ func (s *byteSem) release(n int64) {
 
 // grantLocked admits waiters in FIFO order while they fit. An idle
 // semaphore always grants its head (clamping makes n <= cap, so this is
-// the used == 0 case), guaranteeing progress.
+// the used == 0 case), guaranteeing progress. holds mu.
 func (s *byteSem) grantLocked() {
 	for len(s.waiters) > 0 {
 		w := s.waiters[0]

@@ -16,11 +16,11 @@ import (
 // treated as read-only by everyone downstream.
 type resultCache struct {
 	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	cap   int                      // immutable after newResultCache
+	ll    *list.List               // guarded by mu; front = most recently used
+	items map[string]*list.Element // guarded by mu
 
-	hits, misses int64
+	hits, misses int64 // guarded by mu
 }
 
 // cacheEntry is one cached result plus the stats of the run that produced

@@ -348,26 +348,29 @@ var ErrClosed = errors.New("wal: closed")
 type Log struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	f    *os.File
+	f    *os.File // guarded by mu (sync leaders copy it out under the lock)
 	path string
 	opts Options
-	enc  []byte
+	enc  []byte // guarded by mu; reused frame-encoding buffer
 
-	nextLSN    uint64
-	writtenLSN uint64
-	durableLSN uint64
-	syncing    bool
-	unsynced   int64
+	nextLSN    uint64 // guarded by mu
+	writtenLSN uint64 // guarded by mu
+	durableLSN uint64 // guarded by mu
+	syncing    bool   // guarded by mu
+	unsynced   int64  // guarded by mu
 	bigWrite   chan struct{}
-	err        error
+	err        error // guarded by mu
 
+	// guarded by mu
 	appends, commits, syncs, rewrites, replayed, tornBytes, bytes int64
 }
 
 // Open opens (creating if absent) the log at path and replays it: every
 // intact record in order, stopping at the first torn or corrupt frame and
 // truncating the file there. The returned records are the durable history
-// the caller must reduce into its in-memory state.
+// the caller must reduce into its in-memory state. holds mu vacuously: the
+// Log is unpublished until Open returns, so this goroutine has exclusive
+// access without locking.
 func Open(path string, opts Options) (*Log, []Record, error) {
 	if opts.FlushBytes <= 0 {
 		opts.FlushBytes = 1 << 20
@@ -378,7 +381,7 @@ func Open(path string, opts Options) (*Log, []Record, error) {
 	}
 	data, err := io.ReadAll(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	l := &Log{f: f, path: path, opts: opts, bigWrite: make(chan struct{}, 1)}
@@ -387,19 +390,19 @@ func Open(path string, opts Options) (*Log, []Record, error) {
 		// New log, or a crash before the header became durable (nothing
 		// was ever acked from it) — start fresh.
 		if err := f.Truncate(0); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		if _, err := f.WriteAt([]byte(magic), 0); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		if _, err := f.Seek(int64(len(magic)), io.SeekStart); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		l.bytes = int64(len(magic))
@@ -407,7 +410,7 @@ func Open(path string, opts Options) (*Log, []Record, error) {
 		return l, nil, nil
 	}
 	if string(data[:len(magic)]) != magic {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, fmt.Errorf("wal: %s is not a WAL file", path)
 	}
 	var recs []Record
@@ -427,16 +430,16 @@ func Open(path string, opts Options) (*Log, []Record, error) {
 	if good < len(data) {
 		l.tornBytes = int64(len(data) - good)
 		if err := f.Truncate(int64(good)); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 	}
 	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	l.bytes = int64(good)
@@ -529,8 +532,7 @@ func (l *Log) Commit(lsn uint64) error {
 	return err
 }
 
-// fail latches the first error; the log is unusable afterwards. Called with
-// l.mu held.
+// fail latches the first error; the log is unusable afterwards. holds mu.
 func (l *Log) fail(err error) {
 	if l.err == nil {
 		l.err = err
@@ -571,13 +573,15 @@ func (l *Log) Rewrite(recs []Record) error {
 		err = os.Rename(tmp, l.path)
 	}
 	if err != nil {
-		nf.Close()
+		_ = nf.Close()
 		os.Remove(tmp)
 		l.fail(err)
 		return err
 	}
 	syncDir(filepath.Dir(l.path))
-	l.f.Close()
+	// The old file was just renamed over; its descriptor's close verdict
+	// cannot affect anything durable.
+	_ = l.f.Close()
 	l.f = nf
 	l.enc = buf[:0]
 	l.nextLSN = next
@@ -598,8 +602,8 @@ func syncDir(dir string) {
 	if err != nil {
 		return
 	}
-	d.Sync()
-	d.Close()
+	_ = d.Sync()
+	_ = d.Close()
 }
 
 // Sync forces an immediate fsync of everything written so far, outside any
