@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchSchema versions the -json artifact. v2 is the normalized shape: one
+// flat measurement list across every figure, so a single differ covers the
+// whole bench surface (the v1 artifact was kernels-only with a bespoke
+// schema).
+const benchSchema = "ssb-bench/v2"
+
+// measurement is one (figure, system, query, metric) cell. Better says
+// which direction is an improvement — "lower" for latencies and byte
+// counts, "higher" for throughput — so the differ knows which tail of the
+// tolerance band is a regression.
+type measurement struct {
+	Figure string  `json:"figure"`
+	System string  `json:"system"`
+	Query  string  `json:"query,omitempty"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Better string  `json:"better"`
+}
+
+// key identifies the cell across runs.
+func (m *measurement) key() string {
+	return m.Figure + "|" + m.System + "|" + m.Query + "|" + m.Metric
+}
+
+// benchArtifact is the machine-readable result of one ssb-bench run,
+// written by -json and consumed by -baseline.
+type benchArtifact struct {
+	Schema       string        `json:"schema"`
+	SF           float64       `json:"sf"`
+	Figures      []string      `json:"figures"`
+	Measurements []measurement `json:"measurements"`
+}
+
+// collector accumulates measurements as figures run. Figures execute
+// sequentially, so no locking.
+var collector benchArtifact
+
+// record adds one cell to the run's artifact.
+func record(figure, system, query, metric string, value float64, better string) {
+	collector.Measurements = append(collector.Measurements,
+		measurement{Figure: figure, System: system, Query: query, Metric: metric, Value: value, Better: better})
+}
+
+// recordFigure notes that a figure ran (artifact readers can tell an empty
+// figure from one that never executed).
+func recordFigure(name string) {
+	for _, f := range collector.Figures {
+		if f == name {
+			return
+		}
+	}
+	collector.Figures = append(collector.Figures, name)
+}
+
+// writeArtifact serializes the run's collected measurements.
+func writeArtifact(path string, sf float64) error {
+	collector.Schema = benchSchema
+	collector.SF = sf
+	buf, err := json.MarshalIndent(&collector, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// readArtifact loads a baseline artifact.
+func readArtifact(path string) (*benchArtifact, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a benchArtifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q (regenerate the baseline with this binary)", path, a.Schema, benchSchema)
+	}
+	return &a, nil
+}
+
+// metricFloor is the absolute change below which a cell is never a
+// regression, whatever the ratio says: sub-floor cells are dominated by
+// timer granularity and scheduler noise (a 0.3ms query "regressing" to
+// 0.5ms is a 66% ratio and zero signal).
+func metricFloor(metric string) float64 {
+	switch metric {
+	case "total_s", "cpu_s", "io_s":
+		return 0.01 // seconds of modeled/measured time
+	case "cpu_ns":
+		return 2e6 // 2ms of measured CPU
+	case "decoded_bytes", "appended_bytes":
+		return 1 << 20
+	case "mean_ms", "p95_ms", "flush_ms":
+		return 0.5
+	case "qps", "rows_per_s":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// regression is one cell that moved past the tolerance band in the wrong
+// direction.
+type regression struct {
+	key       string
+	base, cur float64
+	ratio     float64 // cur/base for lower-better, base/cur for higher-better
+	better    string
+	regressed bool // past tolerance in the bad direction
+	missing   bool // in the baseline but not the current run
+	firstSeen bool // in the current run but not the baseline
+}
+
+// compareArtifacts diffs cur against base cell by cell. tol is the allowed
+// fractional slowdown: tol 0.15 fails a lower-better cell when
+// cur > base*1.15 (and the absolute change clears the metric's noise
+// floor). Cells present on only one side are reported but never fail the
+// gate — figure sets legitimately differ between runs.
+func compareArtifacts(base, cur *benchArtifact, tol float64) []regression {
+	baseByKey := map[string]*measurement{}
+	for i := range base.Measurements {
+		m := &base.Measurements[i]
+		baseByKey[m.key()] = m
+	}
+	curKeys := map[string]bool{}
+	var out []regression
+	for i := range cur.Measurements {
+		m := &cur.Measurements[i]
+		curKeys[m.key()] = true
+		b, ok := baseByKey[m.key()]
+		if !ok {
+			out = append(out, regression{key: m.key(), cur: m.Value, firstSeen: true})
+			continue
+		}
+		r := regression{key: m.key(), base: b.Value, cur: m.Value, better: m.Better}
+		switch m.Better {
+		case "higher":
+			if m.Value > 0 {
+				r.ratio = b.Value / m.Value
+			}
+			r.regressed = b.Value-m.Value > metricFloor(m.Metric) && m.Value < b.Value/(1+tol)
+		default: // "lower"
+			if b.Value > 0 {
+				r.ratio = m.Value / b.Value
+			}
+			r.regressed = m.Value-b.Value > metricFloor(m.Metric) && m.Value > b.Value*(1+tol)
+		}
+		out = append(out, r)
+	}
+	for k, b := range baseByKey {
+		if !curKeys[k] {
+			out = append(out, regression{key: k, base: b.Value, missing: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// reportBaseline prints the diff and returns the number of regressions.
+func reportBaseline(base, cur *benchArtifact, tol float64) int {
+	if base.SF != cur.SF {
+		fmt.Printf("\nWARNING: baseline SF=%g vs current SF=%g — ratios compare different workloads\n", base.SF, cur.SF)
+	}
+	diffs := compareArtifacts(base, cur, tol)
+	regressions, compared, onlyOne := 0, 0, 0
+	fmt.Printf("\n## Baseline comparison (tolerance %.0f%%)\n", tol*100)
+	for _, d := range diffs {
+		switch {
+		case d.missing:
+			onlyOne++
+		case d.firstSeen:
+			onlyOne++
+		default:
+			compared++
+			if d.regressed {
+				regressions++
+				fmt.Printf("REGRESSION %-60s base %.4g -> cur %.4g (%.2fx)\n", d.key, d.base, d.cur, d.ratio)
+			}
+		}
+	}
+	fmt.Printf("%d cells compared, %d regressions, %d present in only one artifact\n",
+		compared, regressions, onlyOne)
+	if regressions == 0 && compared > 0 {
+		fmt.Println("no regressions past tolerance")
+	}
+	if compared == 0 {
+		// A baseline that shares no cells with the run is almost certainly
+		// the wrong file or the wrong figure set — fail loudly rather than
+		// "passing" an empty comparison.
+		fmt.Println("ERROR: no comparable cells between baseline and current run")
+		return 1
+	}
+	return regressions
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func art(ms ...measurement) *benchArtifact {
+	return &benchArtifact{Schema: benchSchema, SF: 0.01, Measurements: ms}
+}
+
+func m(fig, sys, q, metric string, v float64, better string) measurement {
+	return measurement{Figure: fig, System: sys, Query: q, Metric: metric, Value: v, Better: better}
+}
+
+// TestCompareSelf: an artifact diffed against itself must show zero
+// regressions — this is the exact invariant the CI perf gate relies on
+// (modulo run-to-run noise, which tolerance absorbs).
+func TestCompareSelf(t *testing.T) {
+	a := art(
+		m("5", "C-Store", "1.1", "total_s", 1.25, "lower"),
+		m("serve", "unbounded/4c", "", "qps", 900, "higher"),
+		m("kernels", "fused (kernels)", "1.1", "cpu_ns", 5e7, "lower"),
+	)
+	for _, d := range compareArtifacts(a, a, 0.15) {
+		if d.regressed || d.missing || d.firstSeen {
+			t.Fatalf("self-compare flagged %s: %+v", d.key, d)
+		}
+	}
+	if n := reportBaseline(a, a, 0.15); n != 0 {
+		t.Fatalf("self-compare regressions = %d, want 0", n)
+	}
+}
+
+// TestCompareDetectsSlowdown: a seeded 2x slowdown on a lower-better metric
+// and a halved higher-better metric must both fail the gate.
+func TestCompareDetectsSlowdown(t *testing.T) {
+	base := art(
+		m("5", "C-Store", "1.1", "total_s", 1.0, "lower"),
+		m("serve", "unbounded/4c", "", "qps", 1000, "higher"),
+	)
+	cur := art(
+		m("5", "C-Store", "1.1", "total_s", 2.0, "lower"),
+		m("serve", "unbounded/4c", "", "qps", 500, "higher"),
+	)
+	diffs := compareArtifacts(base, cur, 0.15)
+	if len(diffs) != 2 {
+		t.Fatalf("got %d diffs, want 2", len(diffs))
+	}
+	for _, d := range diffs {
+		if !d.regressed {
+			t.Errorf("%s not flagged (base %g cur %g)", d.key, d.base, d.cur)
+		}
+		if d.ratio < 1.9 || d.ratio > 2.1 {
+			t.Errorf("%s ratio %.2f, want ~2.0", d.key, d.ratio)
+		}
+	}
+	if n := reportBaseline(base, cur, 0.15); n != 2 {
+		t.Fatalf("reportBaseline = %d, want 2", n)
+	}
+}
+
+// TestCompareIgnoresImprovements: faster / higher-throughput runs never
+// fail, whatever the magnitude.
+func TestCompareIgnoresImprovements(t *testing.T) {
+	base := art(
+		m("5", "C-Store", "1.1", "total_s", 2.0, "lower"),
+		m("serve", "unbounded/4c", "", "qps", 500, "higher"),
+	)
+	cur := art(
+		m("5", "C-Store", "1.1", "total_s", 0.5, "lower"),
+		m("serve", "unbounded/4c", "", "qps", 2000, "higher"),
+	)
+	if n := reportBaseline(base, cur, 0.15); n != 0 {
+		t.Fatalf("improvements flagged as %d regressions", n)
+	}
+}
+
+// TestCompareNoiseFloor: a huge *ratio* on a tiny absolute change stays
+// green — 0.3ms -> 0.5ms on a total_s cell is timer noise, not a
+// regression — while the same ratio above the floor fails.
+func TestCompareNoiseFloor(t *testing.T) {
+	base := art(m("5", "C-Store", "1.1", "total_s", 0.0003, "lower"))
+	cur := art(m("5", "C-Store", "1.1", "total_s", 0.0005, "lower"))
+	if n := reportBaseline(base, cur, 0.15); n != 0 {
+		t.Fatalf("sub-floor change flagged (%d regressions)", n)
+	}
+	base = art(m("5", "C-Store", "1.1", "total_s", 0.3, "lower"))
+	cur = art(m("5", "C-Store", "1.1", "total_s", 0.5, "lower"))
+	if n := reportBaseline(base, cur, 0.15); n != 1 {
+		t.Fatalf("above-floor change not flagged (%d regressions)", n)
+	}
+}
+
+// TestCompareDisjointCells: cells present on only one side are reported
+// but never fail; a baseline sharing nothing with the run errors instead
+// of passing vacuously.
+func TestCompareDisjointCells(t *testing.T) {
+	base := art(
+		m("5", "C-Store", "1.1", "total_s", 1.0, "lower"),
+		m("6", "C-Store", "2.1", "total_s", 1.0, "lower"), // gone in cur
+	)
+	cur := art(
+		m("5", "C-Store", "1.1", "total_s", 1.0, "lower"),
+		m("7", "C-Store", "3.1", "total_s", 1.0, "lower"), // new in cur
+	)
+	diffs := compareArtifacts(base, cur, 0.15)
+	var missing, firstSeen int
+	for _, d := range diffs {
+		if d.missing {
+			missing++
+		}
+		if d.firstSeen {
+			firstSeen++
+		}
+	}
+	if missing != 1 || firstSeen != 1 {
+		t.Fatalf("missing=%d firstSeen=%d, want 1/1", missing, firstSeen)
+	}
+	if n := reportBaseline(base, cur, 0.15); n != 0 {
+		t.Fatalf("one-sided cells failed the gate (%d)", n)
+	}
+
+	// Fully disjoint: a wrong baseline file must fail loudly, not pass an
+	// empty comparison.
+	onlyBase := art(m("6", "C-Store", "2.1", "total_s", 1.0, "lower"))
+	onlyCur := art(m("7", "C-Store", "3.1", "total_s", 1.0, "lower"))
+	if n := reportBaseline(onlyBase, onlyCur, 0.15); n == 0 {
+		t.Fatal("zero comparable cells passed the gate")
+	}
+}
+
+// TestArtifactRoundTrip: writeArtifact -> readArtifact preserves every
+// cell, and readArtifact rejects a foreign schema.
+func TestArtifactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+
+	saved := collector
+	defer func() { collector = saved }()
+	collector = benchArtifact{}
+	recordFigure("5")
+	recordFigure("5") // dedup
+	record("5", "C-Store", "1.1", "total_s", 1.25, "lower")
+	record("serve", "unbounded/4c", "", "qps", 900, "higher")
+	if err := writeArtifact(path, 0.01); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := readArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != benchSchema || got.SF != 0.01 {
+		t.Fatalf("header %q sf=%g", got.Schema, got.SF)
+	}
+	if len(got.Figures) != 1 || got.Figures[0] != "5" {
+		t.Fatalf("figures %v, want [5]", got.Figures)
+	}
+	if len(got.Measurements) != 2 || got.Measurements[0].key() != "5|C-Store|1.1|total_s" {
+		t.Fatalf("measurements %+v", got.Measurements)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"ssb-bench/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readArtifact(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema mismatch not rejected: %v", err)
+	}
+}

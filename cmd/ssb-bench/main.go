@@ -30,7 +30,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -59,7 +58,10 @@ var (
 	verify    = flag.Bool("verify", false, "verify every cell against the reference (slow)")
 	csvOut    = flag.Bool("csv", false, "emit figures as CSV instead of aligned tables")
 	figureID  = flag.String("figure", "all", "which experiment to run: 5, 6, 7, 8, sizes, projections, conclusion, partition, fused, kernels, segstore, all")
-	jsonPath  = flag.String("json", "", "also write the kernels figure's measurements to this file as JSON (machine-readable CI artifact)")
+	jsonPath  = flag.String("json", "", "write every figure's measurements to this file as a normalized ssb-bench/v2 JSON artifact")
+	baseline  = flag.String("baseline", "", "compare this run's measurements against a previous -json artifact")
+	check     = flag.Bool("check", false, "with -baseline: exit nonzero when any cell regressed past -tolerance")
+	tolerance = flag.Float64("tolerance", 0.15, "allowed fractional slowdown vs -baseline before a cell counts as a regression")
 )
 
 // segServable marks the figures a segment-store -data file can serve: only
@@ -97,7 +99,7 @@ func main() {
 				// denormalized figures; run what it can instead of dying
 				// on the first raw-dataset config.
 				fmt.Println("\n(segment-store -data file: raw-dataset figures skipped; running fused + segstore)")
-				runFigure(db, "Extension: fused morsel-parallel pipeline (see PERFORMANCE.md)", fusedRows(db))
+				runFigure(db, "fused", "Extension: fused morsel-parallel pipeline (see PERFORMANCE.md)", fusedRows(db))
 				runSegstore(db)
 				ran = true
 				continue
@@ -107,23 +109,23 @@ func main() {
 		}
 		switch f {
 		case "5":
-			runFigure(db, "Figure 5: baseline comparison", figure5Rows(db))
+			runFigure(db, "5", "Figure 5: baseline comparison", figure5Rows(db))
 		case "6":
-			runFigure(db, "Figure 6: row-store physical designs", figure6Rows(db))
+			runFigure(db, "6", "Figure 6: row-store physical designs", figure6Rows(db))
 		case "7":
-			runFigure(db, "Figure 7: C-Store optimization ablation", figure7Rows(db))
+			runFigure(db, "7", "Figure 7: C-Store optimization ablation", figure7Rows(db))
 		case "8":
-			runFigure(db, "Figure 8: denormalization", figure8Rows(db))
+			runFigure(db, "8", "Figure 8: denormalization", figure8Rows(db))
 		case "sizes":
 			runSizes(db)
 		case "projections":
-			runFigure(db, "Extension: redundant fact projections (paper Section 5.1)", projectionRows(db))
+			runFigure(db, "projections", "Extension: redundant fact projections (paper Section 5.1)", projectionRows(db))
 		case "conclusion":
-			runFigure(db, "Extension: super-tuple row-store simulation (paper Section 7)", conclusionRows(db))
+			runFigure(db, "conclusion", "Extension: super-tuple row-store simulation (paper Section 7)", conclusionRows(db))
 		case "partition":
 			runPartition(db)
 		case "fused":
-			runFigure(db, "Extension: fused morsel-parallel pipeline (see PERFORMANCE.md)", fusedRows(db))
+			runFigure(db, "fused", "Extension: fused morsel-parallel pipeline (see PERFORMANCE.md)", fusedRows(db))
 		case "kernels":
 			runKernels(db)
 		case "segstore":
@@ -133,13 +135,13 @@ func main() {
 		case "ingest":
 			runIngest(db)
 		case "all":
-			runFigure(db, "Figure 5: baseline comparison", figure5Rows(db))
-			runFigure(db, "Figure 6: row-store physical designs", figure6Rows(db))
-			runFigure(db, "Figure 7: C-Store optimization ablation", figure7Rows(db))
-			runFigure(db, "Figure 8: denormalization", figure8Rows(db))
-			runFigure(db, "Extension: redundant fact projections (paper Section 5.1)", projectionRows(db))
-			runFigure(db, "Extension: super-tuple row-store simulation (paper Section 7)", conclusionRows(db))
-			runFigure(db, "Extension: fused morsel-parallel pipeline (see PERFORMANCE.md)", fusedRows(db))
+			runFigure(db, "5", "Figure 5: baseline comparison", figure5Rows(db))
+			runFigure(db, "6", "Figure 6: row-store physical designs", figure6Rows(db))
+			runFigure(db, "7", "Figure 7: C-Store optimization ablation", figure7Rows(db))
+			runFigure(db, "8", "Figure 8: denormalization", figure8Rows(db))
+			runFigure(db, "projections", "Extension: redundant fact projections (paper Section 5.1)", projectionRows(db))
+			runFigure(db, "conclusion", "Extension: super-tuple row-store simulation (paper Section 7)", conclusionRows(db))
+			runFigure(db, "fused", "Extension: fused morsel-parallel pipeline (see PERFORMANCE.md)", fusedRows(db))
 			runSizes(db)
 			runPartition(db)
 		default:
@@ -150,6 +152,26 @@ func main() {
 	}
 	if !ran {
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		if err := writeArtifact(*jsonPath, db.SF); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n(wrote %s: %d measurements across %v)\n", *jsonPath, len(collector.Measurements), collector.Figures)
+	}
+	if *baseline != "" {
+		base, err := readArtifact(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		collector.Schema = benchSchema
+		collector.SF = db.SF
+		regressions := reportBaseline(base, &collector, *tolerance)
+		if *check && regressions > 0 {
+			os.Exit(1)
+		}
 	}
 }
 
@@ -218,7 +240,7 @@ func fusedRows(db *core.DB) []row {
 	}
 }
 
-func runFigure(db *core.DB, title string, rows []row) {
+func runFigure(db *core.DB, figKey, title string, rows []row) {
 	queries := ssb.Queries()
 	fmt.Printf("\n## %s\n", title)
 	if *csvOut {
@@ -258,6 +280,7 @@ func runFigure(db *core.DB, title string, rows []row) {
 		}
 	}
 
+	recordFigure(figKey)
 	total := map[string][]float64{}
 	cpu := map[string][]float64{}
 	ioSec := map[string][]float64{}
@@ -283,6 +306,8 @@ func runFigure(db *core.DB, title string, rows []row) {
 			total[r.label] = append(total[r.label], best.Total.Seconds())
 			cpu[r.label] = append(cpu[r.label], best.Wall.Seconds())
 			ioSec[r.label] = append(ioSec[r.label], best.IOTime.Seconds())
+			record(figKey, r.label, q.ID, "total_s", best.Total.Seconds(), "lower")
+			record(figKey, r.label, q.ID, "cpu_s", best.Wall.Seconds(), "lower")
 		}
 	}
 	print("", total)
@@ -374,6 +399,7 @@ func runSegstore(db *core.DB) {
 	}
 	fmt.Println(header + fmt.Sprintf("%10s", "disk MB") + fmt.Sprintf("%8s", "miss") + fmt.Sprintf("%8s", "evict"))
 
+	recordFigure("segstore")
 	pass := func(label string) {
 		start := st.Pool().Stats()
 		line := fmt.Sprintf("%-26s", label)
@@ -389,6 +415,7 @@ func runSegstore(db *core.DB) {
 			phys.Read(after.IO.BytesRead - before.IO.BytesRead)
 			phys.AddSeeks(after.IO.Seeks - before.IO.Seeks)
 			cell := stats.Wall.Seconds() + segDB.Disk.Time(phys).Seconds()
+			record("segstore", label, q.ID, "total_s", cell, "lower")
 			line += fmt.Sprintf("%8.3f", cell)
 		}
 		end := st.Pool().Stats()
@@ -407,9 +434,11 @@ func runSegstore(db *core.DB) {
 	for _, frac := range []float64{0, 1, 0.5, 0.25, 0.1, 0.05} {
 		budget := int64(0)
 		label := "unbounded"
+		sysKey := "sweep unbounded" // stable across SFs (label embeds a byte count)
 		if frac > 0 {
 			budget = int64(float64(decoded) * frac)
 			label = fmt.Sprintf("%.0f%% (%0.1fMB)", frac*100, float64(budget)/1e6)
+			sysKey = fmt.Sprintf("sweep %.0f%%", frac*100)
 		}
 		sweepDB, err := core.OpenSegmentStore(st.Path(), budget)
 		if err != nil {
@@ -428,29 +457,12 @@ func runSegstore(db *core.DB) {
 		}
 		ps := sp.Stats()
 		total += sweepDB.Disk.Time(ps.IO).Seconds()
+		record("segstore", sysKey, "", "total_s", total, "lower")
 		fmt.Printf("%-12s%12.3f%12.1f%12d%12d%12.1f\n", label, total,
 			float64(ps.BytesRead)/1e6, ps.Misses, ps.Evictions, float64(ps.Peak)/1e6)
 		sweepDB.SegmentStore().Close()
 	}
 	fmt.Printf("\n(budget %% is of the %0.1f MB decoded dataset; every run computes identical results)\n", float64(decoded)/1e6)
-}
-
-// kernelsJSON is the machine-readable shape of the -figure kernels run
-// (written to -json for CI artifacts).
-type kernelsJSON struct {
-	SF      float64             `json:"sf"`
-	Queries []string            `json:"queries"`
-	Engines []kernelsEngineJSON `json:"engines"`
-}
-
-type kernelsEngineJSON struct {
-	Engine string `json:"engine"`
-	// CPUNs / DecodedBytes are per-query, index-aligned with Queries.
-	KernelsCPUNs          []int64 `json:"kernels_cpu_ns"`
-	KernelsDecodedBytes   []int64 `json:"kernels_decoded_bytes"`
-	NoKernelsCPUNs        []int64 `json:"nokernels_cpu_ns"`
-	NoKernelsDecodedBytes []int64 `json:"nokernels_decoded_bytes"`
-	DecodedBytesAvoided   int64   `json:"decoded_bytes_avoided"`
 }
 
 // runKernels measures the Section 5 "operate on compressed data" ablation
@@ -532,58 +544,42 @@ func runKernels(db *core.DB) {
 	}
 
 	fmt.Printf("\n## Extension: aggregation on compressed blocks (kernels on vs off, flight 1)\n")
+	recordFigure("kernels")
 	header := fmt.Sprintf("%-22s", "")
-	out := kernelsJSON{SF: db.SF}
 	for _, q := range plans {
-		out.Queries = append(out.Queries, q.ID)
 		header += fmt.Sprintf("%12s", q.ID)
 	}
 	fmt.Println(header + fmt.Sprintf("%14s", "decoded MB"))
 	for _, e := range engines {
-		ej := kernelsEngineJSON{Engine: e.label}
 		rows := [2]string{
 			fmt.Sprintf("%-22s", e.label+" (kernels)"),
 			fmt.Sprintf("%-22s", e.label+" (-nk)"),
 		}
 		var totalDec [2]int64
+		var avoided int64
 		for _, q := range plans {
 			onNs, offNs, onDec, offDec := measureAB(q, e.on, e.off)
 			rows[0] += fmt.Sprintf("%10.2fms", float64(onNs)/1e6)
 			rows[1] += fmt.Sprintf("%10.2fms", float64(offNs)/1e6)
 			totalDec[0] += onDec
 			totalDec[1] += offDec
-			ej.KernelsCPUNs = append(ej.KernelsCPUNs, onNs)
-			ej.KernelsDecodedBytes = append(ej.KernelsDecodedBytes, onDec)
-			ej.NoKernelsCPUNs = append(ej.NoKernelsCPUNs, offNs)
-			ej.NoKernelsDecodedBytes = append(ej.NoKernelsDecodedBytes, offDec)
+			avoided += offDec - onDec
+			record("kernels", e.label+" (kernels)", q.ID, "cpu_ns", float64(onNs), "lower")
+			record("kernels", e.label+" (kernels)", q.ID, "decoded_bytes", float64(onDec), "lower")
+			record("kernels", e.label+" (-nk)", q.ID, "cpu_ns", float64(offNs), "lower")
+			record("kernels", e.label+" (-nk)", q.ID, "decoded_bytes", float64(offDec), "lower")
 		}
 		for mi := range rows {
 			rows[mi] += fmt.Sprintf("%14.1f", float64(totalDec[mi])/1e6)
 		}
 		fmt.Println(rows[0])
 		fmt.Println(rows[1])
-		for i := range plans {
-			ej.DecodedBytesAvoided += ej.NoKernelsDecodedBytes[i] - ej.KernelsDecodedBytes[i]
-		}
-		fmt.Printf("%-22s  decoded bytes avoided: %.2f MB\n", "", float64(ej.DecodedBytesAvoided)/1e6)
-		out.Engines = append(out.Engines, ej)
+		fmt.Printf("%-22s  decoded bytes avoided: %.2f MB\n", "", float64(avoided)/1e6)
 	}
 	fmt.Println("\n(decoded MB = bytes materialized to raw 4 B values across the six runs;")
 	fmt.Println(" QxΣrev is Qx's predicates with single-measure SUM(revenue) — the plans the")
 	fmt.Println(" fold kernel serves without materializing; results are pinned bit-identical")
 	fmt.Println(" across modes by TestDifferential)")
-
-	if *jsonPath != "" {
-		buf, err := json.MarshalIndent(out, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("(wrote %s)\n", *jsonPath)
-	}
 }
 
 // budgetLabel renders a pool budget.
@@ -642,7 +638,14 @@ func serveFigure(db *core.DB) error {
 	fmt.Printf("%-18s%10s%12s%12s%12s%12s%10s\n",
 		"budget", "clients", "qps", "mean ms", "p95 ms", "disk MB", "evict")
 
-	for _, budget := range []int64{int64(float64(decoded) * 0.05), 0} {
+	recordFigure("serve")
+	for bi, budget := range []int64{int64(float64(decoded) * 0.05), 0} {
+		// Stable artifact key per cell: budgetLabel embeds an SF-dependent
+		// byte count, so the committed baseline would never match it.
+		budgetKey := "5% budget"
+		if bi == 1 {
+			budgetKey = "unbounded"
+		}
 		for _, clients := range []int{1, 2, 4, 8, 16} {
 			sdb, err := core.OpenSegmentStore(path, budget)
 			if err != nil {
@@ -704,6 +707,10 @@ func serveFigure(db *core.DB) error {
 			}
 			mean := sum / time.Duration(len(lats))
 			p95 := lats[len(lats)*95/100]
+			sys := fmt.Sprintf("%s/%dc", budgetKey, clients)
+			record("serve", sys, "", "qps", float64(len(lats))/wall.Seconds(), "higher")
+			record("serve", sys, "", "mean_ms", float64(mean.Microseconds())/1e3, "lower")
+			record("serve", sys, "", "p95_ms", float64(p95.Microseconds())/1e3, "lower")
 			fmt.Printf("%-18s%10d%12.1f%12.3f%12.3f%12.1f%10d\n",
 				budgetLabel(budget), clients,
 				float64(len(lats))/wall.Seconds(),
@@ -719,6 +726,7 @@ func serveFigure(db *core.DB) error {
 // traditional design with and without orderdate-year pruning.
 func runPartition(db *core.DB) {
 	fmt.Println("\n## Partitioning ablation (paper Section 6.1: ~2x on average)")
+	recordFigure("partition")
 	queries := ssb.Queries()
 	fmt.Printf("%-10s %12s %12s %8s\n", "query", "part (s)", "nopart (s)", "ratio")
 	sumP, sumN := 0.0, 0.0
@@ -734,6 +742,8 @@ func runPartition(db *core.DB) {
 			os.Exit(1)
 		}
 		p, np := withP.Total.Seconds(), noP.Total.Seconds()
+		record("partition", "partitioned", q.ID, "total_s", p, "lower")
+		record("partition", "unpartitioned", q.ID, "total_s", np, "lower")
 		sumP += p
 		sumN += np
 		fmt.Printf("%-10s %12.3f %12.3f %8.2f\n", q.ID, p, np, np/p)
@@ -807,6 +817,7 @@ func ingestFigure(db *core.DB) error {
 	fmt.Printf("%-10s%12s%12s%14s%12s%14s%12s\n",
 		"streams", "mean ms", "p95 ms", "ins rows/s", "compacts", "appended MB", "flush ms")
 
+	recordFigure("ingest")
 	for _, streams := range []int{0, 1, 4} {
 		if err := ingestCell(streams, srcPath); err != nil {
 			return err
@@ -914,6 +925,13 @@ func ingestCell(streams int, srcPath string) error {
 	}
 	mean := sum / time.Duration(len(lats))
 	p95 := lats[len(lats)*95/100]
+	sys := fmt.Sprintf("%d streams", streams)
+	record("ingest", sys, "", "mean_ms", float64(mean.Microseconds())/1e3, "lower")
+	record("ingest", sys, "", "p95_ms", float64(p95.Microseconds())/1e3, "lower")
+	record("ingest", sys, "", "flush_ms", float64(flushDur.Microseconds())/1e3, "lower")
+	if streams > 0 {
+		record("ingest", sys, "", "rows_per_s", float64(inserted)/elapsed.Seconds(), "higher")
+	}
 	fmt.Printf("%-10d%12.3f%12.3f%14.0f%12d%14.2f%12.1f\n",
 		streams,
 		float64(mean.Microseconds())/1e3, float64(p95.Microseconds())/1e3,

@@ -76,6 +76,7 @@ func main() {
 	walWindowMS := flag.Float64("wal-window-ms", 1, "group-commit window in milliseconds (0 = fsync per commit)")
 	slowMS := flag.Float64("slow-ms", 0, "log a compact trace line for queries slower than this many milliseconds (0 disables)")
 	accessLog := flag.Bool("access-log", false, "log one line per HTTP request (method, path, query selector, status, wait, latency)")
+	debugAddr := flag.String("debug-addr", "", "opt-in debug listener (pprof + /debug/queries + /debug/summary + /metrics/history) on a separate address, e.g. 127.0.0.1:6060")
 	flag.Parse()
 	if *walPath != "" && !*ingest {
 		fmt.Fprintln(os.Stderr, "-wal requires -ingest")
@@ -133,6 +134,20 @@ func main() {
 		return
 	}
 
+	var ds *http.Server
+	if *debugAddr != "" {
+		// The debug surface gets its own listener so profiling and
+		// debug-scrape traffic never competes with queries on the serving
+		// port, and so operators can bind it loopback-only.
+		ds = &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			if err := ds.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug listener: http://%s/debug/pprof/\n", *debugAddr)
+	}
+
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	drained := make(chan struct{})
 	go func() {
@@ -143,6 +158,9 @@ func main() {
 		fmt.Println("\nshutting down...")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if ds != nil {
+			ds.Shutdown(ctx)
+		}
 		hs.Shutdown(ctx)
 	}()
 
@@ -267,6 +285,10 @@ func goldenSelfTest(db *core.DB, srv *server.Server, goldenPath string, n int, i
 		return fmt.Errorf("/metrics: %w", err)
 	}
 	fmt.Println("/metrics scrape: parseable, required families present")
+	if err := checkDebugSurface(base, 13*n); err != nil {
+		return fmt.Errorf("debug surface: %w", err)
+	}
+	fmt.Println("/debug/queries, /debug/summary, /metrics/history: consistent with the suite that just ran")
 
 	var inserted int64
 	if ingest {
@@ -414,6 +436,87 @@ func checkMetrics(base string) error {
 			values[`ssb_query_duration_seconds_bucket{le="+Inf"}`], values["ssb_query_duration_seconds_count"])
 	}
 	return nil
+}
+
+// checkDebugSurface validates the flight-recorder and metrics-history
+// endpoints against the golden suite that just ran: the recorder retains
+// records in newest-first order, the summary's windowed counts cover the
+// suite, and a forced history sample carries the query counter.
+func checkDebugSurface(base string, ran int) error {
+	var dq struct {
+		Count   int `json:"count"`
+		Queries []struct {
+			Seq    int64  `json:"seq"`
+			Query  string `json:"query"`
+			Engine string `json:"engine"`
+			ExecNs int64  `json:"exec_ns"`
+		} `json:"queries"`
+	}
+	if err := getJSON(base+"/debug/queries?n=20", &dq); err != nil {
+		return fmt.Errorf("/debug/queries: %w", err)
+	}
+	if dq.Count == 0 || dq.Count != len(dq.Queries) {
+		return fmt.Errorf("/debug/queries: count %d vs %d records", dq.Count, len(dq.Queries))
+	}
+	for i, q := range dq.Queries {
+		if q.Query == "" || q.Engine == "" || q.ExecNs <= 0 {
+			return fmt.Errorf("/debug/queries: degenerate record %d: %+v", i, q)
+		}
+		if i > 0 && q.Seq >= dq.Queries[i-1].Seq {
+			return fmt.Errorf("/debug/queries: records not newest-first at %d", i)
+		}
+	}
+	var sum struct {
+		Count int   `json:"count"`
+		Runs  int   `json:"runs"`
+		P50Ns int64 `json:"p50_ns"`
+		P99Ns int64 `json:"p99_ns"`
+	}
+	if err := getJSON(base+"/debug/summary?window=600", &sum); err != nil {
+		return fmt.Errorf("/debug/summary: %w", err)
+	}
+	if sum.Count < ran || sum.Runs < ran {
+		return fmt.Errorf("/debug/summary: count=%d runs=%d after %d golden executions", sum.Count, sum.Runs, ran)
+	}
+	if sum.P50Ns <= 0 || sum.P99Ns < sum.P50Ns {
+		return fmt.Errorf("/debug/summary: p50=%d p99=%d", sum.P50Ns, sum.P99Ns)
+	}
+	var hist struct {
+		Samples []struct {
+			UnixNano int64              `json:"unix_nano"`
+			Values   map[string]float64 `json:"values"`
+		} `json:"samples"`
+		Rates map[string]float64 `json:"rates"`
+		Types map[string]string  `json:"types"`
+	}
+	if err := getJSON(base+"/metrics/history?sample=1", &hist); err != nil {
+		return fmt.Errorf("/metrics/history: %w", err)
+	}
+	if len(hist.Samples) == 0 {
+		return fmt.Errorf("/metrics/history: no samples after sample=1")
+	}
+	newest := hist.Samples[len(hist.Samples)-1]
+	if newest.Values["ssb_queries_total"] < float64(ran) {
+		return fmt.Errorf("/metrics/history: sampled ssb_queries_total %g after %d executions",
+			newest.Values["ssb_queries_total"], ran)
+	}
+	if hist.Types["ssb_queries_total"] != "counter" {
+		return fmt.Errorf("/metrics/history: ssb_queries_total typed %q", hist.Types["ssb_queries_total"])
+	}
+	return nil
+}
+
+// getJSON fetches u and decodes the JSON body into out.
+func getJSON(u string, out any) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // countStar fetches select count(*) over HTTP.

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/ssb"
+)
+
+// TestFixtureRender pins the dashboard layout against canned endpoint
+// payloads: every section the ISSUE promises (qps, percentiles, pool,
+// recent queries) must appear, rendered through the injected writer.
+func TestFixtureRender(t *testing.T) {
+	mux := http.NewServeMux()
+	serve := func(path, body string) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(body))
+		})
+	}
+	serve("/stats", `{"server":{"uptime_seconds":125.5,"goroutines":12,"queries":5000,"errors":2,
+		"in_flight":3,"cache_hits":1200,"cache_misses":3800,"cache_entries":256,
+		"admit_waits":7,"admit_rejects":1,"admit_bytes":268435456,
+		"delta":{"pending_rows":640,"pending_bytes":20480},"wal":{"syncs":42}},
+		"pool":{"budget":1048576,"hits":90000,"misses":10000,"evictions":500,
+		"resident":524288,"resident_logical":2097152,"pinned_frames":2}}`)
+	serve("/debug/summary", `{"window_ns":60000000000,"count":900,"errors":1,"cache_hits":100,"runs":799,
+		"p50_ns":1500000,"p95_ns":9000000,"p99_ns":30000000,
+		"groups":[{"engine":"fused","flight":"1","count":500,"runs":500,
+		"p50_ns":1200000,"p95_ns":8000000,"p99_ns":25000000,"max_ns":31000000},
+		{"engine":"cache","flight":"2","count":100,"cache_hits":100}]}`)
+	serve("/metrics/history", `{"samples":[{"unix_nano":1,"values":{"ssb_queries_total":4000}},
+		{"unix_nano":2000000001,"values":{"ssb_queries_total":4085}}],
+		"rates":{"ssb_queries_total":42.5,"ssb_query_errors_total":0.5,"ssb_wal_fsyncs_total":21},
+		"types":{"ssb_queries_total":"counter"}}`)
+	serve("/debug/queries", `{"count":3,"queries":[
+		{"seq":3,"query":"3.2","engine":"cache","cached":true},
+		{"seq":2,"query":"1.1","engine":"fused","wait_ns":2000,"exec_ns":1500000},
+		{"seq":1,"query":"4.1","engine":"fused","error":"context canceled","exec_ns":90000}]}`)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := &client{base: ts.URL, http: ts.Client()}
+	snap, err := c.fetch(10, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	render(&buf, ts.URL, snap)
+	out := buf.String()
+
+	for _, want := range []string{
+		"up 2m05s", "goroutines 12", "in-flight 3",
+		"qps 42.5", "wal fsync/s 21",
+		"total 5000", "24% hit",
+		"512.0KB / 1.0MB resident", "90.0% hit", "pinned 2",
+		"ws pending 640 rows", "wal syncs 42",
+		"900 queries (799 runs, 100 cached, 1 errors)",
+		"p50 1.50ms", "p99 30.00ms",
+		"fused", "flight", // the engine×flight table
+		"1.1", "cached", "ERR context canceled",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered dashboard lacks %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Fatal("render emitted ANSI control sequences (screen control belongs to live mode only)")
+	}
+}
+
+// TestAgainstRealServer is the end-to-end -once path: a live server.Server
+// handles real queries, then one fetch+render must succeed and reflect
+// the traffic. This is exactly what CI's `ssb-top -once` smoke exercises.
+func TestAgainstRealServer(t *testing.T) {
+	db := core.OpenData(ssb.Generate(0.01))
+	srv, err := server.New(db, server.Options{HistoryInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, id := range []string{"1.1", "2.2", "1.1"} {
+		resp, err := ts.Client().Get(ts.URL + "/query?id=" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %s: status %d", id, resp.StatusCode)
+		}
+	}
+
+	c := &client{base: ts.URL, http: ts.Client()}
+	snap, err := c.fetch(5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	render(&buf, ts.URL, snap)
+	out := buf.String()
+	for _, want := range []string{"total 3", "cached", "fused"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard against live server lacks %q\n%s", want, out)
+		}
+	}
+	if snap.stats.Server.Goroutines < 2 || snap.stats.Server.UptimeSeconds <= 0 {
+		t.Fatalf("liveness basics: %+v", snap.stats.Server)
+	}
+}

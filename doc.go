@@ -115,6 +115,20 @@
 // and latency histograms as Prometheus text from a dependency-free
 // registry.
 //
+// The serving layer keeps a flight recorder on top of that: every query —
+// engine run, cache hit, admission reject — is appended to a bounded
+// in-memory ring (obs.Recorder) with its plan, engine, epoch, wait/exec
+// wall time and stage rollup, served newest-first at /debug/queries with
+// windowed per-engine×flight percentiles at /debug/summary; a second ring
+// (obs.History) samples the metrics registry on a cadence and serves
+// deltas and per-second rates at /metrics/history. ssb-serve -debug-addr
+// starts an opt-in listener carrying net/http/pprof plus the same debug
+// endpoints, cmd/ssb-top renders the whole read path as a terminal
+// dashboard (live, or -once for CI), and cmd/ssb-bench -json writes a
+// normalized measurement artifact that -baseline/-check diffs against a
+// committed baseline so CI fails on performance regressions past
+// tolerance.
+//
 // The repository checks its own invariants statically: cmd/ssb-lint
 // (internal/lint) type-checks the whole module with nothing beyond the
 // standard library's go/parser and go/types — module-internal imports from

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"testing"
+	"time"
 
 	"repro/internal/iosim"
 	"repro/internal/obs"
@@ -199,6 +200,33 @@ func BenchmarkTraceOverhead(b *testing.B) {
 			if _, err := db.RunCtx(obs.WithTrace(context.Background(), tr), q, FusedOpt, &st); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+	// traced+recorded is the always-on serving path: trace attached AND the
+	// flight recorder fed a QueryRecord per run. The recorder adds one
+	// mutex-guarded ring write over "traced" — the budget is <5%.
+	b.Run("traced+recorded", func(b *testing.B) {
+		rec := obs.NewRecorder(512)
+		for i := 0; i < b.N; i++ {
+			var st iosim.Stats
+			tr := &obs.Trace{}
+			t0 := time.Now()
+			if _, err := db.RunCtx(obs.WithTrace(context.Background(), tr), q, FusedOpt, &st); err != nil {
+				b.Fatal(err)
+			}
+			rec.Record(obs.QueryRecord{
+				UnixNano: t0.UnixNano(),
+				Query:    tr.Query,
+				Engine:   tr.Engine,
+				Config:   tr.Config,
+				Workers:  tr.Workers,
+				Epoch:    tr.Epoch,
+				ExecNs:   int64(time.Since(t0)),
+				Totals:   tr.Totals(),
+			})
+		}
+		if rec.Len() == 0 {
+			b.Fatal("recorder stayed empty")
 		}
 	})
 }

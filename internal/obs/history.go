@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// SamplePoint is one scrape-time reading of a registered family. Histograms
+// contribute two points — <name>_count and <name>_sum, both monotone and
+// therefore typed "counter" — so rate math over a histogram's observation
+// count needs no special casing.
+type SamplePoint struct {
+	Name  string  `json:"name"`
+	Type  string  `json:"type"` // "counter" | "gauge"
+	Value float64 `json:"value"`
+}
+
+// Sample reads every registered family once, in registration order. It is
+// the programmatic twin of WritePrometheus: the same callbacks, read at
+// call time.
+func (r *Registry) Sample() []SamplePoint {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+
+	out := make([]SamplePoint, 0, len(fams)+2)
+	for _, f := range fams {
+		switch f.typ {
+		case "counter", "gauge":
+			out = append(out, SamplePoint{Name: f.name, Type: f.typ, Value: float64(f.intFn())})
+		case "histogram":
+			out = append(out,
+				SamplePoint{Name: f.name + "_count", Type: "counter", Value: float64(f.hist.Count())},
+				SamplePoint{Name: f.name + "_sum", Type: "counter", Value: math.Float64frombits(f.hist.sumBits.Load())})
+		}
+	}
+	return out
+}
+
+// HistorySample is one timestamped reading of the whole registry.
+type HistorySample struct {
+	UnixNano int64              `json:"unix_nano"`
+	Values   map[string]float64 `json:"values"`
+}
+
+// History is the metrics-history snapshotter: it samples a Registry into a
+// fixed-capacity ring on demand (Sample) or on a cadence (Start), so rate
+// questions — qps, fsync rate, eviction rate — are answerable from the
+// server itself without an external scraper retaining state. All methods
+// are safe for concurrent use.
+type History struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	buf   []HistorySample   // guarded by mu; ring storage
+	next  int               // guarded by mu
+	n     int               // guarded by mu
+	types map[string]string // guarded by mu; series name -> counter|gauge
+
+	stopOnce sync.Once
+	started  bool // guarded by mu; set once by Start
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewHistory returns a history ring over reg keeping capacity samples
+// (minimum 2 — rates need two points).
+func NewHistory(reg *Registry, capacity int) *History {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &History{
+		reg:   reg,
+		buf:   make([]HistorySample, capacity),
+		types: map[string]string{},
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Sample takes one reading of the registry, stamped with the caller's
+// clock (tests pass synthetic times; Start passes time.Now).
+func (h *History) Sample(nowUnixNano int64) {
+	pts := h.reg.Sample()
+	values := make(map[string]float64, len(pts))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range pts {
+		values[p.Name] = p.Value
+		h.types[p.Name] = p.Type
+	}
+	h.buf[h.next] = HistorySample{UnixNano: nowUnixNano, Values: values}
+	h.next = (h.next + 1) % len(h.buf)
+	if h.n < len(h.buf) {
+		h.n++
+	}
+}
+
+// Len returns the number of live samples.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Snapshot returns up to n samples oldest-first (n <= 0 means all). The
+// slice and its maps are shared snapshots — treat them as read-only.
+func (h *History) Snapshot(n int) []HistorySample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if n <= 0 || n > h.n {
+		n = h.n
+	}
+	out := make([]HistorySample, 0, n)
+	for i := n; i >= 1; i-- {
+		out = append(out, h.buf[(h.next-i+len(h.buf))%len(h.buf)])
+	}
+	return out
+}
+
+// SeriesType returns "counter" or "gauge" for a sampled series name, ""
+// if the series has never been sampled.
+func (h *History) SeriesType(name string) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.types[name]
+}
+
+// Rates computes per-second rates for every counter series between the two
+// newest samples. Empty when fewer than two samples exist or no time
+// passed. A counter that moved backwards (a reset) contributes zero rather
+// than a negative rate.
+func (h *History) Rates() map[string]float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n < 2 {
+		return nil
+	}
+	last := h.buf[(h.next-1+len(h.buf))%len(h.buf)]
+	prev := h.buf[(h.next-2+len(h.buf))%len(h.buf)]
+	dt := float64(last.UnixNano-prev.UnixNano) / float64(time.Second)
+	if dt <= 0 {
+		return nil
+	}
+	rates := make(map[string]float64, len(last.Values))
+	for name, v := range last.Values {
+		if h.types[name] != "counter" {
+			continue
+		}
+		d := v - prev.Values[name]
+		if d < 0 {
+			d = 0
+		}
+		rates[name] = d / dt
+	}
+	return rates
+}
+
+// Start samples immediately and then every interval until Stop is called.
+// Start may be called at most once.
+func (h *History) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	h.mu.Lock()
+	if h.started {
+		h.mu.Unlock()
+		panic("obs: History.Start called twice")
+	}
+	h.started = true
+	h.mu.Unlock()
+	h.Sample(time.Now().UnixNano())
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case now := <-t.C:
+				h.Sample(now.UnixNano())
+			}
+		}
+	}()
+}
+
+// Stop halts the sampling goroutine started by Start and waits for it to
+// exit. Safe to call multiple times, and safe (a no-op beyond closing the
+// stop channel) if Start never ran.
+func (h *History) Stop() {
+	h.stopOnce.Do(func() {
+		close(h.stop)
+		h.mu.Lock()
+		started := h.started
+		h.mu.Unlock()
+		if started {
+			<-h.done
+		}
+	})
+}

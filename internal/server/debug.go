@@ -1,0 +1,130 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// debugQueriesResponse is the JSON shape of /debug/queries: the newest
+// records first, straight from the flight recorder.
+type debugQueriesResponse struct {
+	Count   int               `json:"count"`
+	Queries []obs.QueryRecord `json:"queries"`
+}
+
+// handleDebugQueries serves the flight recorder's ring: GET
+// /debug/queries?n= returns the newest n records (default 50, n<=0 or
+// larger than the ring means everything retained).
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	n := 50
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad n: "+err.Error())
+			return
+		}
+		n = parsed
+	}
+	recs := s.recorder.Snapshot(n)
+	writeJSON(w, http.StatusOK, debugQueriesResponse{Count: len(recs), Queries: recs})
+}
+
+// handleDebugSummary serves the windowed engine×flight percentile rollup:
+// GET /debug/summary?window= takes the lookback in seconds (default 60,
+// 0 means the whole ring).
+func (s *Server) handleDebugSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	window := 60.0
+	if v := r.URL.Query().Get("window"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil || parsed < 0 {
+			httpError(w, http.StatusBadRequest, "bad window (seconds)")
+			return
+		}
+		window = parsed
+	}
+	sum := s.recorder.Summary(time.Now().UnixNano(), int64(window*float64(time.Second)))
+	writeJSON(w, http.StatusOK, sum)
+}
+
+// historyResponse is the JSON shape of /metrics/history: the sample ring
+// oldest-first, per-second rates over the newest pair of samples, and each
+// series' type so clients know which values rate math applies to.
+type historyResponse struct {
+	Samples []obs.HistorySample `json:"samples"`
+	Rates   map[string]float64  `json:"rates"`
+	Types   map[string]string   `json:"types"`
+}
+
+// handleMetricsHistory serves the metrics-history ring: GET
+// /metrics/history?n=&sample=1. n bounds the samples returned (default
+// all); sample=1 takes a fresh sample first, so a poller (ssb-top, CI)
+// gets current rates even when the background cadence is long or off.
+func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad n: "+err.Error())
+			return
+		}
+		n = parsed
+	}
+	if v := r.URL.Query().Get("sample"); v == "1" || v == "true" {
+		s.history.Sample(time.Now().UnixNano())
+	}
+	samples := s.history.Snapshot(n)
+	types := make(map[string]string, len(samples))
+	if len(samples) > 0 {
+		for name := range samples[len(samples)-1].Values {
+			types[name] = s.history.SeriesType(name)
+		}
+	}
+	rates := s.history.Rates()
+	if rates == nil {
+		rates = map[string]float64{}
+	}
+	writeJSON(w, http.StatusOK, historyResponse{Samples: samples, Rates: rates, Types: types})
+}
+
+// registerDebug adds the observability read endpoints to mux. They are on
+// the serving mux (ssb-top polls the serving port) and on the optional
+// debug listener.
+func (s *Server) registerDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("/debug/summary", s.handleDebugSummary)
+	mux.HandleFunc("/metrics/history", s.handleMetricsHistory)
+}
+
+// DebugHandler returns the opt-in debug surface for a separate listener
+// (ssb-serve's -debug-addr): pprof plus the same observability read
+// endpoints the serving mux carries — so profiling traffic never competes
+// with queries on the serving port, and a firewall can fence the debug
+// port off wholesale.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.registerDebug(mux)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}

@@ -192,10 +192,11 @@ type poolStats struct {
 }
 
 // Handler returns the HTTP API: POST or GET /query (id= | sql= | seed=,
-// plus trace=1 for a per-stage execution trace), GET /stats, and GET
-// /metrics (Prometheus text exposition). Request contexts propagate into
-// execution, so a client that disconnects cancels its query at the next
-// block boundary.
+// plus trace=1 for a per-stage execution trace), GET /stats, GET /metrics
+// (Prometheus text exposition), and the observability read endpoints
+// /debug/queries, /debug/summary, and /metrics/history (debug.go). Request
+// contexts propagate into execution, so a client that disconnects cancels
+// its query at the next block boundary.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
@@ -203,6 +204,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.registerDebug(mux)
 	if s.accessLog {
 		return s.withAccessLog(mux)
 	}

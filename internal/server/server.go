@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +93,19 @@ type Options struct {
 	AccessLog bool
 	// Logf receives slow-query and access-log lines; nil means log.Printf.
 	Logf func(format string, args ...any)
+	// RecorderEntries caps the flight recorder's ring (last N completed
+	// queries, served at /debug/queries). 0 means 512; negative keeps the
+	// minimum of 1. The recorder is always on — its cost is one mutex
+	// acquisition and one struct copy per query.
+	RecorderEntries int
+	// HistoryEntries caps the metrics-history ring (periodic registry
+	// samples served at /metrics/history). 0 means 360 — an hour at the
+	// default cadence.
+	HistoryEntries int
+	// HistoryInterval is the metrics-history sampling cadence. 0 means 10s;
+	// negative disables the background sampler (tests drive Sample by hand,
+	// and /metrics/history?sample=1 still works).
+	HistoryInterval time.Duration
 }
 
 // Server executes queries from many goroutines against one shared DB.
@@ -127,6 +141,9 @@ type Server struct {
 	metrics   *obs.Registry
 	admitHist *obs.Histogram
 	durHist   *obs.Histogram
+	recorder  *obs.Recorder
+	history   *obs.History
+	start     time.Time
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -167,11 +184,22 @@ func New(db *core.DB, opts Options) (*Server, error) {
 		slowQuery: opts.SlowQuery,
 		accessLog: opts.AccessLog,
 		logf:      opts.Logf,
+		start:     time.Now(),
 	}
 	if s.logf == nil {
 		s.logf = log.Printf
 	}
+	recEntries := opts.RecorderEntries
+	if recEntries == 0 {
+		recEntries = 512
+	}
+	s.recorder = obs.NewRecorder(recEntries)
 	s.initMetrics()
+	histEntries := opts.HistoryEntries
+	if histEntries == 0 {
+		histEntries = 360
+	}
+	s.history = obs.NewHistory(s.metrics, histEntries)
 	if opts.Ingest {
 		if !cfg.Compression {
 			return nil, fmt.Errorf("server: ingest requires the compressed column engine (it carries the write store)")
@@ -189,8 +217,24 @@ func New(db *core.DB, opts Options) (*Server, error) {
 		s.ingest = true
 		s.wal = opts.WALPath != ""
 	}
+	// Start the history sampler last so no goroutine leaks when an earlier
+	// option fails construction.
+	if opts.HistoryInterval >= 0 {
+		interval := opts.HistoryInterval
+		if interval == 0 {
+			interval = 10 * time.Second
+		}
+		s.history.Start(interval)
+	}
 	return s, nil
 }
+
+// Recorder exposes the always-on flight recorder (the HTTP layer's
+// /debug/queries and /debug/summary render it; tests read it directly).
+func (s *Server) Recorder() *obs.Recorder { return s.recorder }
+
+// History exposes the metrics-history ring behind /metrics/history.
+func (s *Server) History() *obs.History { return s.history }
 
 // Insert appends a batch of logical lineorder rows to the write store,
 // returning the new epoch. Concurrent with queries and other inserters; a
@@ -289,6 +333,14 @@ func (s *Server) Execute(ctx context.Context, q *ssb.Query) (*Response, error) {
 		// instant later; an entry is never served for a newer epoch.
 		key = cacheKey(q, s.coreCfg, s.db.Epoch())
 		if e, ok := s.cache.get(key); ok {
+			s.recorder.Record(obs.QueryRecord{
+				UnixNano: time.Now().UnixNano(),
+				Query:    q.ID,
+				Engine:   "cache",
+				Config:   s.coreCfg.Col.Code(),
+				Epoch:    s.db.Epoch(),
+				Cached:   true,
+			})
 			return &Response{Result: e.res, Stats: e.stats, Cached: true}, nil
 		}
 	}
@@ -299,6 +351,13 @@ func (s *Server) Execute(ctx context.Context, q *ssb.Query) (*Response, error) {
 	if err != nil {
 		s.admitRejects.Add(1)
 		s.errors.Add(1)
+		s.recorder.Record(obs.QueryRecord{
+			UnixNano: time.Now().UnixNano(),
+			Query:    q.ID,
+			Epoch:    s.db.Epoch(),
+			Error:    "admission: " + err.Error(),
+			WaitNs:   int64(time.Since(admitStart)),
+		})
 		return nil, err
 	}
 	wait := time.Since(admitStart)
@@ -309,26 +368,40 @@ func (s *Server) Execute(ctx context.Context, q *ssb.Query) (*Response, error) {
 	s.admitHist.ObserveDuration(wait)
 	defer s.sem.release(granted)
 
-	// Slow-query logging needs a trace to say where the time went; attach
-	// one only when the caller didn't (a /query?trace=1 request already
-	// carries its own, which the slow line then reuses).
+	// The flight recorder needs a trace for its stage-counter rollup, so
+	// every run carries one: the caller's (a /query?trace=1 request), else
+	// one attached here. The slow-query log reuses the same trace.
 	runCtx := ctx
-	if s.slowQuery > 0 && obs.FromContext(ctx) == nil {
-		runCtx = obs.WithTrace(ctx, &obs.Trace{})
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		tr = &obs.Trace{}
+		runCtx = obs.WithTrace(ctx, tr)
 	}
 	execStart := time.Now()
 	res, stats, err := s.db.RunPlanCtx(runCtx, q, s.coreCfg)
 	dur := time.Since(execStart)
 	s.durHist.ObserveDuration(dur)
+	rec := obs.QueryRecord{
+		UnixNano: time.Now().UnixNano(),
+		Query:    q.ID,
+		Engine:   tr.Engine,
+		Config:   tr.Config,
+		Workers:  tr.Workers,
+		Epoch:    tr.Epoch,
+		WaitNs:   int64(wait),
+		ExecNs:   int64(dur),
+		Totals:   tr.Totals(),
+	}
 	if err != nil {
 		s.errors.Add(1)
+		rec.Error = err.Error()
+		s.recorder.Record(rec)
 		return nil, err
 	}
+	s.recorder.Record(rec)
 	s.logical.AddStats(stats.IO)
 	if s.slowQuery > 0 && dur >= s.slowQuery {
-		if tr := obs.FromContext(runCtx); tr != nil {
-			s.logf("slow-query wait=%s %s", wait.Round(time.Microsecond), tr.CompactLine())
-		}
+		s.logf("slow-query wait=%s %s", wait.Round(time.Microsecond), tr.CompactLine())
 	}
 	if key != "" {
 		s.cache.put(key, res, stats)
@@ -338,6 +411,11 @@ func (s *Server) Execute(ctx context.Context, q *ssb.Query) (*Response, error) {
 
 // Stats is a snapshot of the server's counters.
 type Stats struct {
+	// UptimeSeconds is time since the server was built; Goroutines the
+	// process's live goroutine count — the liveness basics ssb-top needs
+	// without a second endpoint.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
 	// Queries counts Execute calls accepted (including cache hits and
 	// failed runs); Errors the subset that returned an error.
 	Queries int64 `json:"queries"`
@@ -380,6 +458,8 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	hits, misses, entries := s.cache.counters()
 	return Stats{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Goroutines:     runtime.NumGoroutine(),
 		Queries:        s.queries.Load(),
 		Errors:         s.errors.Load(),
 		InFlight:       s.inFlight.Load(),
@@ -416,6 +496,7 @@ func (s *Server) Close() error {
 	if already {
 		return nil
 	}
+	s.history.Stop()
 	s.wg.Wait()
 	if s.ingest {
 		s.db.CloseIngest()

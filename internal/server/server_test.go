@@ -2,7 +2,10 @@ package server
 
 import (
 	"context"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -67,6 +70,38 @@ func TestServeStressRace(t *testing.T) {
 		want[i] = ssb.Reference(data, plans[i])
 	}
 
+	// A poller hammers every observability read endpoint over HTTP while
+	// the clients run, so /debug/queries, /debug/summary, /metrics/history
+	// and the recorder behind them are race-exercised against live traffic.
+	ts := httptest.NewServer(srv.Handler())
+	pollStop := make(chan struct{})
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		paths := []string{
+			"/debug/queries?n=25", "/debug/summary?window=5",
+			"/metrics/history?sample=1", "/stats", "/metrics",
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-pollStop:
+				return
+			default:
+			}
+			resp, err := ts.Client().Get(ts.URL + paths[i%len(paths)])
+			if err != nil {
+				t.Errorf("poller: %v", err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("poller: %s status %d", paths[i%len(paths)], resp.StatusCode)
+				return
+			}
+		}
+	}()
+
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -92,9 +127,15 @@ func TestServeStressRace(t *testing.T) {
 		}(c)
 	}
 	wg.Wait()
+	close(pollStop)
+	<-pollDone
+	ts.Close()
 
 	if err := srv.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
+	}
+	if n := srv.Recorder().Len(); n == 0 || n > srv.Recorder().Cap() {
+		t.Fatalf("recorder len %d (cap %d) after stress", n, srv.Recorder().Cap())
 	}
 	if n := segDB.SegmentStore().Pool().PinnedFrames(); n != 0 {
 		t.Fatalf("%d frames still pinned at shutdown", n)
